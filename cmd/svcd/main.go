@@ -1,0 +1,127 @@
+// Command svcd serves the SVC network manager over HTTP — the paper's
+// admission-control component as a standalone daemon.
+//
+//	svcd -addr :8080                          # builtin paper topology
+//	svcd -topo dc.json -eps 0.02              # custom datacenter, stricter SLA
+//
+// API (see internal/httpapi):
+//
+//	POST   /v1/allocations        {"n":49,"mu":300,"sigma":120} -> placement
+//	DELETE /v1/allocations/{id}
+//	POST   /v1/dryrun
+//	GET    /v1/status
+//	GET    /v1/links?limit=10
+//
+// Example session:
+//
+//	curl -s -X POST localhost:8080/v1/allocations -d '{"n":8,"mu":250,"sigma":100}'
+//	curl -s localhost:8080/v1/status
+//	curl -s -X DELETE localhost:8080/v1/allocations/1
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/httpapi"
+	"repro/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "svcd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("svcd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
+		topoPath = fs.String("topo", "", "topology spec JSON (default: builtin paper topology)")
+		eps      = fs.Float64("eps", 0.05, "risk factor for the probabilistic guarantee")
+		policy   = fs.String("policy", "minmax", "placement policy: minmax|first-feasible|greedy-pack")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	topo, err := loadTopology(*topoPath)
+	if err != nil {
+		return err
+	}
+	var policyOpt core.ManagerOption
+	switch *policy {
+	case "minmax":
+		policyOpt = core.WithPolicy(core.MinMaxOccupancy)
+	case "first-feasible":
+		policyOpt = core.WithPolicy(core.FirstFeasible)
+	case "greedy-pack":
+		policyOpt = core.WithPolicy(core.GreedyPack)
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	mgr, err := core.NewManager(topo, *eps, policyOpt)
+	if err != nil {
+		return err
+	}
+
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.NewServer(mgr).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	listener, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("svcd: serving %d machines (%d slots) at eps=%v on %s",
+		len(topo.Machines()), topo.TotalSlots(), *eps, listener.Addr())
+
+	// Serve until interrupted, then drain connections.
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.Serve(listener) }()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		log.Printf("svcd: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := server.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+func loadTopology(path string) (*topology.Topology, error) {
+	if path == "" {
+		return topology.NewThreeTier(topology.PaperConfig())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	spec, err := topology.ReadSpec(f)
+	if err != nil {
+		return nil, err
+	}
+	return topology.NewFromSpec(spec)
+}

@@ -1,0 +1,236 @@
+// Command svcplan is an offline placement planner: it loads a datacenter
+// topology and a list of tenant requests, admits them in order through the
+// SVC network manager, and reports each placement (or rejection) as JSON
+// lines.
+//
+//	svcplan -requests reqs.json                    # paper topology
+//	svcplan -topo dc.json -requests reqs.json -eps 0.02
+//	svcplan -emit-topo paper > dc.json             # export a builtin topology
+//
+// Request file format (JSON):
+//
+//	{"requests": [
+//	  {"n": 10, "mu": 300, "sigma": 120},          // homogeneous SVC
+//	  {"n": 4,  "bandwidth": 250},                 // deterministic VC
+//	  {"demands": [{"mu": 500, "sigma": 100},      // heterogeneous SVC
+//	               {"mu": 100, "sigma": 20}]}
+//	]}
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "svcplan:", err)
+		os.Exit(1)
+	}
+}
+
+// requestFile is the on-disk request list.
+type requestFile struct {
+	Requests []requestSpec `json:"requests"`
+}
+
+// requestSpec is one request in any of the three supported shapes.
+type requestSpec struct {
+	N         int          `json:"n,omitempty"`
+	Mu        float64      `json:"mu,omitempty"`
+	Sigma     float64      `json:"sigma,omitempty"`
+	Bandwidth float64      `json:"bandwidth,omitempty"`
+	Demands   []demandSpec `json:"demands,omitempty"`
+}
+
+type demandSpec struct {
+	Mu    float64 `json:"mu"`
+	Sigma float64 `json:"sigma,omitempty"`
+}
+
+// placementOut is one JSON line of output.
+type placementOut struct {
+	Request  int             `json:"request"`
+	Accepted bool            `json:"accepted"`
+	Error    string          `json:"error,omitempty"`
+	VMs      int             `json:"vms,omitempty"`
+	Machines []machinePlaced `json:"machines,omitempty"`
+	MaxOcc   float64         `json:"maxOccupancy"`
+}
+
+type machinePlaced struct {
+	Machine int   `json:"machine"`
+	Count   int   `json:"count"`
+	VMs     []int `json:"vmIndices,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("svcplan", flag.ContinueOnError)
+	var (
+		topoPath = fs.String("topo", "", "topology spec JSON (default: builtin paper topology)")
+		reqPath  = fs.String("requests", "", "request list JSON (required unless -emit-topo)")
+		eps      = fs.Float64("eps", 0.05, "risk factor")
+		policy   = fs.String("policy", "minmax", "placement policy: minmax|first-feasible|greedy-pack")
+		hetero   = fs.String("hetero", "substring", "heterogeneous allocator: substring|exact|firstfit")
+		emitTopo = fs.String("emit-topo", "", "write a builtin topology spec (paper|quick) to stdout and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *emitTopo != "" {
+		var cfg topology.ThreeTierConfig
+		switch *emitTopo {
+		case "paper":
+			cfg = topology.PaperConfig()
+		case "quick":
+			cfg = topology.ThreeTierConfig{
+				Aggs: 2, ToRsPerAgg: 3, MachinesPerRack: 20, SlotsPerMachine: 4,
+				HostCap: 1000, Oversub: 2,
+			}
+		default:
+			return fmt.Errorf("unknown builtin topology %q", *emitTopo)
+		}
+		tp, err := topology.NewThreeTier(cfg)
+		if err != nil {
+			return err
+		}
+		return topology.WriteSpec(out, tp.ToSpec())
+	}
+
+	if *reqPath == "" {
+		return errors.New("-requests is required")
+	}
+
+	topo, err := loadTopology(*topoPath)
+	if err != nil {
+		return err
+	}
+	reqs, err := loadRequests(*reqPath)
+	if err != nil {
+		return err
+	}
+
+	opts := []core.ManagerOption{}
+	switch *policy {
+	case "minmax":
+		opts = append(opts, core.WithPolicy(core.MinMaxOccupancy))
+	case "first-feasible":
+		opts = append(opts, core.WithPolicy(core.FirstFeasible))
+	case "greedy-pack":
+		opts = append(opts, core.WithPolicy(core.GreedyPack))
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	switch *hetero {
+	case "substring":
+		opts = append(opts, core.WithHeteroAlgorithm(core.HeteroSubstring))
+	case "exact":
+		opts = append(opts, core.WithHeteroAlgorithm(core.HeteroExact))
+	case "firstfit":
+		opts = append(opts, core.WithHeteroAlgorithm(core.HeteroFirstFit))
+	default:
+		return fmt.Errorf("unknown hetero allocator %q", *hetero)
+	}
+
+	mgr, err := core.NewManager(topo, *eps, opts...)
+	if err != nil {
+		return err
+	}
+
+	enc := json.NewEncoder(out)
+	accepted := 0
+	for i, spec := range reqs {
+		alloc, err := admit(mgr, spec)
+		line := placementOut{Request: i}
+		if err != nil {
+			line.Error = err.Error()
+		} else {
+			accepted++
+			line.Accepted = true
+			line.VMs = alloc.Placement.TotalVMs()
+			for _, e := range alloc.Placement.Entries {
+				line.Machines = append(line.Machines, machinePlaced{
+					Machine: int(e.Machine), Count: e.Count, VMs: e.VMs,
+				})
+			}
+		}
+		line.MaxOcc = mgr.MaxOccupancy()
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "{\"summary\":{\"accepted\":%d,\"rejected\":%d,\"freeSlots\":%d}}\n",
+		accepted, len(reqs)-accepted, mgr.FreeSlots())
+	return nil
+}
+
+func loadTopology(path string) (*topology.Topology, error) {
+	if path == "" {
+		return topology.NewThreeTier(topology.PaperConfig())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	spec, err := topology.ReadSpec(f)
+	if err != nil {
+		return nil, err
+	}
+	return topology.NewFromSpec(spec)
+}
+
+func loadRequests(path string) ([]requestSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rf requestFile
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rf); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(rf.Requests) == 0 {
+		return nil, fmt.Errorf("%s contains no requests", path)
+	}
+	return rf.Requests, nil
+}
+
+// admit builds and allocates the request described by spec.
+func admit(mgr *core.Manager, spec requestSpec) (*core.Allocation, error) {
+	switch {
+	case len(spec.Demands) > 0:
+		demands := make([]stats.Normal, len(spec.Demands))
+		for i, d := range spec.Demands {
+			demands[i] = stats.Normal{Mu: d.Mu, Sigma: d.Sigma}
+		}
+		req, err := core.NewHeterogeneous(demands)
+		if err != nil {
+			return nil, err
+		}
+		return mgr.AllocateHetero(req)
+	case spec.Bandwidth > 0:
+		req, err := core.NewDeterministic(spec.N, spec.Bandwidth)
+		if err != nil {
+			return nil, err
+		}
+		return mgr.AllocateHomog(req)
+	default:
+		req, err := core.NewHomogeneous(spec.N, stats.Normal{Mu: spec.Mu, Sigma: spec.Sigma})
+		if err != nil {
+			return nil, err
+		}
+		return mgr.AllocateHomog(req)
+	}
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+	return path
+}
+
+const smallTopo = `{
+  "children": [
+    {"upCapMbps": 1000, "children": [
+      {"upCapMbps": 500, "slots": 4},
+      {"upCapMbps": 500, "slots": 4}
+    ]},
+    {"upCapMbps": 1000, "children": [
+      {"upCapMbps": 500, "slots": 4},
+      {"upCapMbps": 500, "slots": 4}
+    ]}
+  ]
+}`
+
+func TestPlanMixedRequests(t *testing.T) {
+	topoPath := writeFile(t, "topo.json", smallTopo)
+	reqPath := writeFile(t, "reqs.json", `{
+	  "requests": [
+	    {"n": 6, "mu": 100, "sigma": 40},
+	    {"n": 3, "bandwidth": 120},
+	    {"demands": [{"mu": 200, "sigma": 50}, {"mu": 80}]},
+	    {"n": 100, "mu": 10}
+	  ]
+	}`)
+	var sb strings.Builder
+	if err := run([]string{"-topo", topoPath, "-requests", reqPath}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 { // 4 placements + summary
+		t.Fatalf("output lines = %d:\n%s", len(lines), sb.String())
+	}
+	var first placementOut
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("parse line 0: %v", err)
+	}
+	if !first.Accepted || first.VMs != 6 {
+		t.Errorf("request 0 = %+v, want accepted with 6 VMs", first)
+	}
+	var fourth placementOut
+	if err := json.Unmarshal([]byte(lines[3]), &fourth); err != nil {
+		t.Fatalf("parse line 3: %v", err)
+	}
+	if fourth.Accepted {
+		t.Error("oversized request 3 was accepted")
+	}
+	if !strings.Contains(lines[4], `"accepted":3`) {
+		t.Errorf("summary = %s", lines[4])
+	}
+}
+
+func TestEmitTopoRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-emit-topo", "quick"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	topoPath := writeFile(t, "emitted.json", sb.String())
+	reqPath := writeFile(t, "reqs.json", `{"requests": [{"n": 8, "mu": 200, "sigma": 60}]}`)
+	var out strings.Builder
+	if err := run([]string{"-topo", topoPath, "-requests", reqPath}, &out); err != nil {
+		t.Fatalf("run with emitted topo: %v", err)
+	}
+	if !strings.Contains(out.String(), `"accepted":true`) {
+		t.Errorf("output = %s", out.String())
+	}
+}
+
+func TestPlanPolicies(t *testing.T) {
+	reqPath := writeFile(t, "reqs.json", `{"requests": [{"n": 4, "mu": 100, "sigma": 30}]}`)
+	topoPath := writeFile(t, "topo.json", smallTopo)
+	for _, policy := range []string{"minmax", "first-feasible"} {
+		var sb strings.Builder
+		if err := run([]string{"-topo", topoPath, "-requests", reqPath, "-policy", policy}, &sb); err != nil {
+			t.Fatalf("policy %s: %v", policy, err)
+		}
+	}
+	for _, hetero := range []string{"substring", "exact", "firstfit"} {
+		var sb strings.Builder
+		if err := run([]string{"-topo", topoPath, "-requests", reqPath, "-hetero", hetero}, &sb); err != nil {
+			t.Fatalf("hetero %s: %v", hetero, err)
+		}
+	}
+}
+
+func TestPlanBadInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Error("missing -requests accepted")
+	}
+	if err := run([]string{"-requests", "/does/not/exist.json"}, &sb); err == nil {
+		t.Error("missing request file accepted")
+	}
+	bad := writeFile(t, "bad.json", `{"requests": []}`)
+	if err := run([]string{"-requests", bad}, &sb); err == nil {
+		t.Error("empty request list accepted")
+	}
+	unknown := writeFile(t, "unknown.json", `{"requests": [{"n": 2, "mu": 1, "frobnicate": true}]}`)
+	if err := run([]string{"-requests", unknown}, &sb); err == nil {
+		t.Error("unknown request field accepted")
+	}
+	reqPath := writeFile(t, "ok.json", `{"requests": [{"n": 2, "mu": 1}]}`)
+	if err := run([]string{"-requests", reqPath, "-policy", "psychic"}, &sb); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run([]string{"-requests", reqPath, "-hetero", "psychic"}, &sb); err == nil {
+		t.Error("unknown hetero allocator accepted")
+	}
+	if err := run([]string{"-emit-topo", "galactic"}, &sb); err == nil {
+		t.Error("unknown builtin topology accepted")
+	}
+}
+
+// TestPlanInvalidRequestReported: a structurally invalid request is
+// reported inline, not fatal.
+func TestPlanInvalidRequestReported(t *testing.T) {
+	topoPath := writeFile(t, "topo.json", smallTopo)
+	reqPath := writeFile(t, "reqs.json", `{"requests": [{"n": 0, "mu": 100}, {"n": 2, "mu": 100}]}`)
+	var sb strings.Builder
+	if err := run([]string{"-topo", topoPath, "-requests", reqPath}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	var first placementOut
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if first.Accepted || first.Error == "" {
+		t.Errorf("invalid request 0 = %+v, want inline error", first)
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseFloats(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    []float64
+		wantErr bool
+	}{
+		{"", nil, false},
+		{"  ", nil, false},
+		{"1,2.5,3", []float64{1, 2.5, 3}, false},
+		{" 0.2 , 0.6 ", []float64{0.2, 0.6}, false},
+		{"1,x", nil, true},
+	}
+	for _, tt := range tests {
+		got, err := parseFloats(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseFloats(%q) err = %v", tt.give, err)
+			continue
+		}
+		if !tt.wantErr && !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("parseFloats(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scale", "galactic"}, &sb); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run([]string{"-fig", "99"}, &sb); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-oversubs", "a,b"}, &sb); err == nil {
+		t.Error("bad oversubs accepted")
+	}
+	if err := run([]string{"-not-a-flag"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunFig8Quick(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-fig", "8", "-jobs", "40"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Fig 8") || !strings.Contains(out, "concurrency ratio") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunMultipleFigures(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-fig", "9,10", "-jobs", "40", "-loads", "0.4", "-time"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Fig 9") || !strings.Contains(out, "Fig 10") {
+		t.Errorf("missing figures:\n%s", out)
+	}
+	if !strings.Contains(out, "took") {
+		t.Errorf("missing timing lines:\n%s", out)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "10", "-jobs", "40", "-loads", "0.4", "-json"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var doc struct {
+		Figure string `json:"figure"`
+		Result struct {
+			Models        []string    `json:"Models"`
+			RejectionRate [][]float64 `json:"RejectionRate"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(sb.String())), &doc); err != nil {
+		t.Fatalf("parse JSON output: %v\n%s", err, sb.String())
+	}
+	if doc.Figure != "10" || len(doc.Result.Models) == 0 || len(doc.Result.RejectionRate) == 0 {
+		t.Errorf("JSON doc = %+v", doc)
+	}
+}

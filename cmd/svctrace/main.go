@@ -1,0 +1,202 @@
+// Command svctrace runs a single simulation scenario and writes its event
+// trace as JSON lines, for offline inspection of what the aggregate
+// experiments summarize.
+//
+//	svctrace -o run.jsonl                          # online SVC run at 60% load
+//	svctrace -abstraction percentile-VC -load 0.8  # heavier load, det model
+//	svctrace -batch -jobs 120 -o batch.jsonl       # batched scenario
+//	svctrace -fail 300:12 -fail 600:40             # inject machine failures
+//
+// The trace contains admit/reject/complete/job_fail/machine_fail events and
+// a datacenter snapshot (concurrency, max occupancy) every -snapshot
+// seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "svctrace:", err)
+		os.Exit(1)
+	}
+}
+
+type failList []sim.MachineFailure
+
+func (f *failList) String() string { return fmt.Sprint(*f) }
+
+func (f *failList) Set(s string) error {
+	at, machine, ok := strings.Cut(s, ":")
+	if !ok {
+		return fmt.Errorf("failure %q: want <second>:<machine>", s)
+	}
+	t, err := strconv.Atoi(at)
+	if err != nil {
+		return fmt.Errorf("failure time %q: %w", at, err)
+	}
+	m, err := strconv.Atoi(machine)
+	if err != nil {
+		return fmt.Errorf("failure machine %q: %w", machine, err)
+	}
+	*f = append(*f, sim.MachineFailure{At: t, Machine: topology.NodeID(m)})
+	return nil
+}
+
+func run(args []string, summary io.Writer) error {
+	fs := flag.NewFlagSet("svctrace", flag.ContinueOnError)
+	var failures failList
+	var (
+		out         = fs.String("o", "", "trace output file (default stdout)")
+		scale       = fs.String("scale", "quick", "datacenter/workload scale: quick|paper")
+		abstraction = fs.String("abstraction", "SVC", "SVC|mean-VC|percentile-VC")
+		batch       = fs.Bool("batch", false, "batched FIFO scenario instead of online arrivals")
+		load        = fs.Float64("load", 0.6, "datacenter load (online scenario)")
+		jobCount    = fs.Int("jobs", 0, "override job count")
+		eps         = fs.Float64("eps", 0.05, "risk factor")
+		snapshot    = fs.Int("snapshot", 50, "snapshot period in simulated seconds (0 = off)")
+		seed        = fs.Uint64("seed", 0, "override workload seed")
+		jobsFile    = fs.String("jobs-file", "", "replay an exact job population (JSON written by -dump-jobs)")
+		dumpJobs    = fs.String("dump-jobs", "", "write the generated job population to this file and continue")
+	)
+	analyze := fs.String("analyze", "", "analyze an existing trace file and print its summary (no simulation)")
+	fs.Var(&failures, "fail", "inject a machine failure as <second>:<machineID> (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *analyze != "" {
+		f, err := os.Open(*analyze)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events, err := trace.Read(f)
+		if err != nil {
+			return fmt.Errorf("read %s: %w", *analyze, err)
+		}
+		fmt.Fprint(summary, trace.Analyze(events))
+		return nil
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if *jobCount > 0 {
+		sc.Jobs = *jobCount
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	var abs sim.Abstraction
+	switch *abstraction {
+	case "SVC", "svc":
+		abs = sim.SVC
+	case "mean-VC", "mean-vc", "mean":
+		abs = sim.MeanVC
+	case "percentile-VC", "percentile-vc", "percentile":
+		abs = sim.PercentileVC
+	default:
+		return fmt.Errorf("unknown abstraction %q", *abstraction)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	rec := trace.NewRecorder(w, *snapshot)
+
+	topoCfg := sc.Topo
+	topo, err := topology.NewThreeTier(topoCfg)
+	if err != nil {
+		return err
+	}
+	params := workload.Paper(sc.Jobs, sc.Seed)
+	params.MeanSize = sc.MeanJobSize
+	params.MaxSize = sc.MaxJobSize
+	params.FlowSeconds = sc.FlowSeconds
+	var jobs []sim.JobSpec
+	if *jobsFile != "" {
+		jf, err := os.Open(*jobsFile)
+		if err != nil {
+			return err
+		}
+		jobs, err = workload.ReadJobs(jf)
+		jf.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		jobs, err = workload.Generate(params)
+		if err != nil {
+			return err
+		}
+	}
+	if *dumpJobs != "" {
+		df, err := os.Create(*dumpJobs)
+		if err != nil {
+			return err
+		}
+		err = workload.WriteJobs(df, jobs)
+		if cerr := df.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := sim.Config{
+		Topo:        topo,
+		Eps:         *eps,
+		Abstraction: abs,
+		Recorder:    rec,
+		Failures:    failures,
+	}
+	if *batch {
+		res, err := sim.RunBatch(cfg, jobs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(summary, "batch: %d jobs, makespan %ds, mean job time %.0fs, unplaceable %d, failed %d\n",
+			len(jobs), res.Makespan, res.MeanJobTime, res.Unplaceable, res.FailedJobs)
+	} else {
+		lambda := params.ArrivalRate(*load, topoCfg.Slots())
+		arrivals, err := workload.PoissonArrivals(len(jobs), lambda, sc.Seed+7)
+		if err != nil {
+			return err
+		}
+		res, err := sim.RunOnline(cfg, jobs, arrivals)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(summary, "online: %d jobs at %.0f%% load, rejected %d (%.1f%%), mean concurrency %.1f, failed %d\n",
+			res.Total, 100**load, res.Rejected, 100*res.RejectionRate, res.MeanConcurrency, res.FailedJobs)
+	}
+	return rec.Err()
+}

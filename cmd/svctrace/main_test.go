@@ -1,0 +1,161 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestFailListParsing(t *testing.T) {
+	var f failList
+	if err := f.Set("300:12"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := f.Set("600:40"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if len(f) != 2 || f[0].At != 300 || int(f[1].Machine) != 40 {
+		t.Errorf("failures = %v", f)
+	}
+	for _, bad := range []string{"300", "x:1", "1:y", ""} {
+		var g failList
+		if err := g.Set(bad); err == nil {
+			t.Errorf("Set(%q): want error", bad)
+		}
+	}
+	if f.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestRunOnlineTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.jsonl")
+	var sb strings.Builder
+	err := run([]string{"-o", out, "-jobs", "30", "-load", "0.5", "-snapshot", "25"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "online: 30 jobs") {
+		t.Errorf("summary = %q", sb.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("open trace: %v", err)
+	}
+	defer f.Close()
+	events, err := trace.Read(f)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	kinds := make(map[trace.Kind]bool)
+	for _, e := range events {
+		kinds[e.Kind] = true
+	}
+	if !kinds[trace.KindAdmit] || !kinds[trace.KindComplete] || !kinds[trace.KindSnapshot] {
+		t.Errorf("missing kinds in %v", kinds)
+	}
+}
+
+func TestRunBatchTraceWithFailure(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "batch.jsonl")
+	var sb strings.Builder
+	err := run([]string{"-o", out, "-batch", "-jobs", "20", "-fail", "30:5"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "batch: 20 jobs") {
+		t.Errorf("summary = %q", sb.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("open trace: %v", err)
+	}
+	defer f.Close()
+	events, err := trace.Read(f)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	sawMachineFail := false
+	for _, e := range events {
+		if e.Kind == trace.KindMachineFail {
+			sawMachineFail = true
+		}
+	}
+	if !sawMachineFail {
+		t.Error("no machine_fail event in trace")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scale", "galactic"}, &sb); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := run([]string{"-abstraction", "psychic"}, &sb); err == nil {
+		t.Error("bad abstraction accepted")
+	}
+	if err := run([]string{"-fail", "nope"}, &sb); err == nil {
+		t.Error("bad failure accepted")
+	}
+}
+
+func TestRunAnalyzeMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.jsonl")
+	var sb strings.Builder
+	if err := run([]string{"-o", out, "-jobs", "20", "-load", "0.5"}, &sb); err != nil {
+		t.Fatalf("record run: %v", err)
+	}
+	var report strings.Builder
+	if err := run([]string{"-analyze", out}, &report); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	for _, want := range []string{"trace span", "admitted", "concurrency"} {
+		if !strings.Contains(report.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, report.String())
+		}
+	}
+	if err := run([]string{"-analyze", "/does/not/exist"}, &report); err == nil {
+		t.Error("missing analyze file accepted")
+	}
+}
+
+// TestJobFileReplay: dumping a population and replaying it produces the
+// identical summary (the whole run is a pure function of jobs + config).
+func TestJobFileReplay(t *testing.T) {
+	dir := t.TempDir()
+	jobsPath := filepath.Join(dir, "jobs.json")
+	trace1 := filepath.Join(dir, "a.jsonl")
+	trace2 := filepath.Join(dir, "b.jsonl")
+
+	var s1 strings.Builder
+	if err := run([]string{"-o", trace1, "-jobs", "25", "-dump-jobs", jobsPath}, &s1); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	var s2 strings.Builder
+	if err := run([]string{"-o", trace2, "-jobs-file", jobsPath}, &s2); err != nil {
+		t.Fatalf("replay run: %v", err)
+	}
+	if s1.String() != s2.String() {
+		t.Errorf("replay summary differs:\n%s\nvs\n%s", s1.String(), s2.String())
+	}
+	a, err := os.ReadFile(trace1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(trace2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("replay trace differs from original")
+	}
+	if err := run([]string{"-jobs-file", "/does/not/exist"}, &s2); err == nil {
+		t.Error("missing jobs file accepted")
+	}
+}

@@ -1,0 +1,72 @@
+// Batch jobs: run a queue of MapReduce-style jobs with volatile bandwidth
+// demands under three abstractions and compare the trade-off the paper
+// centers on — total batch completion (throughput/concurrency) versus
+// per-job running time.
+//
+//	go run ./examples/batchjobs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	topoCfg := topology.ThreeTierConfig{
+		Aggs: 2, ToRsPerAgg: 3, MachinesPerRack: 20, SlotsPerMachine: 4,
+		HostCap: 1000, Oversub: 2,
+	}
+
+	// 80 tenant jobs: sizes ~ Exp(mean 12), per-VM rate means drawn from
+	// {100..500} Mbps with deviation sigma = rho*mu, rho ~ U(0,1), compute
+	// phases of 200-500 s — the paper's workload at reduced scale.
+	params := workload.Paper(80, 1)
+	params.MeanSize = 12
+	params.MaxSize = 40
+	jobs, err := workload.Generate(params)
+	if err != nil {
+		return err
+	}
+
+	table := metrics.Table{
+		Title:   "batched jobs: concurrency vs per-job time trade-off",
+		Headers: []string{"abstraction", "makespan(s)", "mean-job-time(s)", "unplaceable"},
+	}
+	for _, abstraction := range []sim.Abstraction{sim.MeanVC, sim.PercentileVC, sim.SVC} {
+		topo, err := topology.NewThreeTier(topoCfg)
+		if err != nil {
+			return err
+		}
+		res, err := sim.RunBatch(sim.Config{
+			Topo:        topo,
+			Eps:         0.05,
+			Abstraction: abstraction,
+		}, jobs)
+		if err != nil {
+			return err
+		}
+		table.AddRow(abstraction.String(),
+			fmt.Sprintf("%d", res.Makespan),
+			metrics.F(res.MeanJobTime),
+			fmt.Sprintf("%d", res.Unplaceable))
+	}
+	fmt.Print(table.String())
+	fmt.Println(`
+Reading the table: mean-VC finishes the batch fastest (smallest
+reservations, most concurrency) but stretches individual jobs when demand
+spikes past the reserved mean; percentile-VC keeps jobs fast but reserves
+so much that the batch drags; SVC shares bandwidth statistically and sits
+near percentile-VC's per-job time at a much better total completion.`)
+	return nil
+}

@@ -1,0 +1,74 @@
+// Online admission: tenants arrive over time (Poisson) and are admitted
+// only if the network manager can place them with the probabilistic
+// bandwidth guarantee intact. Compares rejection rate and sustained
+// concurrency for SVC against percentile-VC at a 60% datacenter load.
+//
+//	go run ./examples/onlineadmission
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	topoCfg := topology.ThreeTierConfig{
+		Aggs: 2, ToRsPerAgg: 3, MachinesPerRack: 20, SlotsPerMachine: 4,
+		HostCap: 1000, Oversub: 2,
+	}
+	params := workload.Paper(120, 7)
+	params.MeanSize = 12
+	params.MaxSize = 40
+	jobs, err := workload.Generate(params)
+	if err != nil {
+		return err
+	}
+	const load = 0.6
+	lambda := params.ArrivalRate(load, topoCfg.Slots())
+	arrivals, err := workload.PoissonArrivals(len(jobs), lambda, 99)
+	if err != nil {
+		return err
+	}
+
+	table := metrics.Table{
+		Title:   fmt.Sprintf("online admission at %.0f%% load (%d jobs, lambda=%.4f/s)", 100*load, len(jobs), lambda),
+		Headers: []string{"abstraction", "rejected", "rejection", "mean-concurrency", "mean-job-time(s)"},
+	}
+	for _, abstraction := range []sim.Abstraction{sim.PercentileVC, sim.SVC} {
+		topo, err := topology.NewThreeTier(topoCfg)
+		if err != nil {
+			return err
+		}
+		res, err := sim.RunOnline(sim.Config{
+			Topo:        topo,
+			Eps:         0.05,
+			Abstraction: abstraction,
+		}, jobs, arrivals)
+		if err != nil {
+			return err
+		}
+		table.AddRow(abstraction.String(),
+			fmt.Sprintf("%d/%d", res.Rejected, res.Total),
+			metrics.Pct(res.RejectionRate),
+			metrics.F(res.MeanConcurrency),
+			metrics.F(res.MeanJobTime))
+	}
+	fmt.Print(table.String())
+	fmt.Println(`
+SVC admits more of the same arrival stream than percentile-VC because
+links statistically multiplex the stochastic demands (effective bandwidth
+grows as mu*k + c*sigma*sqrt(k), not linearly in the 95th percentile),
+while keeping per-job times comparable.`)
+	return nil
+}

@@ -1,0 +1,74 @@
+// Quickstart: reserve a stochastic virtual cluster on a small datacenter.
+//
+// Builds a 2-rack tree, submits one SVC request whose per-VM bandwidth is
+// N(300, 150^2) Mbps, prints where the VMs landed and how much effective
+// bandwidth the placement occupies, then releases it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	svc "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A small tree: 2 racks x 8 machines x 4 slots, 1 Gbps hosts,
+	// oversubscription 2 (4 Gbps rack uplinks).
+	topo, err := svc.NewThreeTier(svc.ThreeTierConfig{
+		Aggs: 1, ToRsPerAgg: 2, MachinesPerRack: 8, SlotsPerMachine: 4,
+		HostCap: 1000, Oversub: 2,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("datacenter: %d machines, %d VM slots, height %d\n",
+		len(topo.Machines()), topo.TotalSlots(), topo.Height())
+
+	// The network manager guarantees that on every link the stochastic
+	// demands it admits exceed the available bandwidth with probability
+	// below eps = 0.05.
+	mgr, err := svc.NewManager(topo, 0.05)
+	if err != nil {
+		return err
+	}
+
+	// A 12-VM cluster whose per-VM demand is uncertain: mean 300 Mbps,
+	// standard deviation 150 Mbps.
+	req, err := svc.NewHomogeneous(12, svc.Normal{Mu: 300, Sigma: 150})
+	if err != nil {
+		return err
+	}
+	alloc, err := mgr.AllocateHomog(req)
+	if err != nil {
+		return fmt.Errorf("request rejected: %w", err)
+	}
+	fmt.Printf("admitted %v as job %d\n", req, alloc.ID)
+	for _, e := range alloc.Placement.Entries {
+		fmt.Printf("  machine %3d: %d VMs\n", e.Machine, e.Count)
+	}
+	fmt.Printf("max link occupancy after placement: %.3f (must stay < 1)\n", mgr.MaxOccupancy())
+	fmt.Printf("free slots: %d\n", mgr.FreeSlots())
+
+	// Compare: the same job under a deterministic 95th-percentile
+	// reservation would occupy far more bandwidth.
+	pct, err := svc.PercentileVC(12, svc.Normal{Mu: 300, Sigma: 150})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("equivalent percentile-VC would reserve %.0f Mbps per VM (vs 300 mean)\n", pct.Demand.Mu)
+
+	if err := mgr.Release(alloc.ID); err != nil {
+		return err
+	}
+	fmt.Printf("released; max occupancy back to %.3f\n", mgr.MaxOccupancy())
+	return nil
+}

@@ -1,0 +1,95 @@
+// Tenant client: drive the network manager through its HTTP API, the way
+// an external scheduler or tenant portal would. Starts an in-process
+// server (the same handler cmd/svcd serves), admits a mixed set of
+// tenants, inspects the most loaded links, and releases everything.
+//
+//	go run ./examples/tenantclient
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"repro/internal/core"
+	"repro/internal/httpapi"
+	"repro/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	topo, err := topology.NewThreeTier(topology.ThreeTierConfig{
+		Aggs: 1, ToRsPerAgg: 2, MachinesPerRack: 10, SlotsPerMachine: 4,
+		HostCap: 1000, Oversub: 2,
+	})
+	if err != nil {
+		return err
+	}
+	mgr, err := core.NewManager(topo, 0.05)
+	if err != nil {
+		return err
+	}
+	srv := httptest.NewServer(httpapi.NewServer(mgr).Handler())
+	defer srv.Close()
+	client := httpapi.NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+
+	fmt.Println("admitting three tenants over HTTP:")
+	var ids []int64
+	for _, req := range []httpapi.AllocationRequest{
+		{N: 10, Mu: 250, Sigma: 120}, // stochastic SVC
+		{N: 6, Bandwidth: 200},       // deterministic VC
+		{Demands: []httpapi.DemandSpec{ // heterogeneous SVC
+			{Mu: 500, Sigma: 150}, {Mu: 120, Sigma: 40}, {Mu: 120, Sigma: 40},
+		}},
+	} {
+		resp, err := client.Allocate(ctx, req)
+		if err != nil {
+			if httpapi.IsNoCapacity(err) {
+				fmt.Println("  rejected for capacity:", err)
+				continue
+			}
+			return err
+		}
+		fmt.Printf("  allocation %d: %d VMs on %d machines\n", resp.ID, resp.VMs, len(resp.Placement))
+		ids = append(ids, resp.ID)
+	}
+
+	status, err := client.Status(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("datacenter: %d/%d slots free, max occupancy %.3f\n",
+		status.FreeSlots, status.TotalSlots, status.MaxOccupancy)
+
+	links, err := client.Links(ctx, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Println("three most loaded links:")
+	for _, l := range links {
+		fmt.Printf("  link %3d: occupancy %.3f (det %.0f Mbps, %d stochastic demands)\n",
+			l.Link, l.Occupancy, l.DetReserved, l.StochasticDemands)
+	}
+
+	// Dry-run a big request before committing to it.
+	feasible, err := client.DryRun(ctx, httpapi.AllocationRequest{N: 60, Mu: 300, Sigma: 100})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("would a 60-VM tenant fit right now? %v\n", feasible)
+
+	for _, id := range ids {
+		if err := client.Release(ctx, id); err != nil {
+			return err
+		}
+	}
+	fmt.Println("released all tenants")
+	return nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"repro/internal/stats"
+)
+
+// CrossingHomog returns the moment-matched distribution of the bandwidth a
+// homogeneous request places on a link that splits its N VMs into groups of
+// m and N-m. Per the paper (Section IV-A) this is min(B(m), B(N-m)) where
+// B(k) ~ N(k*mu, k*sigma^2) is the aggregate demand of k i.i.d. VMs; when
+// either side is empty no traffic crosses the link and the demand is the
+// point mass at zero.
+func CrossingHomog(demand stats.Normal, m, n int) stats.Normal {
+	if m <= 0 || m >= n {
+		return stats.Normal{}
+	}
+	return stats.MinOfNormals(demand.Sum(m), demand.Sum(n-m))
+}
+
+// CrossingSets returns the moment-matched distribution of the bandwidth a
+// heterogeneous request places on a link that splits its VMs into two
+// groups with the given aggregate demand distributions (paper Section V-A):
+// the min of the two aggregates. When either aggregate is the zero point
+// mass, no traffic crosses.
+func CrossingSets(inside, outside stats.Normal) stats.Normal {
+	if isZero(inside) || isZero(outside) {
+		return stats.Normal{}
+	}
+	return stats.MinOfNormals(inside, outside)
+}
+
+func isZero(n stats.Normal) bool { return n.Mu == 0 && n.Sigma == 0 }
+
+// demandPrefix precomputes prefix aggregates over an ordered VM sequence so
+// that the aggregate demand of any contiguous substring — and therefore the
+// crossing demand of any substring split — is available in O(1). It backs
+// both heterogeneous allocators.
+type demandPrefix struct {
+	mu  []float64 // mu[i] = sum of means of VMs [0, i)
+	vr  []float64 // vr[i] = sum of variances of VMs [0, i)
+	all stats.Normal
+}
+
+func newDemandPrefix(demands []stats.Normal) *demandPrefix {
+	n := len(demands)
+	p := &demandPrefix{
+		mu: make([]float64, n+1),
+		vr: make([]float64, n+1),
+	}
+	for i, d := range demands {
+		p.mu[i+1] = p.mu[i] + d.Mu
+		p.vr[i+1] = p.vr[i] + d.Var()
+	}
+	p.all = p.aggregate(0, n)
+	return p
+}
+
+// aggregate returns the distribution of the summed demand of VMs [a, b).
+func (p *demandPrefix) aggregate(a, b int) stats.Normal {
+	return stats.Normal{
+		Mu:    p.mu[b] - p.mu[a],
+		Sigma: sqrtNonNeg(p.vr[b] - p.vr[a]),
+	}
+}
+
+// crossing returns the crossing demand of a link whose inside group is the
+// substring [a, b) and whose outside group is the remaining VMs.
+func (p *demandPrefix) crossing(a, b int) stats.Normal {
+	inside := p.aggregate(a, b)
+	outside := stats.Normal{
+		Mu:    p.all.Mu - inside.Mu,
+		Sigma: sqrtNonNeg(p.all.Var() - inside.Var()),
+	}
+	return CrossingSets(inside, outside)
+}

@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// ExampleManager shows the full admit-release cycle on the paper's Fig. 3
+// topology: two machines with 5 slots behind 50 Mbps links.
+func ExampleManager() {
+	topo, err := topology.NewFromSpec(topology.Spec{Children: []topology.Spec{
+		{UpCap: 50, Slots: 5},
+		{UpCap: 50, Slots: 5},
+	}})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	mgr, err := core.NewManager(topo, 0.05)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	req, err := core.NewDeterministic(6, 10) // the paper's example request
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	alloc, err := mgr.AllocateHomog(req)
+	if err != nil {
+		fmt.Println("rejected:", err)
+		return
+	}
+	fmt.Printf("max occupancy while running: %.2f\n", mgr.MaxOccupancy())
+	if err := mgr.Release(alloc.ID); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("max occupancy after release: %.2f\n", mgr.MaxOccupancy())
+	// Output:
+	// max occupancy while running: 0.20
+	// max occupancy after release: 0.00
+}
+
+// ExampleCrossingHomog computes the bandwidth a stochastic cluster places
+// on a link that splits it 2 / 4: the moment-matched min of the two sides'
+// aggregate demands (paper Lemma 1).
+func ExampleCrossingHomog() {
+	demand := stats.Normal{Mu: 100, Sigma: 50}
+	cross := core.CrossingHomog(demand, 2, 6)
+	// Slightly below the smaller side's 200 Mbps aggregate: the min with
+	// the larger side trims the upper tail.
+	fmt.Printf("crossing demand: mean %.1f Mbps, sd %.1f Mbps\n", cross.Mu, cross.Sigma)
+	// Output: crossing demand: mean 197.4 Mbps, sd 68.7 Mbps
+}
+
+// ExampleManager_rejection shows how rejection is reported.
+func ExampleManager_rejection() {
+	topo, _ := topology.NewFromSpec(topology.Spec{Children: []topology.Spec{
+		{UpCap: 50, Slots: 2},
+	}})
+	mgr, _ := core.NewManager(topo, 0.05)
+	req, _ := core.NewHomogeneous(3, stats.Normal{Mu: 10, Sigma: 1})
+	_, err := mgr.AllocateHomog(req)
+	fmt.Println(errors.Is(err, core.ErrNoCapacity))
+	// Output: true
+}

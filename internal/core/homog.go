@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Policy selects how the allocators break ties between multiple valid
+// placements inside the chosen subtree.
+type Policy int
+
+const (
+	// MinMaxOccupancy is the paper's SVC algorithm: among all valid
+	// placements in the lowest feasible subtree, pick the one minimizing
+	// the maximum bandwidth occupancy ratio of the subtree's links
+	// (Algorithm 1, recurrences Eq. 11-12).
+	MinMaxOccupancy Policy = iota + 1
+	// FirstFeasible is the adapted TIVC baseline (paper Section VI-B3):
+	// the same validity condition and lowest-subtree search, but no
+	// occupancy optimization — the first valid VM split found is kept.
+	FirstFeasible
+	// GreedyPack mimics Oktopus's greedy allocation: within the lowest
+	// feasible subtree, pack as many VMs as possible into each child in
+	// turn (maximum locality), again without occupancy optimization.
+	GreedyPack
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case MinMaxOccupancy:
+		return "min-max-occupancy"
+	case FirstFeasible:
+		return "first-feasible"
+	case GreedyPack:
+		return "greedy-pack"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// infeasible marks unreachable DP states.
+var infeasible = math.Inf(1)
+
+// homogRecord is the per-vertex state of Algorithm 1: the allocable VM set
+// (paper Definition 1) with, for each allocable count, the optimal max
+// occupancy of the links strictly inside the subtree and the per-child
+// split choices needed to reconstruct the allocation.
+type homogRecord struct {
+	cap    int       // largest VM count worth considering in this subtree
+	optIn  []float64 // optIn[e]: min over placements of max in-subtree occupancy; infeasible if e not placeable
+	upOcc  []float64 // upOcc[e]: occupancy of this vertex's uplink with e VMs inside (unused for the root)
+	alloc  []bool    // alloc[e]: e is in the allocable VM set (subtree + uplink constraints)
+	choice [][]int32 // choice[i][s]: VMs given to child i when the first i+1 children hold s (internal vertices only)
+}
+
+// AllocateHomog runs the paper's homogeneous VM allocation over the current
+// ledger state and returns the placement and its per-link crossing-demand
+// contributions without committing them. It returns ErrNoCapacity when no
+// subtree can host the request.
+func AllocateHomog(led *Ledger, req Homogeneous, policy Policy) (Placement, []linkDemand, error) {
+	if err := req.Validate(); err != nil {
+		return Placement{}, nil, err
+	}
+	topo := led.Topology()
+
+	// Crossing-demand table: crossing[m] is the demand the request places
+	// on a link with m of its N VMs below (symmetric in m <-> N-m).
+	crossing := make([]stats.Normal, req.N+1)
+	for m := range crossing {
+		crossing[m] = CrossingHomog(req.Demand, m, req.N)
+	}
+
+	records := make([]*homogRecord, topo.Len())
+	for level := 0; level <= topo.Height(); level++ {
+		var (
+			best    topology.NodeID = topology.None
+			bestVal                 = infeasible
+		)
+		for _, v := range topo.AtLevel(level) {
+			rec := homogCompute(led, topo, v, req.N, crossing, records, policy)
+			records[v] = rec
+			if rec.cap < req.N || rec.optIn[req.N] == infeasible {
+				continue
+			}
+			val := rec.optIn[req.N]
+			if policy == FirstFeasible && best != topology.None {
+				continue // keep the first feasible subtree at this level
+			}
+			if val < bestVal || best == topology.None {
+				best, bestVal = v, val
+			}
+		}
+		if best != topology.None {
+			var p Placement
+			homogBuild(topo, records, best, req.N, &p)
+			p.normalize()
+			return p, homogContributions(topo, req, &p), nil
+		}
+	}
+	return Placement{}, nil, fmt.Errorf("%w: %v", ErrNoCapacity, req)
+}
+
+// homogCompute fills the DP record for vertex v from its children's
+// records (which the level-order traversal has already computed).
+func homogCompute(led *Ledger, topo *topology.Topology, v topology.NodeID, n int,
+	crossing []stats.Normal, records []*homogRecord, policy Policy) *homogRecord {
+
+	node := topo.Node(v)
+	rec := &homogRecord{}
+	if node.IsMachine() {
+		// Leaf base case: any count up to the free slots fits, and VMs on
+		// the same machine use no links, so the in-subtree occupancy is 0.
+		rec.cap = min(n, led.FreeSlots(v))
+		rec.optIn = make([]float64, rec.cap+1)
+	} else {
+		// Combine children left to right: acc[s] is the optimal value of
+		// placing s VMs in the first i child subtrees, where a child
+		// taking e VMs costs max(child in-subtree optimum, child uplink
+		// occupancy) — Eq. 11 specialized to the incremental tree T_v[i].
+		capV := 0
+		for _, c := range node.Children {
+			capV += records[c].cap
+		}
+		rec.cap = min(n, capV)
+		acc := make([]float64, rec.cap+1)
+		for s := 1; s <= rec.cap; s++ {
+			acc[s] = infeasible
+		}
+		rec.choice = make([][]int32, len(node.Children))
+		reach := 0 // largest sum reachable with the children combined so far
+		for i, c := range node.Children {
+			child := records[c]
+			next := make([]float64, rec.cap+1)
+			pick := make([]int32, rec.cap+1)
+			for s := range next {
+				next[s] = infeasible
+				pick[s] = -1
+			}
+			for h := 0; h <= reach; h++ {
+				if acc[h] == infeasible {
+					continue
+				}
+				for e := 0; e <= child.cap && h+e <= rec.cap; e++ {
+					if !child.alloc[e] {
+						continue
+					}
+					switch policy {
+					case MinMaxOccupancy:
+						val := math.Max(acc[h], math.Max(child.optIn[e], child.upOcc[e]))
+						if val < next[h+e] {
+							next[h+e] = val
+							pick[h+e] = int32(e)
+						}
+					case GreedyPack:
+						// e iterates ascending, so overwriting keeps the
+						// largest feasible share in this child.
+						next[h+e] = 0
+						pick[h+e] = int32(e)
+					default: // FirstFeasible keeps the split found first
+						if next[h+e] == infeasible {
+							next[h+e] = 0
+							pick[h+e] = int32(e)
+						}
+					}
+				}
+			}
+			acc = next
+			rec.choice[i] = pick
+			reach = min(rec.cap, reach+child.cap)
+		}
+		rec.optIn = acc
+	}
+
+	// Uplink occupancy and the allocable VM set (Definition 1). The root
+	// has no uplink; every other vertex must keep its uplink admissible.
+	rec.alloc = make([]bool, rec.cap+1)
+	isRoot := node.Parent == topology.None
+	if !isRoot {
+		rec.upOcc = make([]float64, rec.cap+1)
+	}
+	for e := 0; e <= rec.cap; e++ {
+		if rec.optIn[e] == infeasible {
+			continue
+		}
+		if isRoot {
+			rec.alloc[e] = true
+			continue
+		}
+		rec.upOcc[e] = led.OccupancyWith(v, crossing[e])
+		rec.alloc[e] = rec.upOcc[e] < 1
+	}
+	return rec
+}
+
+// homogBuild reconstructs the chosen placement by replaying the recorded
+// per-child split choices top-down.
+func homogBuild(topo *topology.Topology, records []*homogRecord, v topology.NodeID, s int, p *Placement) {
+	if s == 0 {
+		return
+	}
+	node := topo.Node(v)
+	if node.IsMachine() {
+		p.Entries = append(p.Entries, PlacementEntry{Machine: v, Count: s})
+		return
+	}
+	rec := records[v]
+	for i := len(node.Children) - 1; i >= 0; i-- {
+		e := int(rec.choice[i][s])
+		if e < 0 {
+			panic(fmt.Sprintf("core: no recorded choice for child %d of node %d at sum %d", i, v, s))
+		}
+		homogBuild(topo, records, node.Children[i], e, p)
+		s -= e
+	}
+	if s != 0 {
+		panic(fmt.Sprintf("core: reconstruction at node %d left %d VMs unassigned", v, s))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// HeteroAlgorithm selects the allocator Manager uses for heterogeneous
+// requests.
+type HeteroAlgorithm int
+
+const (
+	// HeteroSubstring is the paper's polynomial substring heuristic.
+	HeteroSubstring HeteroAlgorithm = iota + 1
+	// HeteroExact is the exponential exact DP (small requests only).
+	HeteroExact
+	// HeteroFirstFit is the first-fit baseline.
+	HeteroFirstFit
+)
+
+// ErrUnknownJob is returned by Release for job IDs the manager is not
+// tracking.
+var ErrUnknownJob = errors.New("core: unknown job")
+
+// JobID identifies an admitted request within a Manager.
+type JobID int64
+
+// Allocation is the manager's record of one admitted request.
+type Allocation struct {
+	ID        JobID
+	Placement Placement
+
+	contribs []linkDemand
+}
+
+// Manager is the paper's network manager: it admits tenant requests by
+// running the VM allocation algorithms against the ledger, commits the
+// resulting reservations, and releases them when jobs finish. It is safe
+// for concurrent use.
+type Manager struct {
+	mu     sync.Mutex
+	led    *Ledger
+	policy Policy
+	hetero HeteroAlgorithm
+	jobs   map[JobID]*Allocation
+	nextID JobID
+}
+
+// ManagerOption configures a Manager.
+type ManagerOption interface {
+	apply(*Manager)
+}
+
+type policyOption Policy
+
+func (o policyOption) apply(m *Manager) { m.policy = Policy(o) }
+
+// WithPolicy selects the placement tie-breaking policy (default
+// MinMaxOccupancy, the paper's SVC algorithm).
+func WithPolicy(p Policy) ManagerOption { return policyOption(p) }
+
+type heteroOption HeteroAlgorithm
+
+func (o heteroOption) apply(m *Manager) { m.hetero = HeteroAlgorithm(o) }
+
+// WithHeteroAlgorithm selects the heterogeneous allocator (default
+// HeteroSubstring).
+func WithHeteroAlgorithm(a HeteroAlgorithm) ManagerOption { return heteroOption(a) }
+
+// NewManager returns a manager over an empty datacenter with bandwidth
+// outage risk factor eps.
+func NewManager(topo *topology.Topology, eps float64, opts ...ManagerOption) (*Manager, error) {
+	led, err := NewLedger(topo, eps)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		led:    led,
+		policy: MinMaxOccupancy,
+		hetero: HeteroSubstring,
+		jobs:   make(map[JobID]*Allocation),
+	}
+	for _, o := range opts {
+		o.apply(m)
+	}
+	return m, nil
+}
+
+// AllocateHomog admits a homogeneous request (stochastic SVC or
+// deterministic VC), committing its reservations. It returns
+// ErrNoCapacity-wrapped errors when the request must be rejected.
+func (m *Manager) AllocateHomog(req Homogeneous) (*Allocation, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, contribs, err := AllocateHomog(m.led, req, m.policy)
+	if err != nil {
+		return nil, err
+	}
+	return m.admit(p, contribs), nil
+}
+
+// AllocateHetero admits a heterogeneous SVC request using the configured
+// algorithm, committing its reservations.
+func (m *Manager) AllocateHetero(req Heterogeneous) (*Allocation, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var (
+		p        Placement
+		contribs []linkDemand
+		err      error
+	)
+	switch m.hetero {
+	case HeteroExact:
+		p, contribs, err = AllocateHeteroExact(m.led, req)
+	case HeteroFirstFit:
+		p, contribs, err = AllocateFirstFit(m.led, req)
+	default:
+		p, contribs, err = AllocateHeteroSubstring(m.led, req, m.policy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return m.admit(p, contribs), nil
+}
+
+func (m *Manager) admit(p Placement, contribs []linkDemand) *Allocation {
+	m.nextID++
+	a := &Allocation{ID: m.nextID, Placement: p, contribs: contribs}
+	commit(m.led, &p, contribs)
+	m.jobs[a.ID] = a
+	return a
+}
+
+// CanAllocateHomog reports whether a homogeneous request would currently
+// be admitted, without committing anything — a capacity-planning dry run.
+func (m *Manager) CanAllocateHomog(req Homogeneous) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, _, err := AllocateHomog(m.led, req, m.policy)
+	return err == nil
+}
+
+// CanAllocateHetero reports whether a heterogeneous request would currently
+// be admitted, without committing anything.
+func (m *Manager) CanAllocateHetero(req Heterogeneous) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var err error
+	switch m.hetero {
+	case HeteroExact:
+		_, _, err = AllocateHeteroExact(m.led, req)
+	case HeteroFirstFit:
+		_, _, err = AllocateFirstFit(m.led, req)
+	default:
+		_, _, err = AllocateHeteroSubstring(m.led, req, m.policy)
+	}
+	return err == nil
+}
+
+// Release frees the slots and reservations of an admitted job.
+func (m *Manager) Release(id JobID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a, ok := m.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	rollback(m.led, &a.Placement, a.contribs)
+	delete(m.jobs, id)
+	return nil
+}
+
+// Running returns the number of admitted, unreleased jobs.
+func (m *Manager) Running() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.jobs)
+}
+
+// FreeSlots returns the number of unoccupied VM slots.
+func (m *Manager) FreeSlots() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.led.TotalFreeSlots()
+}
+
+// SetOffline takes a machine out of (or back into) service. Offline
+// machines receive no new VMs; running jobs are unaffected until their
+// owner releases or fails them.
+func (m *Manager) SetOffline(machine topology.NodeID, offline bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.led.SetOffline(machine, offline)
+}
+
+// MaxOccupancy returns the maximum bandwidth occupancy ratio over all
+// links, the paper's Fig. 9 statistic.
+func (m *Manager) MaxOccupancy() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.led.MaxOccupancy()
+}
+
+// Headroom reports how many more copies of the given homogeneous request
+// the datacenter could admit right now, exploring on a cloned ledger so
+// live state is untouched. The count is capped at limit (a limit of 0
+// means no cap beyond the datacenter's slot count).
+func (m *Manager) Headroom(req Homogeneous, limit int) (int, error) {
+	if err := req.Validate(); err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	scratch := m.led.Clone()
+	m.mu.Unlock()
+	if limit <= 0 {
+		limit = scratch.TotalFreeSlots()/req.N + 1
+	}
+	count := 0
+	for count < limit {
+		p, contribs, err := AllocateHomog(scratch, req, m.policy)
+		if err != nil {
+			if errors.Is(err, ErrNoCapacity) {
+				break
+			}
+			return count, err
+		}
+		commit(scratch, &p, contribs)
+		count++
+	}
+	return count, nil
+}
+
+// MaxOccupancyByLevel returns the maximum occupancy per link level
+// (index 0 = host links).
+func (m *Manager) MaxOccupancyByLevel() []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.led.MaxOccupancyByLevel()
+}
+
+// Epsilon returns the manager's risk factor.
+func (m *Manager) Epsilon() float64 { return m.led.Epsilon() }
+
+// Topology returns the managed topology.
+func (m *Manager) Topology() *topology.Topology { return m.led.Topology() }
+
+// Ledger exposes the underlying ledger for read-only inspection by
+// in-process tooling (the simulator and tests). Callers must not mutate it
+// while the manager is in use.
+func (m *Manager) Ledger() *Ledger { return m.led }

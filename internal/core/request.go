@@ -1,0 +1,126 @@
+// Package core implements the SVC paper's primary contribution: the
+// Stochastic Virtual Cluster abstraction, the probabilistic bandwidth
+// guarantee on physical links, and the VM allocation algorithms
+// (the homogeneous min-max dynamic program of Algorithm 1, the exact and
+// substring-heuristic heterogeneous allocators) together with the paper's
+// baselines (adapted TIVC, first-fit) and the network manager that applies
+// them.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Percentile95 is the quantile used to derive percentile-VC requests and to
+// order heterogeneous VMs, following the paper's use of the 95th percentile.
+const Percentile95 = 0.95
+
+var (
+	// ErrBadRequest reports a structurally invalid tenant request.
+	ErrBadRequest = errors.New("core: invalid request")
+	// ErrNoCapacity reports that no valid allocation exists for a request
+	// under the current datacenter state (the request is rejected).
+	ErrNoCapacity = errors.New("core: request cannot be allocated")
+)
+
+// Homogeneous is a virtual cluster request <N, mu, sigma> whose N VMs all
+// share the per-VM bandwidth demand distribution N(mu, sigma^2). With
+// Sigma == 0 it degenerates to the deterministic Oktopus virtual cluster
+// <N, B>, which the framework reserves exactly rather than statistically.
+type Homogeneous struct {
+	N      int
+	Demand stats.Normal
+}
+
+// NewHomogeneous returns a homogeneous SVC request, validating its shape.
+func NewHomogeneous(n int, demand stats.Normal) (Homogeneous, error) {
+	r := Homogeneous{N: n, Demand: demand}
+	if err := r.Validate(); err != nil {
+		return Homogeneous{}, err
+	}
+	return r, nil
+}
+
+// NewDeterministic returns the deterministic virtual cluster <N, B> of
+// Oktopus, expressed as a degenerate SVC request.
+func NewDeterministic(n int, bandwidth float64) (Homogeneous, error) {
+	return NewHomogeneous(n, stats.Normal{Mu: bandwidth})
+}
+
+// MeanVC derives the deterministic mean-VC request from a stochastic
+// demand profile: the requested constant bandwidth is the profile mean.
+func MeanVC(n int, profile stats.Normal) (Homogeneous, error) {
+	return NewDeterministic(n, profile.Mu)
+}
+
+// PercentileVC derives the deterministic percentile-VC request from a
+// stochastic demand profile: the requested constant bandwidth is the
+// profile's 95th percentile.
+func PercentileVC(n int, profile stats.Normal) (Homogeneous, error) {
+	return NewDeterministic(n, profile.Quantile(Percentile95))
+}
+
+// Validate checks the request shape.
+func (r Homogeneous) Validate() error {
+	switch {
+	case r.N < 1:
+		return fmt.Errorf("%w: N = %d", ErrBadRequest, r.N)
+	case r.Demand.Mu < 0:
+		return fmt.Errorf("%w: negative demand mean %v", ErrBadRequest, r.Demand.Mu)
+	case r.Demand.Sigma < 0:
+		return fmt.Errorf("%w: negative demand sigma %v", ErrBadRequest, r.Demand.Sigma)
+	}
+	return nil
+}
+
+// Deterministic reports whether the request carries no demand uncertainty.
+func (r Homogeneous) Deterministic() bool { return r.Demand.Sigma == 0 }
+
+// String implements fmt.Stringer.
+func (r Homogeneous) String() string {
+	if r.Deterministic() {
+		return fmt.Sprintf("VC<N=%d, B=%.4g>", r.N, r.Demand.Mu)
+	}
+	return fmt.Sprintf("SVC<N=%d, %v>", r.N, r.Demand)
+}
+
+// Heterogeneous is a virtual cluster request whose VMs may each follow a
+// different bandwidth demand distribution (paper Section V).
+type Heterogeneous struct {
+	Demands []stats.Normal
+}
+
+// NewHeterogeneous returns a heterogeneous SVC request over a copy of the
+// given per-VM demand distributions.
+func NewHeterogeneous(demands []stats.Normal) (Heterogeneous, error) {
+	r := Heterogeneous{Demands: make([]stats.Normal, len(demands))}
+	copy(r.Demands, demands)
+	if err := r.Validate(); err != nil {
+		return Heterogeneous{}, err
+	}
+	return r, nil
+}
+
+// Validate checks the request shape.
+func (r Heterogeneous) Validate() error {
+	if len(r.Demands) < 1 {
+		return fmt.Errorf("%w: no VMs", ErrBadRequest)
+	}
+	for i, d := range r.Demands {
+		if d.Mu < 0 || d.Sigma < 0 {
+			return fmt.Errorf("%w: VM %d has demand %v", ErrBadRequest, i, d)
+		}
+	}
+	return nil
+}
+
+// N returns the number of VMs in the request.
+func (r Heterogeneous) N() int { return len(r.Demands) }
+
+// String implements fmt.Stringer.
+func (r Heterogeneous) String() string {
+	return fmt.Sprintf("SVC<N=%d, heterogeneous>", r.N())
+}

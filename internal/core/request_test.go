@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestNewHomogeneous(t *testing.T) {
+	r, err := NewHomogeneous(49, stats.Normal{Mu: 300, Sigma: 90})
+	if err != nil {
+		t.Fatalf("NewHomogeneous: %v", err)
+	}
+	if r.N != 49 || r.Demand.Mu != 300 || r.Demand.Sigma != 90 {
+		t.Errorf("request = %+v", r)
+	}
+	if r.Deterministic() {
+		t.Error("stochastic request reported deterministic")
+	}
+}
+
+func TestNewHomogeneousInvalid(t *testing.T) {
+	tests := []struct {
+		name   string
+		n      int
+		demand stats.Normal
+	}{
+		{"zero VMs", 0, stats.Normal{Mu: 100}},
+		{"negative VMs", -3, stats.Normal{Mu: 100}},
+		{"negative mean", 5, stats.Normal{Mu: -1}},
+		{"negative sigma", 5, stats.Normal{Mu: 100, Sigma: -2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewHomogeneous(tt.n, tt.demand); !errors.Is(err, ErrBadRequest) {
+				t.Errorf("err = %v, want ErrBadRequest", err)
+			}
+		})
+	}
+}
+
+func TestDeterministicDerivations(t *testing.T) {
+	profile := stats.Normal{Mu: 300, Sigma: 150}
+
+	mean, err := MeanVC(10, profile)
+	if err != nil {
+		t.Fatalf("MeanVC: %v", err)
+	}
+	if !mean.Deterministic() || mean.Demand.Mu != 300 {
+		t.Errorf("MeanVC = %v", mean)
+	}
+
+	pct, err := PercentileVC(10, profile)
+	if err != nil {
+		t.Fatalf("PercentileVC: %v", err)
+	}
+	want := 300 + 150*stats.PhiInv(0.95)
+	if !pct.Deterministic() || math.Abs(pct.Demand.Mu-want) > 1e-9 {
+		t.Errorf("PercentileVC B = %v, want %v", pct.Demand.Mu, want)
+	}
+
+	det, err := NewDeterministic(4, 500)
+	if err != nil {
+		t.Fatalf("NewDeterministic: %v", err)
+	}
+	if !det.Deterministic() || det.Demand.Mu != 500 {
+		t.Errorf("NewDeterministic = %v", det)
+	}
+}
+
+func TestHomogeneousString(t *testing.T) {
+	det, _ := NewDeterministic(6, 10)
+	if got := det.String(); !strings.Contains(got, "VC<N=6") {
+		t.Errorf("deterministic String = %q", got)
+	}
+	svc, _ := NewHomogeneous(6, stats.Normal{Mu: 10, Sigma: 2})
+	if got := svc.String(); !strings.HasPrefix(got, "SVC<N=6") {
+		t.Errorf("stochastic String = %q", got)
+	}
+}
+
+func TestNewHeterogeneous(t *testing.T) {
+	demands := []stats.Normal{{Mu: 100, Sigma: 10}, {Mu: 200, Sigma: 50}}
+	r, err := NewHeterogeneous(demands)
+	if err != nil {
+		t.Fatalf("NewHeterogeneous: %v", err)
+	}
+	if r.N() != 2 {
+		t.Errorf("N = %d, want 2", r.N())
+	}
+	// The request must hold a copy, not alias the caller's slice.
+	demands[0].Mu = 999
+	if r.Demands[0].Mu != 100 {
+		t.Error("request aliases caller slice")
+	}
+	if got := r.String(); !strings.Contains(got, "N=2") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNewHeterogeneousInvalid(t *testing.T) {
+	if _, err := NewHeterogeneous(nil); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("empty: err = %v, want ErrBadRequest", err)
+	}
+	bad := []stats.Normal{{Mu: 100}, {Mu: -1}}
+	if _, err := NewHeterogeneous(bad); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("negative mean: err = %v, want ErrBadRequest", err)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// TestSoakPaperScaleChurn drives the manager through thousands of
+// allocate/release cycles on the full 1,000-machine datacenter, holding the
+// global invariants the whole way: every link admissible, slot accounting
+// exact, and a clean return to the empty state. Skipped with -short.
+func TestSoakPaperScaleChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped with -short")
+	}
+	topo, err := topology.NewThreeTier(topology.PaperConfig())
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	m, err := NewManager(topo, 0.05)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	r := stats.NewRand(20140704)
+	var live []JobID
+	allocated, released := 0, 0
+	for round := 0; round < 3000; round++ {
+		if len(live) > 0 && (r.Float64() < 0.48 || len(live) > 120) {
+			i := r.IntN(len(live))
+			if err := m.Release(live[i]); err != nil {
+				t.Fatalf("round %d: Release: %v", round, err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			released++
+			continue
+		}
+		mu := r.Pick([]float64{100, 200, 300, 400, 500})
+		req := Homogeneous{
+			N:      r.UniformInt(2, 80),
+			Demand: stats.Normal{Mu: mu, Sigma: r.Float64() * 0.55 * mu},
+		}
+		var a *Allocation
+		if r.Float64() < 0.15 {
+			// Mix in deterministic tenants.
+			det, derr := MeanVC(req.N, req.Demand)
+			if derr != nil {
+				t.Fatalf("round %d: MeanVC: %v", round, derr)
+			}
+			a, err = m.AllocateHomog(det)
+		} else {
+			a, err = m.AllocateHomog(req)
+		}
+		if err != nil {
+			continue
+		}
+		live = append(live, a.ID)
+		allocated++
+		if round%500 == 0 {
+			for _, link := range topo.Links() {
+				if occ := m.Ledger().Occupancy(link); occ >= 1 {
+					t.Fatalf("round %d: link %d occupancy %v >= 1", round, link, occ)
+				}
+			}
+		}
+	}
+	for _, id := range live {
+		if err := m.Release(id); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	}
+	if got := m.FreeSlots(); got != topo.TotalSlots() {
+		t.Errorf("FreeSlots after drain = %d, want %d", got, topo.TotalSlots())
+	}
+	if got := m.MaxOccupancy(); got > 1e-6 {
+		t.Errorf("MaxOccupancy after drain = %v, want ~0", got)
+	}
+	t.Logf("soak: %d allocations, %d mid-run releases", allocated, released)
+}

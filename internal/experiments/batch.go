@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig5Result holds the total completion time of the batched workload under
+// each abstraction and oversubscription factor (paper Fig. 5).
+type Fig5Result struct {
+	Scale           string
+	Oversubs        []float64
+	Models          []string
+	TotalCompletion [][]float64 // [model][oversub], seconds
+	Unplaceable     [][]int     // [model][oversub], jobs dropped as never-placeable
+}
+
+// Fig5 reruns the paper's Fig. 5: 500 batched jobs in a FIFO queue, total
+// completion time as the network oversubscription grows from 1 to 4.
+func Fig5(sc Scale, oversubs []float64) (*Fig5Result, error) {
+	if len(oversubs) == 0 {
+		oversubs = []float64{1, 2, 3, 4}
+	}
+	models := StandardModels()
+	res := &Fig5Result{Scale: sc.Name, Oversubs: oversubs}
+	jobs, err := workload.Generate(sc.params(-1, false))
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range models {
+		res.Models = append(res.Models, m.Name)
+		row := make([]float64, 0, len(oversubs))
+		unp := make([]int, 0, len(oversubs))
+		for _, o := range oversubs {
+			topo, err := sc.buildTopo(o)
+			if err != nil {
+				return nil, err
+			}
+			batch, err := sim.RunBatch(m.simConfig(topo), jobs)
+			if err != nil {
+				return nil, fmt.Errorf("fig5 %s oversub %v: %w", m.Name, o, err)
+			}
+			row = append(row, float64(batch.Makespan))
+			unp = append(unp, batch.Unplaceable)
+		}
+		res.TotalCompletion = append(res.TotalCompletion, row)
+		res.Unplaceable = append(res.Unplaceable, unp)
+	}
+	return res, nil
+}
+
+// Render formats the result as the paper's table/figure rows.
+func (r *Fig5Result) Render() string {
+	t := metrics.Table{
+		Title:   fmt.Sprintf("Fig 5 — total completion time of batched jobs (s), scale=%s", r.Scale),
+		Headers: []string{"model"},
+	}
+	for _, o := range r.Oversubs {
+		t.Headers = append(t.Headers, fmt.Sprintf("oversub=%g", o))
+	}
+	notes := ""
+	for i, m := range r.Models {
+		row := []string{m}
+		for j, v := range r.TotalCompletion[i] {
+			cell := metrics.F(v)
+			if r.Unplaceable[i][j] > 0 {
+				cell += "*"
+				notes = "* some jobs were never placeable under this abstraction and were dropped\n"
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return t.String() + notes
+}
+
+// Fig6Result holds the mean per-job running time under each abstraction as
+// the demand deviation coefficient rho grows (paper Fig. 6).
+type Fig6Result struct {
+	Scale       string
+	Deviations  []float64
+	Models      []string
+	MeanJobTime [][]float64 // [model][deviation], seconds
+	Unplaceable [][]int     // [model][deviation]
+}
+
+// Fig6 reruns the paper's Fig. 6: average running time per batched job as
+// the deviation coefficient (sigma_d = rho * mu_d) increases.
+func Fig6(sc Scale, deviations []float64) (*Fig6Result, error) {
+	if len(deviations) == 0 {
+		deviations = []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	}
+	models := StandardModels()
+	res := &Fig6Result{Scale: sc.Name, Deviations: deviations}
+	for _, m := range models {
+		res.Models = append(res.Models, m.Name)
+		row := make([]float64, 0, len(deviations))
+		unp := make([]int, 0, len(deviations))
+		for _, rho := range deviations {
+			jobs, err := workload.Generate(sc.params(rho, false))
+			if err != nil {
+				return nil, err
+			}
+			topo, err := sc.buildTopo(0)
+			if err != nil {
+				return nil, err
+			}
+			batch, err := sim.RunBatch(m.simConfig(topo), jobs)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s rho %v: %w", m.Name, rho, err)
+			}
+			row = append(row, batch.MeanJobTime)
+			unp = append(unp, batch.Unplaceable)
+		}
+		res.MeanJobTime = append(res.MeanJobTime, row)
+		res.Unplaceable = append(res.Unplaceable, unp)
+	}
+	return res, nil
+}
+
+// Render formats the result.
+func (r *Fig6Result) Render() string {
+	t := metrics.Table{
+		Title:   fmt.Sprintf("Fig 6 — average running time per job (s) vs deviation coefficient, scale=%s", r.Scale),
+		Headers: []string{"model"},
+	}
+	for _, rho := range r.Deviations {
+		t.Headers = append(t.Headers, fmt.Sprintf("rho=%g", rho))
+	}
+	notes := ""
+	for i, m := range r.Models {
+		row := []string{m}
+		for j, v := range r.MeanJobTime[i] {
+			cell := metrics.F(v)
+			if r.Unplaceable[i][j] > 0 {
+				cell += "*"
+				notes = "* some jobs were never placeable under this abstraction and were dropped\n"
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return t.String() + notes
+}

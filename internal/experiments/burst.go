@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// BurstResult is an ablation of the enforcement component: how much of
+// mean-VC's per-job slowdown under volatile demand (Fig. 6) is recovered by
+// giving the hypervisor rate limiters a burst allowance, versus the paper's
+// hard cap. SVC is shown as the no-rate-limiting reference.
+type BurstResult struct {
+	Scale        string
+	Deviation    float64
+	BurstSeconds []float64
+	MeanVCTime   []float64
+	SVCTime      float64
+}
+
+// Burst runs the batched scenario at one deviation coefficient, sweeping
+// the limiter burst depth for mean-VC.
+func Burst(sc Scale, deviation float64, bursts []float64) (*BurstResult, error) {
+	if deviation == 0 {
+		deviation = 0.7
+	}
+	if len(bursts) == 0 {
+		bursts = []float64{0, 5, 15, 60}
+	}
+	res := &BurstResult{Scale: sc.Name, Deviation: deviation, BurstSeconds: bursts}
+	jobs, err := workload.Generate(sc.params(deviation, false))
+	if err != nil {
+		return nil, err
+	}
+	for _, burst := range bursts {
+		topo, err := sc.buildTopo(0)
+		if err != nil {
+			return nil, err
+		}
+		batch, err := sim.RunBatch(sim.Config{
+			Topo:         topo,
+			Eps:          0.05,
+			Abstraction:  sim.MeanVC,
+			BurstSeconds: burst,
+		}, jobs)
+		if err != nil {
+			return nil, fmt.Errorf("burst %v: %w", burst, err)
+		}
+		res.MeanVCTime = append(res.MeanVCTime, batch.MeanJobTime)
+	}
+	topo, err := sc.buildTopo(0)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := sim.RunBatch(sim.Config{Topo: topo, Eps: 0.05, Abstraction: sim.SVC}, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("burst SVC reference: %w", err)
+	}
+	res.SVCTime = svc.MeanJobTime
+	return res, nil
+}
+
+// Render formats the ablation.
+func (r *BurstResult) Render() string {
+	t := metrics.Table{
+		Title: fmt.Sprintf("Extension — rate limiter burst ablation (mean-VC, rho=%g), scale=%s",
+			r.Deviation, r.Scale),
+		Headers: []string{"burst(s)", "mean-job-time(s)"},
+	}
+	for i, b := range r.BurstSeconds {
+		t.AddRow(metrics.F(b), metrics.F(r.MeanVCTime[i]))
+	}
+	t.AddRow("SVC (no limiter)", metrics.F(r.SVCTime))
+	return t.String()
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// DeferralResult is an extension experiment: instead of the paper's
+// reject-on-arrival policy, jobs may wait in a bounded admission queue
+// (as Oktopus also evaluated). It sweeps the wait budget at one load.
+type DeferralResult struct {
+	Scale           string
+	Load            float64
+	MaxWaitSeconds  []int
+	RejectionRate   []float64
+	Deferred        []int
+	MeanWaitSeconds []float64
+	MeanJobTime     []float64
+}
+
+// Deferral runs the online SVC scenario across wait budgets (0 = the
+// paper's immediate rejection).
+func Deferral(sc Scale, load float64, waits []int) (*DeferralResult, error) {
+	if load == 0 {
+		load = 0.6
+	}
+	if len(waits) == 0 {
+		waits = []int{0, 60, 300, 1200}
+	}
+	res := &DeferralResult{Scale: sc.Name, Load: load, MaxWaitSeconds: waits}
+	p := sc.params(-1, false)
+	jobs, err := workload.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	arrivals, err := sc.arrivalsFor(p, sc.Topo, load, sc.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	for _, wait := range waits {
+		topo, err := sc.buildTopo(0)
+		if err != nil {
+			return nil, err
+		}
+		online, err := sim.RunOnline(sim.Config{
+			Topo:           topo,
+			Eps:            0.05,
+			Abstraction:    sim.SVC,
+			MaxWaitSeconds: wait,
+		}, jobs, arrivals)
+		if err != nil {
+			return nil, fmt.Errorf("deferral wait %d: %w", wait, err)
+		}
+		res.RejectionRate = append(res.RejectionRate, online.RejectionRate)
+		res.Deferred = append(res.Deferred, online.Deferred)
+		res.MeanWaitSeconds = append(res.MeanWaitSeconds, online.MeanWaitSeconds)
+		res.MeanJobTime = append(res.MeanJobTime, online.MeanJobTime)
+	}
+	return res, nil
+}
+
+// Render formats the sweep.
+func (r *DeferralResult) Render() string {
+	t := metrics.Table{
+		Title: fmt.Sprintf("Extension — bounded admission queue at %.0f%% load (SVC), scale=%s",
+			100*r.Load, r.Scale),
+		Headers: []string{"max-wait(s)", "rejection", "admitted-after-wait", "mean-wait(s)", "mean-job-time(s)"},
+	}
+	for i, w := range r.MaxWaitSeconds {
+		t.AddRow(
+			fmt.Sprintf("%d", w),
+			metrics.Pct(r.RejectionRate[i]),
+			fmt.Sprintf("%d", r.Deferred[i]),
+			metrics.F(r.MeanWaitSeconds[i]),
+			metrics.F(r.MeanJobTime[i]),
+		)
+	}
+	return t.String()
+}

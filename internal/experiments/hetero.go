@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// HeteroResult compares the heterogeneous SVC substring allocator against
+// the first-fit baseline (paper Section VI-B3, whose detailed figures the
+// paper omits): max-occupancy quantiles and rejection rates per load.
+type HeteroResult struct {
+	Scale         string
+	Loads         []float64
+	Models        []string
+	Quantiles     [][][]float64 // [load][model][prob]
+	RejectionRate [][]float64   // [load][model]
+}
+
+// Hetero reruns the heterogeneous comparison: jobs with per-VM demand
+// distributions, allocated online with the substring heuristic (min-max
+// occupancy) versus first fit. Job sizes are kept moderate — the paper's
+// O(|V|*Delta*N^4) heuristic cost dominates otherwise.
+func Hetero(sc Scale, loads []float64) (*HeteroResult, error) {
+	if len(loads) == 0 {
+		loads = []float64{0.2, 0.6}
+	}
+	algos := []struct {
+		name string
+		algo core.HeteroAlgorithm
+	}{
+		{"SVC-substring", core.HeteroSubstring},
+		{"first-fit", core.HeteroFirstFit},
+	}
+	res := &HeteroResult{Scale: sc.Name}
+	for _, a := range algos {
+		res.Models = append(res.Models, a.name)
+	}
+	p := sc.params(-1, true)
+	// Heterogeneous allocation is polynomial but heavy in N; keep the
+	// paper's workload shape with a smaller mean job size.
+	if p.MeanSize > 16 {
+		p.MeanSize = 16
+	}
+	if p.MaxSize > 48 {
+		p.MaxSize = 48
+	}
+	jobs, err := workload.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	for _, load := range loads {
+		res.Loads = append(res.Loads, load)
+		var qs [][]float64
+		var rej []float64
+		arrivals, err := sc.arrivalsFor(p, sc.Topo, load, sc.Seed+7)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range algos {
+			topo, err := sc.buildTopo(0)
+			if err != nil {
+				return nil, err
+			}
+			cfg := sim.Config{
+				Topo:        topo,
+				Eps:         0.05,
+				Abstraction: sim.SVC,
+				HeteroAlgo:  a.algo,
+			}
+			online, err := sim.RunOnline(cfg, jobs, arrivals)
+			if err != nil {
+				return nil, fmt.Errorf("hetero %s load %v: %w", a.name, load, err)
+			}
+			qs = append(qs, metrics.Quantiles(online.MaxOccAtArrival, cdfProbs))
+			rej = append(rej, online.RejectionRate)
+		}
+		res.Quantiles = append(res.Quantiles, qs)
+		res.RejectionRate = append(res.RejectionRate, rej)
+	}
+	return res, nil
+}
+
+// Render formats the result.
+func (r *HeteroResult) Render() string {
+	out := ""
+	for li, load := range r.Loads {
+		t := metrics.Table{
+			Title: fmt.Sprintf("Hetero (VI-B3) — substring heuristic vs first fit at %.0f%% load, scale=%s",
+				100*load, r.Scale),
+			Headers: []string{"allocator"},
+		}
+		for _, p := range cdfProbs {
+			t.Headers = append(t.Headers, fmt.Sprintf("p%.0f", 100*p))
+		}
+		t.Headers = append(t.Headers, "rejection")
+		for mi, m := range r.Models {
+			row := []string{m}
+			for _, v := range r.Quantiles[li][mi] {
+				row = append(row, metrics.F(v))
+			}
+			row = append(row, metrics.Pct(r.RejectionRate[li][mi]))
+			t.AddRow(row...)
+		}
+		out += t.String()
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI): batched-job completion times (Fig. 5-6), online
+// rejection rates and concurrency (Fig. 7-8), the bandwidth-occupancy
+// comparison against the adapted TIVC algorithm (Fig. 9-10), and the
+// heterogeneous comparison against first fit (Section VI-B3).
+//
+// Every experiment takes a Scale so the same harness runs at the paper's
+// full datacenter size (1,000 machines, 500 jobs) or at a laptop-friendly
+// reduced size with the same per-level oversubscription and workload
+// shapes.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Scale fixes the datacenter size and workload volume of an experiment.
+type Scale struct {
+	Name        string
+	Topo        topology.ThreeTierConfig
+	Jobs        int
+	MeanJobSize float64
+	MaxJobSize  int
+	FlowSeconds float64
+	Seed        uint64
+}
+
+// PaperScale is the evaluation setup of the paper: 1,000 machines, 4,000
+// slots, 500 jobs of mean size 49.
+func PaperScale() Scale {
+	return Scale{
+		Name:        "paper",
+		Topo:        topology.PaperConfig(),
+		Jobs:        500,
+		MeanJobSize: 49,
+		MaxJobSize:  200,
+		FlowSeconds: 300,
+		Seed:        20140630,
+	}
+}
+
+// QuickScale is a reduced setup (120 machines, 480 slots, 100 jobs of mean
+// size 12) preserving the paper's per-level oversubscription and workload
+// distributions; it is the default for tests, benchmarks, and examples.
+func QuickScale() Scale {
+	return Scale{
+		Name: "quick",
+		Topo: topology.ThreeTierConfig{
+			Aggs: 2, ToRsPerAgg: 3, MachinesPerRack: 20, SlotsPerMachine: 4,
+			HostCap: 1000, Oversub: 2,
+		},
+		Jobs:        100,
+		MeanJobSize: 12,
+		MaxJobSize:  40,
+		FlowSeconds: 300,
+		Seed:        20140630,
+	}
+}
+
+// buildTopo builds the scale's topology with an oversubscription override
+// (0 keeps the scale's value).
+func (sc Scale) buildTopo(oversub float64) (*topology.Topology, error) {
+	cfg := sc.Topo
+	if oversub > 0 {
+		cfg.Oversub = oversub
+	}
+	return topology.NewThreeTier(cfg)
+}
+
+// params derives the workload parameters: deviation < 0 means the paper's
+// default rho ~ U(0,1).
+func (sc Scale) params(deviation float64, hetero bool) workload.Params {
+	p := workload.Paper(sc.Jobs, sc.Seed)
+	p.MeanSize = sc.MeanJobSize
+	p.MaxSize = sc.MaxJobSize
+	p.FlowSeconds = sc.FlowSeconds
+	p.Deviation = deviation
+	p.Hetero = hetero
+	return p
+}
+
+// Model is one bandwidth abstraction under comparison.
+type Model struct {
+	Name        string
+	Abstraction sim.Abstraction
+	Eps         float64
+	Policy      core.Policy
+}
+
+// StandardModels returns the paper's four comparands: mean-VC,
+// percentile-VC, and SVC at eps = 0.05 and 0.02.
+func StandardModels() []Model {
+	return []Model{
+		{Name: "mean-VC", Abstraction: sim.MeanVC, Eps: 0.05},
+		{Name: "percentile-VC", Abstraction: sim.PercentileVC, Eps: 0.05},
+		{Name: "SVC(eps=0.05)", Abstraction: sim.SVC, Eps: 0.05},
+		{Name: "SVC(eps=0.02)", Abstraction: sim.SVC, Eps: 0.02},
+	}
+}
+
+// AllocatorModels returns the Fig. 9/10 comparands: the SVC allocation
+// algorithm (min-max occupancy) versus the adapted TIVC search
+// (first-feasible splits), both placing SVC requests at eps = 0.05.
+func AllocatorModels() []Model {
+	return []Model{
+		{Name: "SVC-algorithm", Abstraction: sim.SVC, Eps: 0.05, Policy: core.MinMaxOccupancy},
+		{Name: "adapted-TIVC", Abstraction: sim.SVC, Eps: 0.05, Policy: core.FirstFeasible},
+	}
+}
+
+// simConfig builds the sim config for a model on a topology.
+func (m Model) simConfig(topo *topology.Topology) sim.Config {
+	return sim.Config{
+		Topo:        topo,
+		Eps:         m.Eps,
+		Abstraction: m.Abstraction,
+		Policy:      m.Policy,
+	}
+}
+
+// arrivalsFor computes Poisson arrivals that drive the datacenter at the
+// given load fraction.
+func (sc Scale) arrivalsFor(p workload.Params, topoCfg topology.ThreeTierConfig, load float64, seed uint64) ([]int, error) {
+	lambda := p.ArrivalRate(load, topoCfg.Slots())
+	if lambda <= 0 {
+		return nil, fmt.Errorf("experiments: load %v yields arrival rate %v", load, lambda)
+	}
+	return workload.PoissonArrivals(p.Jobs, lambda, seed)
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// ScaleSweepResult is an extension experiment: SVC's concurrency gain over
+// percentile-VC as the datacenter grows. Statistical multiplexing pools
+// more independent demands per link in larger datacenters, so the paper's
+// ~10% Fig. 8 gap is expected to hold or grow with scale.
+type ScaleSweepResult struct {
+	Load         float64
+	Slots        []int
+	SVCRatio     []float64 // SVC / percentile-VC mean concurrency
+	SVCRejection []float64
+	PctRejection []float64
+}
+
+// ScaleSweep measures the Fig. 8 statistic across datacenter sizes at a
+// fixed load. Sizes are fractions of the paper topology; the workload's
+// job count scales with the slot count so each run sees comparable churn.
+func ScaleSweep(load float64, divisors []int) (*ScaleSweepResult, error) {
+	if load == 0 {
+		load = 0.6
+	}
+	if len(divisors) == 0 {
+		divisors = []int{5, 2, 1}
+	}
+	res := &ScaleSweepResult{Load: load}
+	for _, div := range divisors {
+		cfg := topology.PaperConfig().Scaled(div)
+		params := workload.Paper(max(60, 500/div), 20140630)
+		params.MeanSize = 49
+		params.MaxSize = 200
+		jobs, err := workload.Generate(params)
+		if err != nil {
+			return nil, err
+		}
+		lambda := params.ArrivalRate(load, cfg.Slots())
+		arrivals, err := workload.PoissonArrivals(len(jobs), lambda, 20140637)
+		if err != nil {
+			return nil, err
+		}
+		run := func(abs sim.Abstraction) (*sim.OnlineResult, error) {
+			topo, err := topology.NewThreeTier(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out, err := sim.RunOnline(sim.Config{
+				Topo: topo, Eps: 0.05, Abstraction: abs,
+			}, jobs, arrivals)
+			if err != nil {
+				return nil, fmt.Errorf("scale 1/%d %v: %w", div, abs, err)
+			}
+			return &out, nil
+		}
+		svc, err := run(sim.SVC)
+		if err != nil {
+			return nil, err
+		}
+		pct, err := run(sim.PercentileVC)
+		if err != nil {
+			return nil, err
+		}
+		ratio := 0.0
+		if pct.MeanConcurrency > 0 {
+			ratio = svc.MeanConcurrency / pct.MeanConcurrency
+		}
+		res.Slots = append(res.Slots, cfg.Slots())
+		res.SVCRatio = append(res.SVCRatio, ratio)
+		res.SVCRejection = append(res.SVCRejection, svc.RejectionRate)
+		res.PctRejection = append(res.PctRejection, pct.RejectionRate)
+	}
+	return res, nil
+}
+
+// Render formats the sweep.
+func (r *ScaleSweepResult) Render() string {
+	t := metrics.Table{
+		Title:   fmt.Sprintf("Extension — multiplexing gain vs datacenter size at %.0f%% load", 100*r.Load),
+		Headers: []string{"slots", "SVC/pct-concurrency", "SVC-rejection", "pct-rejection"},
+	}
+	for i, slots := range r.Slots {
+		t.AddRow(
+			fmt.Sprintf("%d", slots),
+			metrics.F(r.SVCRatio[i]),
+			metrics.Pct(r.SVCRejection[i]),
+			metrics.Pct(r.PctRejection[i]),
+		)
+	}
+	return t.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// tierNames labels link levels of the three-tier topology, host links
+// first.
+var tierNames = []string{"host", "ToR-uplink", "agg-uplink", "core"}
+
+// TiersResult is an extension experiment: per-tier occupancy quantiles at
+// one load, locating which layer of the tree binds first under each
+// abstraction. It explains the allocators' behaviour: with 4 VM slots
+// behind a 1 Gbps NIC and demand means up to 500 Mbps, the host links — not
+// the oversubscribed core — are the scarce resource.
+type TiersResult struct {
+	Scale     string
+	Load      float64
+	Models    []string
+	Tiers     []string
+	P50       [][]float64 // [model][tier]
+	P95       [][]float64 // [model][tier]
+	Rejection []float64
+}
+
+// Tiers runs the online scenario per abstraction and reports per-tier
+// occupancy quantiles sampled at arrivals.
+func Tiers(sc Scale, load float64) (*TiersResult, error) {
+	if load == 0 {
+		load = 0.6
+	}
+	models := []Model{
+		{Name: "percentile-VC", Abstraction: sim.PercentileVC, Eps: 0.05},
+		{Name: "SVC(eps=0.05)", Abstraction: sim.SVC, Eps: 0.05},
+	}
+	res := &TiersResult{Scale: sc.Name, Load: load}
+	p := sc.params(-1, false)
+	jobs, err := workload.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	arrivals, err := sc.arrivalsFor(p, sc.Topo, load, sc.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range models {
+		topo, err := sc.buildTopo(0)
+		if err != nil {
+			return nil, err
+		}
+		online, err := sim.RunOnline(m.simConfig(topo), jobs, arrivals)
+		if err != nil {
+			return nil, fmt.Errorf("tiers %s: %w", m.Name, err)
+		}
+		if len(online.MaxOccByLevelAtArrival) == 0 {
+			return nil, fmt.Errorf("tiers %s: no arrival samples", m.Name)
+		}
+		levels := len(online.MaxOccByLevelAtArrival[0])
+		if res.Tiers == nil {
+			for lvl := 0; lvl < levels; lvl++ {
+				name := fmt.Sprintf("level-%d", lvl)
+				if lvl < len(tierNames) {
+					name = tierNames[lvl]
+				}
+				res.Tiers = append(res.Tiers, name)
+			}
+		}
+		p50 := make([]float64, levels)
+		p95 := make([]float64, levels)
+		for lvl := 0; lvl < levels; lvl++ {
+			samples := make([]float64, len(online.MaxOccByLevelAtArrival))
+			for i, byLevel := range online.MaxOccByLevelAtArrival {
+				samples[i] = byLevel[lvl]
+			}
+			qs := metrics.Quantiles(samples, []float64{0.5, 0.95})
+			p50[lvl], p95[lvl] = qs[0], qs[1]
+		}
+		res.Models = append(res.Models, m.Name)
+		res.P50 = append(res.P50, p50)
+		res.P95 = append(res.P95, p95)
+		res.Rejection = append(res.Rejection, online.RejectionRate)
+	}
+	return res, nil
+}
+
+// Render formats the per-tier occupancy table.
+func (r *TiersResult) Render() string {
+	t := metrics.Table{
+		Title: fmt.Sprintf("Extension — which tier binds? max occupancy by level at %.0f%% load, scale=%s",
+			100*r.Load, r.Scale),
+		Headers: []string{"model", "tier", "p50", "p95"},
+	}
+	for mi, m := range r.Models {
+		for ti, tier := range r.Tiers {
+			name := ""
+			if ti == 0 {
+				name = m
+			}
+			t.AddRow(name, tier, metrics.F(r.P50[mi][ti]), metrics.F(r.P95[mi][ti]))
+		}
+	}
+	return t.String()
+}

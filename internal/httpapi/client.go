@@ -1,0 +1,129 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client talks to a network manager served by Server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the API at base (e.g.
+// "http://127.0.0.1:8080"). httpClient may be nil for http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, hc: httpClient}
+}
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("httpapi: status %d: %s", e.StatusCode, e.Message)
+}
+
+// IsNoCapacity reports whether the error is a capacity rejection (HTTP 409).
+func IsNoCapacity(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusConflict
+}
+
+// Allocate admits a request and returns its placement.
+func (c *Client) Allocate(ctx context.Context, req AllocationRequest) (AllocationResponse, error) {
+	var resp AllocationResponse
+	err := c.do(ctx, http.MethodPost, "/v1/allocations", req, &resp, http.StatusCreated)
+	return resp, err
+}
+
+// Release frees an admitted allocation.
+func (c *Client) Release(ctx context.Context, id int64) error {
+	return c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/allocations/%d", id), nil, nil, http.StatusNoContent)
+}
+
+// DryRun reports whether a request would currently be admitted.
+func (c *Client) DryRun(ctx context.Context, req AllocationRequest) (bool, error) {
+	var resp DryRunResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/dryrun", req, &resp, http.StatusOK); err != nil {
+		return false, err
+	}
+	return resp.Feasible, nil
+}
+
+// Headroom asks how many copies of a homogeneous request currently fit.
+func (c *Client) Headroom(ctx context.Context, req HeadroomRequest) (int, error) {
+	var resp HeadroomResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/headroom", req, &resp, http.StatusOK); err != nil {
+		return 0, err
+	}
+	return resp.Fits, nil
+}
+
+// Status fetches datacenter-wide counters.
+func (c *Client) Status(ctx context.Context) (Status, error) {
+	var resp Status
+	err := c.do(ctx, http.MethodGet, "/v1/status", nil, &resp, http.StatusOK)
+	return resp, err
+}
+
+// Links fetches per-link state, most loaded first; limit 0 fetches all.
+func (c *Client) Links(ctx context.Context, limit int) ([]LinkStatus, error) {
+	path := "/v1/links"
+	if limit > 0 {
+		path = fmt.Sprintf("/v1/links?limit=%d", limit)
+	}
+	var resp []LinkStatus
+	err := c.do(ctx, http.MethodGet, path, nil, &resp, http.StatusOK)
+	return resp, err
+}
+
+// do performs one request/response cycle with JSON bodies.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, wantStatus int) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("httpapi: encode request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("httpapi: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("httpapi: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var eb errorBody
+		msg := resp.Status
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("httpapi: decode response: %w", err)
+		}
+	}
+	return nil
+}

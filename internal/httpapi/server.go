@@ -1,0 +1,307 @@
+// Package httpapi exposes the SVC network manager as a JSON-over-HTTP
+// service — the deployable form of the paper's "network manager" component
+// that receives tenant requests, performs admission control and VM
+// allocation, and releases reservations when jobs finish.
+//
+// Endpoints (all JSON):
+//
+//	POST   /v1/allocations        admit a request; 201 with the placement,
+//	                              409 when rejected for capacity
+//	DELETE /v1/allocations/{id}   release an admitted job; 204 on success
+//	POST   /v1/dryrun             report feasibility without committing
+//	POST   /v1/headroom           how many copies of a request would fit
+//	GET    /v1/status             datacenter-wide counters
+//	GET    /v1/links              per-link reservation state, most loaded first
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// AllocationRequest is the wire form of a tenant request; exactly one of
+// the three shapes must be set:
+//
+//   - homogeneous SVC:      n, mu, sigma
+//   - deterministic VC:     n, bandwidth
+//   - heterogeneous SVC:    demands
+type AllocationRequest struct {
+	N         int          `json:"n,omitempty"`
+	Mu        float64      `json:"mu,omitempty"`
+	Sigma     float64      `json:"sigma,omitempty"`
+	Bandwidth float64      `json:"bandwidth,omitempty"`
+	Demands   []DemandSpec `json:"demands,omitempty"`
+}
+
+// DemandSpec is one VM's demand distribution on the wire.
+type DemandSpec struct {
+	Mu    float64 `json:"mu"`
+	Sigma float64 `json:"sigma,omitempty"`
+}
+
+// AllocationResponse reports an admitted placement.
+type AllocationResponse struct {
+	ID        int64            `json:"id"`
+	VMs       int              `json:"vms"`
+	Placement []PlacementEntry `json:"placement"`
+}
+
+// PlacementEntry is one machine's share of a placement.
+type PlacementEntry struct {
+	Machine int   `json:"machine"`
+	Count   int   `json:"count"`
+	VMs     []int `json:"vmIndices,omitempty"`
+}
+
+// Status reports datacenter-wide state.
+type Status struct {
+	Machines     int     `json:"machines"`
+	TotalSlots   int     `json:"totalSlots"`
+	FreeSlots    int     `json:"freeSlots"`
+	RunningJobs  int     `json:"runningJobs"`
+	MaxOccupancy float64 `json:"maxOccupancy"`
+	Epsilon      float64 `json:"epsilon"`
+}
+
+// LinkStatus reports one link's reservation state.
+type LinkStatus struct {
+	Link              int     `json:"link"`
+	Capacity          float64 `json:"capacityMbps"`
+	Occupancy         float64 `json:"occupancy"`
+	DetReserved       float64 `json:"detReservedMbps"`
+	StochasticDemands int     `json:"stochasticDemands"`
+}
+
+// DryRunResponse reports feasibility without commitment.
+type DryRunResponse struct {
+	Feasible bool `json:"feasible"`
+}
+
+// HeadroomRequest asks how many copies of a homogeneous request fit.
+type HeadroomRequest struct {
+	N     int     `json:"n"`
+	Mu    float64 `json:"mu,omitempty"`
+	Sigma float64 `json:"sigma,omitempty"`
+	Limit int     `json:"limit,omitempty"`
+}
+
+// HeadroomResponse reports the capacity-planning count.
+type HeadroomResponse struct {
+	Fits int `json:"fits"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Server wraps a network manager with the HTTP interface.
+type Server struct {
+	mgr *core.Manager
+	mux *http.ServeMux
+}
+
+// NewServer returns a server over the manager.
+func NewServer(mgr *core.Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/allocations", s.handleAllocate)
+	s.mux.HandleFunc("DELETE /v1/allocations/{id}", s.handleRelease)
+	s.mux.HandleFunc("POST /v1/dryrun", s.handleDryRun)
+	s.mux.HandleFunc("POST /v1/headroom", s.handleHeadroom)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/links", s.handleLinks)
+	return s
+}
+
+// Handler returns the http.Handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// buildRequests converts the wire request into a core request, returning
+// exactly one of the two supported kinds.
+func (r *AllocationRequest) build() (homog *core.Homogeneous, hetero *core.Heterogeneous, err error) {
+	switch {
+	case len(r.Demands) > 0:
+		demands := make([]stats.Normal, len(r.Demands))
+		for i, d := range r.Demands {
+			demands[i] = stats.Normal{Mu: d.Mu, Sigma: d.Sigma}
+		}
+		req, err := core.NewHeterogeneous(demands)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, &req, nil
+	case r.Bandwidth > 0:
+		req, err := core.NewDeterministic(r.N, r.Bandwidth)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &req, nil, nil
+	default:
+		req, err := core.NewHomogeneous(r.N, stats.Normal{Mu: r.Mu, Sigma: r.Sigma})
+		if err != nil {
+			return nil, nil, err
+		}
+		return &req, nil, nil
+	}
+}
+
+func (s *Server) handleAllocate(w http.ResponseWriter, req *http.Request) {
+	var wire AllocationRequest
+	if err := decodeJSON(req, &wire); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	homog, hetero, err := wire.build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var alloc *core.Allocation
+	if homog != nil {
+		alloc, err = s.mgr.AllocateHomog(*homog)
+	} else {
+		alloc, err = s.mgr.AllocateHetero(*hetero)
+	}
+	switch {
+	case errors.Is(err, core.ErrNoCapacity):
+		writeError(w, http.StatusConflict, err)
+		return
+	case errors.Is(err, core.ErrBadRequest):
+		writeError(w, http.StatusBadRequest, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := AllocationResponse{ID: int64(alloc.ID), VMs: alloc.Placement.TotalVMs()}
+	for _, e := range alloc.Placement.Entries {
+		resp.Placement = append(resp.Placement, PlacementEntry{
+			Machine: int(e.Machine), Count: e.Count, VMs: e.VMs,
+		})
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, req *http.Request) {
+	id, err := strconv.ParseInt(req.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad allocation id: %w", err))
+		return
+	}
+	if err := s.mgr.Release(core.JobID(id)); err != nil {
+		if errors.Is(err, core.ErrUnknownJob) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDryRun(w http.ResponseWriter, req *http.Request) {
+	var wire AllocationRequest
+	if err := decodeJSON(req, &wire); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	homog, hetero, err := wire.build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	feasible := false
+	if homog != nil {
+		feasible = s.mgr.CanAllocateHomog(*homog)
+	} else {
+		feasible = s.mgr.CanAllocateHetero(*hetero)
+	}
+	writeJSON(w, http.StatusOK, DryRunResponse{Feasible: feasible})
+}
+
+func (s *Server) handleHeadroom(w http.ResponseWriter, req *http.Request) {
+	var wire HeadroomRequest
+	if err := decodeJSON(req, &wire); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	hreq, err := core.NewHomogeneous(wire.N, stats.Normal{Mu: wire.Mu, Sigma: wire.Sigma})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fits, err := s.mgr.Headroom(hreq, wire.Limit)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, HeadroomResponse{Fits: fits})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	topo := s.mgr.Topology()
+	writeJSON(w, http.StatusOK, Status{
+		Machines:     len(topo.Machines()),
+		TotalSlots:   topo.TotalSlots(),
+		FreeSlots:    s.mgr.FreeSlots(),
+		RunningJobs:  s.mgr.Running(),
+		MaxOccupancy: s.mgr.MaxOccupancy(),
+		Epsilon:      s.mgr.Epsilon(),
+	})
+}
+
+func (s *Server) handleLinks(w http.ResponseWriter, req *http.Request) {
+	topo := s.mgr.Topology()
+	led := s.mgr.Ledger()
+	links := topo.Links()
+	out := make([]LinkStatus, 0, len(links))
+	for _, l := range links {
+		out = append(out, LinkStatus{
+			Link:              int(l),
+			Capacity:          topo.LinkCap(l),
+			Occupancy:         led.Occupancy(l),
+			DetReserved:       led.DetReserved(l),
+			StochasticDemands: led.StochasticCount(l),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Occupancy > out[j].Occupancy })
+	if limit := req.URL.Query().Get("limit"); limit != "" {
+		n, err := strconv.Atoi(limit)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", limit))
+			return
+		}
+		if n < len(out) {
+			out = out[:n]
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func decodeJSON(req *http.Request, v any) error {
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding to a ResponseWriter can only fail on a broken connection;
+	// there is nothing useful to do with the error at that point.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}

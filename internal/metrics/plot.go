@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// blocks are the eighth-height bar glyphs used by Sparkline.
+var blocks = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a unicode mini-bar-chart, scaled to
+// [min, max] of the data. Empty input yields an empty string.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(blocks)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(blocks) {
+			idx = len(blocks) - 1
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}
+
+// CDFPlot renders an empirical CDF as rows of "x | bar | P(X<=x)", with
+// the x grid spanning [lo, hi] in steps. It is the text stand-in for the
+// paper's CDF figures.
+func CDFPlot(samples []float64, lo, hi float64, steps, width int) string {
+	if len(samples) == 0 || steps < 2 || width < 1 || hi <= lo {
+		return ""
+	}
+	e := stats.NewECDF(samples)
+	var b strings.Builder
+	for i := 0; i < steps; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(steps-1)
+		p := e.At(x)
+		bar := strings.Repeat("#", int(p*float64(width)+0.5))
+		fmt.Fprintf(&b, "%8.3f |%-*s| %5.1f%%\n", x, width, bar, 100*p)
+	}
+	return b.String()
+}

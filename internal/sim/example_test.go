@@ -1,0 +1,57 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// ExampleRunBatch runs a tiny batched scenario under the SVC abstraction.
+func ExampleRunBatch() {
+	topo, err := topology.NewThreeTier(topology.ThreeTierConfig{
+		Aggs: 1, ToRsPerAgg: 2, MachinesPerRack: 4, SlotsPerMachine: 2,
+		HostCap: 1000, Oversub: 2,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	jobs := []sim.JobSpec{
+		{ID: 0, N: 4, Profile: stats.Normal{Mu: 200, Sigma: 80}, ComputeSeconds: 30, FlowMbits: 2000, Seed: 1},
+		{ID: 1, N: 4, Profile: stats.Normal{Mu: 300, Sigma: 90}, ComputeSeconds: 40, FlowMbits: 3000, Seed: 2},
+	}
+	res, err := sim.RunBatch(sim.Config{Topo: topo, Eps: 0.05, Abstraction: sim.SVC}, jobs)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("completed %d jobs, makespan %d s\n", len(res.JobTimes), res.Makespan)
+	// Output: completed 2 jobs, makespan 40 s
+}
+
+// ExampleRunOnline runs Poisson-style arrivals with admission control.
+func ExampleRunOnline() {
+	topo, err := topology.NewThreeTier(topology.ThreeTierConfig{
+		Aggs: 1, ToRsPerAgg: 2, MachinesPerRack: 4, SlotsPerMachine: 2,
+		HostCap: 1000, Oversub: 2,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	jobs := []sim.JobSpec{
+		{ID: 0, N: 8, Profile: stats.Normal{Mu: 100, Sigma: 20}, ComputeSeconds: 50, FlowMbits: 500, Seed: 3},
+		{ID: 1, N: 16, Profile: stats.Normal{Mu: 100, Sigma: 20}, ComputeSeconds: 50, FlowMbits: 500, Seed: 4},
+	}
+	// Both jobs arrive immediately; the second cannot fit alongside the
+	// first (8 + 16 > 16 slots) and is rejected on arrival.
+	res, err := sim.RunOnline(sim.Config{Topo: topo, Eps: 0.05, Abstraction: sim.SVC}, jobs, []int{0, 0})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("rejected %d of %d\n", res.Rejected, res.Total)
+	// Output: rejected 1 of 2
+}

@@ -1,0 +1,160 @@
+// Package sim is the evaluation substrate of the SVC reproduction: a
+// deterministic, time-stepped fluid simulator of tenant jobs running in a
+// tree datacenter. Flows carry per-second stochastic demands, share
+// directed link capacity max-min fairly, and jobs finish at
+// max(compute time, last flow completion) exactly as in the paper's
+// workload model (Section VI-A).
+package sim
+
+import (
+	"math"
+
+	"repro/internal/topology"
+)
+
+// dirLink is a directed physical link: the up or down direction of a
+// topology link. Directions are indexed linkID*2 (up) and linkID*2+1
+// (down), matching full-duplex links with equal per-direction capacity.
+type dirLink = int32
+
+func upDir(l topology.LinkID) dirLink   { return dirLink(l) * 2 }
+func downDir(l topology.LinkID) dirLink { return dirLink(l)*2 + 1 }
+
+// maxMinSolver computes demand-bounded max-min fair rates for a set of
+// flows over directed links via progressive filling. The solver is reused
+// across steps to avoid churn in allocations.
+type maxMinSolver struct {
+	capacity []float64 // per directed link
+	// Scratch state, reset every Solve.
+	remaining []float64
+	active    []int32 // active flow count per directed link
+}
+
+// solverFlow is one flow from the solver's point of view.
+type solverFlow struct {
+	links []dirLink // directed links traversed (empty for intra-machine)
+	bound float64   // offered rate: min(demand, rate-limiter cap)
+	rate  float64   // output: allocated rate
+	fixed bool      // scratch
+}
+
+// newMaxMinSolver sizes a solver for the topology, with each physical link
+// contributing an up and a down directed capacity.
+func newMaxMinSolver(topo *topology.Topology) *maxMinSolver {
+	n := topo.Len() * 2
+	s := &maxMinSolver{
+		capacity:  make([]float64, n),
+		remaining: make([]float64, n),
+		active:    make([]int32, n),
+	}
+	for _, l := range topo.Links() {
+		c := topo.LinkCap(l)
+		s.capacity[upDir(l)] = c
+		s.capacity[downDir(l)] = c
+	}
+	return s
+}
+
+// Solve assigns max-min fair rates to the flows in place. The invariants on
+// return: no directed link carries more than its capacity, no flow exceeds
+// its bound, and every flow is either at its bound or traverses a saturated
+// link (work conservation).
+func (s *maxMinSolver) Solve(flows []*solverFlow) {
+	copy(s.remaining, s.capacity)
+	for i := range s.active {
+		s.active[i] = 0
+	}
+	unfixed := 0
+	for _, f := range flows {
+		f.fixed = false
+		f.rate = 0
+		if f.bound <= 0 {
+			f.fixed = true
+			continue
+		}
+		if len(f.links) == 0 {
+			// Intra-machine flow: no network constraint.
+			f.rate = f.bound
+			f.fixed = true
+			continue
+		}
+		for _, l := range f.links {
+			s.active[l]++
+		}
+		unfixed++
+	}
+
+	for unfixed > 0 {
+		// Phase 1: freeze every flow whose bound is below the fair share
+		// on all of its links (demand-limited flows).
+		froze := false
+		for _, f := range flows {
+			if f.fixed {
+				continue
+			}
+			limit := math.Inf(1)
+			for _, l := range f.links {
+				if share := s.remaining[l] / float64(s.active[l]); share < limit {
+					limit = share
+				}
+			}
+			if f.bound <= limit {
+				s.fix(f, f.bound)
+				unfixed--
+				froze = true
+			}
+		}
+		if froze {
+			continue
+		}
+		// Phase 2: saturate the global bottleneck link and freeze its
+		// flows at the bottleneck fair share.
+		bottleneck := dirLink(-1)
+		bottleShare := math.Inf(1)
+		for l := range s.remaining {
+			if s.active[l] == 0 {
+				continue
+			}
+			if share := s.remaining[l] / float64(s.active[l]); share < bottleShare {
+				bottleShare = share
+				bottleneck = dirLink(l)
+			}
+		}
+		if bottleneck < 0 {
+			break // no active links left; remaining flows are unconstrained
+		}
+		for _, f := range flows {
+			if f.fixed {
+				continue
+			}
+			onBottleneck := false
+			for _, l := range f.links {
+				if l == bottleneck {
+					onBottleneck = true
+					break
+				}
+			}
+			if onBottleneck {
+				s.fix(f, bottleShare)
+				unfixed--
+			}
+		}
+	}
+}
+
+// fix freezes a flow at the given rate and returns its capacity share to
+// the links it traverses.
+func (s *maxMinSolver) fix(f *solverFlow, rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	f.rate = rate
+	f.fixed = true
+	for _, l := range f.links {
+		s.remaining[l] -= rate
+		if s.remaining[l] < 0 {
+			s.remaining[l] = 0
+		}
+		s.active[l]--
+	}
+}

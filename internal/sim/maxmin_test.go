@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// lineTopo builds root -> 2 machines with the given link capacity.
+func lineTopo(t *testing.T, cap float64) *topology.Topology {
+	t.Helper()
+	tp, err := topology.NewFromSpec(topology.Spec{Children: []topology.Spec{
+		{UpCap: cap, Slots: 4},
+		{UpCap: cap, Slots: 4},
+	}})
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	return tp
+}
+
+func flowOn(links []dirLink, bound float64) *solverFlow {
+	return &solverFlow{links: links, bound: bound}
+}
+
+func TestMaxMinSingleFlowGetsDemand(t *testing.T) {
+	tp := lineTopo(t, 100)
+	s := newMaxMinSolver(tp)
+	f := flowOn([]dirLink{upDir(1), downDir(2)}, 30)
+	s.Solve([]*solverFlow{f})
+	if f.rate != 30 {
+		t.Errorf("rate = %v, want 30", f.rate)
+	}
+}
+
+func TestMaxMinEqualSplitOnBottleneck(t *testing.T) {
+	tp := lineTopo(t, 100)
+	s := newMaxMinSolver(tp)
+	f1 := flowOn([]dirLink{upDir(1)}, 80)
+	f2 := flowOn([]dirLink{upDir(1)}, 80)
+	s.Solve([]*solverFlow{f1, f2})
+	if math.Abs(f1.rate-50) > 1e-9 || math.Abs(f2.rate-50) > 1e-9 {
+		t.Errorf("rates = %v, %v, want 50, 50", f1.rate, f2.rate)
+	}
+}
+
+func TestMaxMinDemandLimitedFlowLeavesResidual(t *testing.T) {
+	tp := lineTopo(t, 100)
+	s := newMaxMinSolver(tp)
+	small := flowOn([]dirLink{upDir(1)}, 10)
+	big := flowOn([]dirLink{upDir(1)}, 500)
+	s.Solve([]*solverFlow{small, big})
+	if small.rate != 10 {
+		t.Errorf("small rate = %v, want 10", small.rate)
+	}
+	if math.Abs(big.rate-90) > 1e-9 {
+		t.Errorf("big rate = %v, want 90", big.rate)
+	}
+}
+
+func TestMaxMinDirectionsAreIndependent(t *testing.T) {
+	tp := lineTopo(t, 100)
+	s := newMaxMinSolver(tp)
+	up := flowOn([]dirLink{upDir(1)}, 100)
+	down := flowOn([]dirLink{downDir(1)}, 100)
+	s.Solve([]*solverFlow{up, down})
+	if up.rate != 100 || down.rate != 100 {
+		t.Errorf("rates = %v, %v; directions must not share capacity", up.rate, down.rate)
+	}
+}
+
+func TestMaxMinIntraMachineFlowUnconstrained(t *testing.T) {
+	tp := lineTopo(t, 10)
+	s := newMaxMinSolver(tp)
+	f := flowOn(nil, 1e9)
+	s.Solve([]*solverFlow{f})
+	if f.rate != 1e9 {
+		t.Errorf("rate = %v, want full demand", f.rate)
+	}
+}
+
+func TestMaxMinZeroBound(t *testing.T) {
+	tp := lineTopo(t, 10)
+	s := newMaxMinSolver(tp)
+	f := flowOn([]dirLink{upDir(1)}, 0)
+	g := flowOn([]dirLink{upDir(1)}, 50)
+	s.Solve([]*solverFlow{f, g})
+	if f.rate != 0 {
+		t.Errorf("zero-bound flow rate = %v", f.rate)
+	}
+	if g.rate != 10 {
+		t.Errorf("competing flow rate = %v, want 10", g.rate)
+	}
+}
+
+func TestMaxMinMultiBottleneck(t *testing.T) {
+	// Classic example: three flows, two links.
+	// f1 uses link A, f2 uses links A+B, f3 uses link B.
+	// capA = 30, capB = 90: fair shares — A splits 15/15 between f1, f2;
+	// f2 is then limited to 15, so f3 gets 90-15 = 75.
+	spec := topology.Spec{Children: []topology.Spec{
+		{UpCap: 30, Slots: 1},
+		{UpCap: 90, Slots: 1},
+	}}
+	tp, err := topology.NewFromSpec(spec)
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	s := newMaxMinSolver(tp)
+	linkA, linkB := upDir(1), upDir(2)
+	f1 := flowOn([]dirLink{linkA}, 1e9)
+	f2 := flowOn([]dirLink{linkA, linkB}, 1e9)
+	f3 := flowOn([]dirLink{linkB}, 1e9)
+	s.Solve([]*solverFlow{f1, f2, f3})
+	if math.Abs(f1.rate-15) > 1e-9 {
+		t.Errorf("f1 = %v, want 15", f1.rate)
+	}
+	if math.Abs(f2.rate-15) > 1e-9 {
+		t.Errorf("f2 = %v, want 15", f2.rate)
+	}
+	if math.Abs(f3.rate-75) > 1e-9 {
+		t.Errorf("f3 = %v, want 75", f3.rate)
+	}
+}
+
+// TestMaxMinInvariants drives the solver with random flows over a three-tier
+// topology and checks the max-min invariants: capacity respected, bounds
+// respected, and every flow either demand-satisfied or crossing a saturated
+// link.
+func TestMaxMinInvariants(t *testing.T) {
+	tp, err := topology.NewThreeTier(topology.ThreeTierConfig{
+		Aggs: 2, ToRsPerAgg: 2, MachinesPerRack: 3, SlotsPerMachine: 2,
+		HostCap: 100, Oversub: 2,
+	})
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	r := stats.NewRand(99)
+	machines := tp.Machines()
+	s := newMaxMinSolver(tp)
+	for trial := 0; trial < 60; trial++ {
+		nFlows := r.UniformInt(1, 40)
+		flows := make([]*solverFlow, nFlows)
+		for i := range flows {
+			src := machines[r.IntN(len(machines))]
+			dst := machines[r.IntN(len(machines))]
+			up, down := tp.Path(src, dst)
+			var links []dirLink
+			for _, l := range up {
+				links = append(links, upDir(l))
+			}
+			for _, l := range down {
+				links = append(links, downDir(l))
+			}
+			flows[i] = flowOn(links, r.UniformRange(0, 150))
+		}
+		s.Solve(flows)
+
+		load := make(map[dirLink]float64)
+		for _, f := range flows {
+			if f.rate > f.bound+1e-9 {
+				t.Fatalf("trial %d: rate %v exceeds bound %v", trial, f.rate, f.bound)
+			}
+			if f.rate < 0 {
+				t.Fatalf("trial %d: negative rate %v", trial, f.rate)
+			}
+			for _, l := range f.links {
+				load[l] += f.rate
+			}
+		}
+		for l, used := range load {
+			if used > s.capacity[l]+1e-6 {
+				t.Fatalf("trial %d: directed link %d carries %v of %v", trial, l, used, s.capacity[l])
+			}
+		}
+		// Work conservation: every flow below its bound must cross at
+		// least one saturated link.
+		for _, f := range flows {
+			if f.rate >= f.bound-1e-9 || len(f.links) == 0 {
+				continue
+			}
+			saturated := false
+			for _, l := range f.links {
+				if load[l] >= s.capacity[l]-1e-6 {
+					saturated = true
+					break
+				}
+			}
+			if !saturated {
+				t.Fatalf("trial %d: flow at %v < bound %v with no saturated link", trial, f.rate, f.bound)
+			}
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// BatchResult summarizes a batched-jobs scenario (paper Section VI-B1).
+type BatchResult struct {
+	Makespan    int       // total completion time of the whole batch (s)
+	JobTimes    []float64 // per-job running time: completion - admission (s)
+	MeanJobTime float64
+	// Unplaceable counts jobs that cannot be allocated even on an empty
+	// datacenter under the chosen abstraction (e.g. percentile-VC
+	// reservations that alone exceed a NIC). The paper's online scenario
+	// counts these as rejections; the batch scheduler drops them.
+	Unplaceable int
+	// CongestionRate is the fraction of (active link, second) pairs whose
+	// offered demand exceeded capacity — the realized outage frequency the
+	// probabilistic guarantee bounds by eps.
+	CongestionRate float64
+	// FailedJobs counts jobs killed by injected machine failures.
+	FailedJobs int
+	// NetBoundJobs counts completed jobs whose network transfer outlived
+	// their compute phase — the jobs whose running time the bandwidth
+	// abstraction actually determined.
+	NetBoundJobs int
+}
+
+// RunBatch runs the paper's batched scenario: jobs wait in a FIFO queue,
+// and whenever capacity frees up the topmost job(s) that can be allocated
+// are scheduled to run (queue order, with backfilling past jobs that do not
+// currently fit — the paper's and Oktopus's policy).
+func RunBatch(cfg Config, jobs []JobSpec) (BatchResult, error) {
+	c := cfg.withDefaults()
+	e, err := newEngine(c)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	queue := make([]JobSpec, len(jobs))
+	copy(queue, jobs)
+	admit := func() error {
+		kept := queue[:0]
+		for _, spec := range queue {
+			ok, err := e.tryStart(spec)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				kept = append(kept, spec)
+			}
+		}
+		queue = kept
+		return nil
+	}
+	res := BatchResult{}
+	if err := admit(); err != nil {
+		return BatchResult{}, err
+	}
+	for len(queue) > 0 || e.running() > 0 {
+		if e.running() == 0 {
+			// Nothing runs and nothing fits: the remaining jobs can never
+			// be placed, even on this empty datacenter.
+			res.Unplaceable = len(queue)
+			break
+		}
+		if e.now >= c.MaxSeconds {
+			return BatchResult{}, fmt.Errorf("%w: %d jobs unfinished at t=%d", ErrTimeLimit, len(queue)+e.running(), e.now)
+		}
+		completed, err := e.step()
+		if err != nil {
+			return BatchResult{}, err
+		}
+		if len(completed) > 0 && len(queue) > 0 {
+			if err := admit(); err != nil {
+				return BatchResult{}, err
+			}
+		}
+	}
+	res.Makespan = e.now
+	res.JobTimes = e.completedTimes
+	res.MeanJobTime = stats.Mean(e.completedTimes)
+	res.CongestionRate = e.congestionRate()
+	res.FailedJobs = e.failedJobs
+	res.NetBoundJobs = e.netBoundJobs
+	return res, nil
+}
+
+// OnlineResult summarizes a dynamically-arriving-jobs scenario (paper
+// Section VI-B2): jobs arrive over time and are rejected if they cannot be
+// allocated at the moment of arrival (or, with Config.MaxWaitSeconds > 0,
+// after waiting that long in an admission queue).
+type OnlineResult struct {
+	Total         int
+	Rejected      int
+	RejectionRate float64
+	// RejectedByClass breaks rejections down by the abstraction each job
+	// was admitted under (useful when deterministic and stochastic tenants
+	// are mixed in one run).
+	RejectedByClass map[string]int
+	// Deferred counts jobs admitted only after waiting in the admission
+	// queue; MeanWaitSeconds averages their waits (0 if none).
+	Deferred        int
+	MeanWaitSeconds float64
+	JobTimes        []float64 // running times of accepted jobs
+	MeanJobTime     float64
+	// Sampled at each arrival, after the admission attempt — the paper's
+	// Fig. 8 and Fig. 9 statistics.
+	ConcurrencyAtArrival []int
+	MaxOccAtArrival      []float64
+	// MaxOccByLevelAtArrival[i][lvl] is the max occupancy among links at
+	// tree level lvl (0 = host links) at the i-th arrival.
+	MaxOccByLevelAtArrival [][]float64
+	MeanConcurrency        float64
+	// CongestionRate is the realized outage frequency; see
+	// BatchResult.CongestionRate.
+	CongestionRate float64
+	// FailedJobs counts jobs killed by injected machine failures.
+	FailedJobs int
+	// NetBoundJobs counts completed jobs whose network transfer outlived
+	// their compute phase.
+	NetBoundJobs int
+}
+
+// RunOnline runs the online scenario. arrivals[i] is the arrival second of
+// jobs[i]; arrivals must be non-decreasing.
+func RunOnline(cfg Config, jobs []JobSpec, arrivals []int) (OnlineResult, error) {
+	if len(arrivals) != len(jobs) {
+		return OnlineResult{}, fmt.Errorf("sim: %d arrival times for %d jobs", len(arrivals), len(jobs))
+	}
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i] < arrivals[i-1] {
+			return OnlineResult{}, fmt.Errorf("sim: arrivals not sorted at index %d", i)
+		}
+	}
+	c := cfg.withDefaults()
+	e, err := newEngine(c)
+	if err != nil {
+		return OnlineResult{}, err
+	}
+	res := OnlineResult{Total: len(jobs), RejectedByClass: make(map[string]int)}
+	classOf := func(spec JobSpec) string {
+		if spec.Hetero != nil {
+			return "heterogeneous"
+		}
+		if spec.Abstraction != 0 {
+			return spec.Abstraction.String()
+		}
+		return c.Abstraction.String()
+	}
+	type waiting struct {
+		spec     JobSpec
+		arrived  int
+		deadline int
+	}
+	var (
+		queue     []waiting
+		waitTotal float64
+	)
+	// retryQueued re-attempts queued jobs in arrival order, dropping
+	// admitted ones (jobs stay queued until their deadline passes).
+	retryQueued := func() error {
+		kept := queue[:0]
+		for _, w := range queue {
+			ok, err := e.tryStart(w.spec)
+			if err != nil {
+				return err
+			}
+			if ok {
+				res.Deferred++
+				waitTotal += float64(e.now - w.arrived)
+				continue
+			}
+			kept = append(kept, w)
+		}
+		queue = kept
+		return nil
+	}
+	next := 0
+	for next < len(jobs) || e.running() > 0 || len(queue) > 0 {
+		if e.now >= c.MaxSeconds {
+			return OnlineResult{}, fmt.Errorf("%w: at t=%d", ErrTimeLimit, e.now)
+		}
+		// Expire queued jobs whose wait budget ran out.
+		if len(queue) > 0 {
+			kept := queue[:0]
+			for _, w := range queue {
+				if w.deadline <= e.now {
+					res.Rejected++
+					res.RejectedByClass[classOf(w.spec)]++
+					c.Recorder.Record(trace.Event{Time: e.now, Kind: trace.KindReject, Job: w.spec.ID, VMs: w.spec.N})
+					continue
+				}
+				kept = append(kept, w)
+			}
+			queue = kept
+		}
+		for next < len(jobs) && arrivals[next] <= e.now {
+			ok, err := e.tryStart(jobs[next])
+			if err != nil {
+				return OnlineResult{}, err
+			}
+			if !ok {
+				if c.MaxWaitSeconds > 0 {
+					queue = append(queue, waiting{
+						spec: jobs[next], arrived: e.now, deadline: e.now + c.MaxWaitSeconds,
+					})
+				} else {
+					res.Rejected++
+					res.RejectedByClass[classOf(jobs[next])]++
+					c.Recorder.Record(trace.Event{Time: e.now, Kind: trace.KindReject, Job: jobs[next].ID, VMs: jobs[next].N})
+				}
+			}
+			res.ConcurrencyAtArrival = append(res.ConcurrencyAtArrival, e.running())
+			byLevel := e.mgr.MaxOccupancyByLevel()
+			res.MaxOccByLevelAtArrival = append(res.MaxOccByLevelAtArrival, byLevel)
+			maxOcc := 0.0
+			for _, o := range byLevel {
+				if o > maxOcc {
+					maxOcc = o
+				}
+			}
+			res.MaxOccAtArrival = append(res.MaxOccAtArrival, maxOcc)
+			next++
+		}
+		completed, err := e.step()
+		if err != nil {
+			return OnlineResult{}, err
+		}
+		if len(completed) > 0 && len(queue) > 0 {
+			if err := retryQueued(); err != nil {
+				return OnlineResult{}, err
+			}
+		}
+	}
+	if res.Deferred > 0 {
+		res.MeanWaitSeconds = waitTotal / float64(res.Deferred)
+	}
+	res.RejectionRate = float64(res.Rejected) / float64(max(1, res.Total))
+	res.CongestionRate = e.congestionRate()
+	res.FailedJobs = e.failedJobs
+	res.NetBoundJobs = e.netBoundJobs
+	res.JobTimes = e.completedTimes
+	res.MeanJobTime = stats.Mean(res.JobTimes)
+	var concSum float64
+	for _, c := range res.ConcurrencyAtArrival {
+		concSum += float64(c)
+	}
+	res.MeanConcurrency = concSum / float64(max(1, len(res.ConcurrencyAtArrival)))
+	return res, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,723 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// testTopo: 2 aggs x 2 ToRs x 3 machines x 2 slots = 24 slots, modest
+// oversubscription so the network matters.
+func testTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	tp, err := topology.NewThreeTier(topology.ThreeTierConfig{
+		Aggs: 2, ToRsPerAgg: 2, MachinesPerRack: 3, SlotsPerMachine: 2,
+		HostCap: 1000, Oversub: 2,
+	})
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	return tp
+}
+
+func testJobs(n int, seed uint64) []JobSpec {
+	r := stats.NewRand(seed)
+	jobs := make([]JobSpec, n)
+	for i := range jobs {
+		mu := r.Pick([]float64{100, 200, 300})
+		jobs[i] = JobSpec{
+			ID:             i,
+			N:              r.UniformInt(2, 6),
+			Profile:        stats.Normal{Mu: mu, Sigma: 0.5 * mu},
+			ComputeSeconds: r.UniformInt(20, 50),
+			FlowMbits:      mu * 30,
+			Seed:           r.Uint64(),
+		}
+	}
+	return jobs
+}
+
+func TestRunBatchCompletesAllJobs(t *testing.T) {
+	cfg := Config{Topo: testTopo(t), Eps: 0.05, Abstraction: SVC}
+	jobs := testJobs(12, 1)
+	res, err := RunBatch(cfg, jobs)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if len(res.JobTimes) != len(jobs) {
+		t.Errorf("completed %d jobs, want %d", len(res.JobTimes), len(jobs))
+	}
+	if res.Makespan <= 0 {
+		t.Errorf("makespan = %d, want > 0", res.Makespan)
+	}
+	if res.MeanJobTime < 20 {
+		t.Errorf("mean job time = %v, below the minimum compute time", res.MeanJobTime)
+	}
+}
+
+func TestRunBatchDeterministic(t *testing.T) {
+	cfg := Config{Topo: testTopo(t), Eps: 0.05, Abstraction: SVC}
+	a, err := RunBatch(cfg, testJobs(8, 7))
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	b, err := RunBatch(cfg, testJobs(8, 7))
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if a.Makespan != b.Makespan || !reflect.DeepEqual(a.JobTimes, b.JobTimes) {
+		t.Errorf("same seed produced different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunBatchPureComputeJob(t *testing.T) {
+	cfg := Config{Topo: testTopo(t), Eps: 0.05, Abstraction: SVC}
+	jobs := []JobSpec{{ID: 0, N: 3, Profile: stats.Normal{Mu: 100}, ComputeSeconds: 17, FlowMbits: 0}}
+	res, err := RunBatch(cfg, jobs)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if res.Makespan != 17 {
+		t.Errorf("makespan = %d, want 17 (compute only)", res.Makespan)
+	}
+}
+
+func TestRunBatchSingleVMJob(t *testing.T) {
+	cfg := Config{Topo: testTopo(t), Eps: 0.05, Abstraction: MeanVC}
+	jobs := []JobSpec{{ID: 0, N: 1, Profile: stats.Normal{Mu: 100}, ComputeSeconds: 5, FlowMbits: 1000}}
+	res, err := RunBatch(cfg, jobs)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if res.Makespan != 5 {
+		t.Errorf("makespan = %d, want 5 (single VM moves no data)", res.Makespan)
+	}
+}
+
+// TestRunBatchJobTimeAtLeastTransferTime: a job's running time can never
+// beat flow length divided by peak rate.
+func TestRunBatchJobTimeAtLeastTransferTime(t *testing.T) {
+	cfg := Config{Topo: testTopo(t), Eps: 0.05, Abstraction: PercentileVC}
+	jobs := testJobs(6, 3)
+	res, err := RunBatch(cfg, jobs)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	for i, jt := range res.JobTimes {
+		if jt < 1 {
+			t.Errorf("job %d time = %v, want >= 1", i, jt)
+		}
+	}
+}
+
+// TestMeanVCSlowerThanPercentileVC reproduces the paper's Fig. 6 mechanism
+// in miniature: with volatile demand, capping rates at the mean stretches
+// network time well beyond capping at the 95th percentile.
+func TestMeanVCSlowerThanPercentileVC(t *testing.T) {
+	topo := testTopo(t)
+	// One 8-VM job: cannot fit in a single 2-slot machine or 6-slot rack,
+	// so flows cross the network.
+	job := JobSpec{
+		ID: 0, N: 8,
+		Profile:        stats.Normal{Mu: 200, Sigma: 160},
+		ComputeSeconds: 1, // make network time dominate
+		FlowMbits:      200 * 60,
+		Seed:           42,
+	}
+	run := func(a Abstraction) float64 {
+		res, err := RunBatch(Config{Topo: topo, Eps: 0.05, Abstraction: a}, []JobSpec{job})
+		if err != nil {
+			t.Fatalf("RunBatch(%v): %v", a, err)
+		}
+		return res.MeanJobTime
+	}
+	mean := run(MeanVC)
+	pct := run(PercentileVC)
+	svc := run(SVC)
+	if mean <= pct {
+		t.Errorf("mean-VC job time %v <= percentile-VC %v; caps at mu must hurt", mean, pct)
+	}
+	if svc > mean {
+		t.Errorf("SVC job time %v > mean-VC %v; unlimited sharing must not be slower", svc, mean)
+	}
+}
+
+func TestRunBatchUnplaceableJobIsDropped(t *testing.T) {
+	cfg := Config{Topo: testTopo(t), Eps: 0.05, Abstraction: SVC}
+	jobs := []JobSpec{
+		{ID: 0, N: 1000, Profile: stats.Normal{Mu: 10}, ComputeSeconds: 5, FlowMbits: 10},
+		{ID: 1, N: 2, Profile: stats.Normal{Mu: 10}, ComputeSeconds: 5, FlowMbits: 10},
+	}
+	res, err := RunBatch(cfg, jobs)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if res.Unplaceable != 1 {
+		t.Errorf("Unplaceable = %d, want 1", res.Unplaceable)
+	}
+	if len(res.JobTimes) != 1 {
+		t.Errorf("completed %d jobs, want 1 (backfilled past the giant)", len(res.JobTimes))
+	}
+}
+
+func TestRunOnlineBasics(t *testing.T) {
+	cfg := Config{Topo: testTopo(t), Eps: 0.05, Abstraction: SVC}
+	jobs := testJobs(10, 11)
+	arrivals := make([]int, len(jobs))
+	for i := range arrivals {
+		arrivals[i] = i * 100 // light load: everything fits
+	}
+	res, err := RunOnline(cfg, jobs, arrivals)
+	if err != nil {
+		t.Fatalf("RunOnline: %v", err)
+	}
+	if res.Rejected != 0 {
+		t.Errorf("rejected = %d under light load, want 0", res.Rejected)
+	}
+	if len(res.ConcurrencyAtArrival) != len(jobs) || len(res.MaxOccAtArrival) != len(jobs) {
+		t.Errorf("sample counts = %d/%d, want %d", len(res.ConcurrencyAtArrival), len(res.MaxOccAtArrival), len(jobs))
+	}
+	if len(res.JobTimes) != len(jobs)-res.Rejected {
+		t.Errorf("JobTimes = %d, want %d", len(res.JobTimes), len(jobs)-res.Rejected)
+	}
+	if res.RejectionRate != 0 {
+		t.Errorf("RejectionRate = %v, want 0", res.RejectionRate)
+	}
+}
+
+func TestRunOnlineRejectsUnderOverload(t *testing.T) {
+	cfg := Config{Topo: testTopo(t), Eps: 0.05, Abstraction: PercentileVC}
+	jobs := testJobs(40, 13)
+	arrivals := make([]int, len(jobs)) // all at t=0: slots cannot hold them
+	res, err := RunOnline(cfg, jobs, arrivals)
+	if err != nil {
+		t.Fatalf("RunOnline: %v", err)
+	}
+	if res.Rejected == 0 {
+		t.Error("want rejections when 40 jobs hit 24 slots at once")
+	}
+	if res.RejectionRate <= 0 || res.RejectionRate > 1 {
+		t.Errorf("RejectionRate = %v", res.RejectionRate)
+	}
+}
+
+func TestRunOnlineInputValidation(t *testing.T) {
+	cfg := Config{Topo: testTopo(t), Eps: 0.05}
+	jobs := testJobs(3, 17)
+	if _, err := RunOnline(cfg, jobs, []int{0, 1}); err == nil {
+		t.Error("want error for mismatched arrivals")
+	}
+	if _, err := RunOnline(cfg, jobs, []int{5, 3, 8}); err == nil {
+		t.Error("want error for unsorted arrivals")
+	}
+}
+
+func TestRunBatchHetero(t *testing.T) {
+	r := stats.NewRand(23)
+	jobs := make([]JobSpec, 6)
+	for i := range jobs {
+		n := r.UniformInt(2, 5)
+		hetero := make([]stats.Normal, n)
+		for v := range hetero {
+			mu := r.UniformRange(50, 300)
+			hetero[v] = stats.Normal{Mu: mu, Sigma: 0.5 * mu}
+		}
+		jobs[i] = JobSpec{
+			ID: i, N: n, Profile: stats.Normal{Mu: 150, Sigma: 75},
+			Hetero: hetero, ComputeSeconds: 20, FlowMbits: 3000, Seed: r.Uint64(),
+		}
+	}
+	cfg := Config{Topo: testTopo(t), Eps: 0.05, HeteroAlgo: core.HeteroSubstring}
+	res, err := RunBatch(cfg, jobs)
+	if err != nil {
+		t.Fatalf("RunBatch hetero: %v", err)
+	}
+	if len(res.JobTimes) != len(jobs) {
+		t.Errorf("completed %d, want %d", len(res.JobTimes), len(jobs))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{Topo: testTopo(t), Eps: 0.05}
+	d := c.withDefaults()
+	if d.Policy != core.MinMaxOccupancy || d.HeteroAlgo != core.HeteroSubstring ||
+		d.MaxSeconds != DefaultMaxSeconds || d.Abstraction != SVC {
+		t.Errorf("defaults = %+v", d)
+	}
+}
+
+func TestAbstractionRequestAndCap(t *testing.T) {
+	const nic = 1000
+	profile := stats.Normal{Mu: 100, Sigma: 50}
+	spec := JobSpec{N: 4, Profile: profile}
+
+	req, err := SVC.request(spec, nic)
+	if err != nil || req.Deterministic() {
+		t.Errorf("SVC request = %v, %v", req, err)
+	}
+	req, err = MeanVC.request(spec, nic)
+	if err != nil || !req.Deterministic() || req.Demand.Mu != 100 {
+		t.Errorf("MeanVC request = %v, %v", req, err)
+	}
+	req, err = PercentileVC.request(spec, nic)
+	want := profile.Quantile(0.95)
+	if err != nil || math.Abs(req.Demand.Mu-want) > 1e-9 {
+		t.Errorf("PercentileVC request = %v, %v", req, err)
+	}
+	if !math.IsInf(SVC.rateCap(profile, nic), 1) {
+		t.Error("SVC must not be rate capped")
+	}
+	if got := MeanVC.rateCap(profile, nic); got != 100 {
+		t.Errorf("MeanVC cap = %v", got)
+	}
+	if _, err := Abstraction(0).request(spec, nic); err == nil {
+		t.Error("unknown abstraction: want error")
+	}
+	for _, a := range []Abstraction{SVC, MeanVC, PercentileVC, Abstraction(9)} {
+		if a.String() == "" {
+			t.Errorf("empty String for %d", int(a))
+		}
+	}
+}
+
+// TestAbstractionNICCapClampsReservations: a percentile reservation larger
+// than the NIC line rate is clamped below it, keeping the job placeable —
+// a VM cannot generate traffic faster than its NIC anyway.
+func TestAbstractionNICCapClampsReservations(t *testing.T) {
+	const nic = 1000.0
+	hot := stats.Normal{Mu: 500, Sigma: 500} // p95 ~ 1322 > NIC
+	spec := JobSpec{N: 8, Profile: hot}
+	req, err := PercentileVC.request(spec, nic)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	if req.Demand.Mu >= nic {
+		t.Errorf("reservation %v not clamped below NIC %v", req.Demand.Mu, nic)
+	}
+	if got := PercentileVC.rateCap(hot, nic); got >= nic {
+		t.Errorf("rate cap %v not clamped below NIC %v", got, nic)
+	}
+}
+
+func TestJobSpecValidate(t *testing.T) {
+	good := JobSpec{N: 2, Profile: stats.Normal{Mu: 1}, ComputeSeconds: 1, FlowMbits: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []JobSpec{
+		{N: 0},
+		{N: 2, Hetero: make([]stats.Normal, 3)},
+		{N: 2, ComputeSeconds: -1},
+		{N: 2, FlowMbits: -1},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestErrTimeLimit(t *testing.T) {
+	cfg := Config{Topo: testTopo(t), Eps: 0.05, MaxSeconds: 3}
+	jobs := []JobSpec{{ID: 0, N: 2, Profile: stats.Normal{Mu: 10}, ComputeSeconds: 100, FlowMbits: 10}}
+	_, err := RunBatch(cfg, jobs)
+	if !errors.Is(err, ErrTimeLimit) {
+		t.Errorf("err = %v, want ErrTimeLimit", err)
+	}
+}
+
+// TestRunBatchLogNormalDemand: jobs whose tasks draw rates from a
+// heavier-tailed log-normal (advertising its moments) still complete, and
+// the run stays deterministic — the paper's "other distributions" remark.
+func TestRunBatchLogNormalDemand(t *testing.T) {
+	mk := func() []JobSpec {
+		r := stats.NewRand(21)
+		jobs := make([]JobSpec, 6)
+		for i := range jobs {
+			mu := r.Pick([]float64{100, 200, 300})
+			ln, err := stats.LogNormalFromMoments(mu, 0.6*mu)
+			if err != nil {
+				t.Fatalf("LogNormalFromMoments: %v", err)
+			}
+			jobs[i] = JobSpec{
+				ID: i, N: r.UniformInt(2, 6),
+				Profile:        ln.Moments(),
+				DemandDist:     ln,
+				ComputeSeconds: r.UniformInt(20, 50),
+				FlowMbits:      mu * 30,
+				Seed:           r.Uint64(),
+			}
+		}
+		return jobs
+	}
+	cfg := Config{Topo: testTopo(t), Eps: 0.05, Abstraction: SVC}
+	a, err := RunBatch(cfg, mk())
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if len(a.JobTimes) != 6 {
+		t.Errorf("completed %d jobs, want 6", len(a.JobTimes))
+	}
+	b, err := RunBatch(cfg, mk())
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Errorf("log-normal run not deterministic: %d vs %d", a.Makespan, b.Makespan)
+	}
+}
+
+// TestBurstAllowanceSpeedsUpMeanVC: with a burst allowance, a rate-limited
+// VM can spend credit banked during quiet seconds, so mean-VC's network
+// time can only improve relative to the paper's hard cap.
+func TestBurstAllowanceSpeedsUpMeanVC(t *testing.T) {
+	job := JobSpec{
+		ID: 0, N: 8,
+		Profile:        stats.Normal{Mu: 200, Sigma: 160},
+		ComputeSeconds: 1,
+		FlowMbits:      200 * 60,
+		Seed:           42,
+	}
+	run := func(burst float64) float64 {
+		res, err := RunBatch(Config{
+			Topo: testTopo(t), Eps: 0.05, Abstraction: MeanVC, BurstSeconds: burst,
+		}, []JobSpec{job})
+		if err != nil {
+			t.Fatalf("RunBatch(burst=%v): %v", burst, err)
+		}
+		return res.MeanJobTime
+	}
+	hard := run(0)
+	bursty := run(30)
+	if bursty > hard {
+		t.Errorf("burst=30s job time %v slower than hard cap %v", bursty, hard)
+	}
+	if bursty == hard {
+		t.Logf("burst made no difference (%v); acceptable but unexpected for volatile demand", hard)
+	}
+}
+
+// TestFailureInjection kills a machine mid-run: its resident jobs die, the
+// machine accepts no further VMs, and the rest of the batch completes.
+func TestFailureInjection(t *testing.T) {
+	topo := testTopo(t)
+	jobs := testJobs(8, 31)
+	// Fail a machine early, while jobs still run on it.
+	failed := topo.Machines()[0]
+	cfg := Config{
+		Topo: topo, Eps: 0.05, Abstraction: SVC,
+		Failures: []MachineFailure{{At: 5, Machine: failed}},
+	}
+	res, err := RunBatch(cfg, jobs)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if res.FailedJobs+len(res.JobTimes)+res.Unplaceable != len(jobs) {
+		t.Errorf("failed %d + completed %d + unplaceable %d != %d jobs",
+			res.FailedJobs, len(res.JobTimes), res.Unplaceable, len(jobs))
+	}
+	if res.FailedJobs == 0 {
+		t.Error("no job was killed; expected at least one on the failed machine at t=5")
+	}
+}
+
+// TestFailureValidation rejects failures that do not target machines.
+func TestFailureValidation(t *testing.T) {
+	topo := testTopo(t)
+	cfg := Config{
+		Topo: topo, Eps: 0.05,
+		Failures: []MachineFailure{{At: 1, Machine: topo.Root()}},
+	}
+	if _, err := RunBatch(cfg, testJobs(2, 1)); err == nil {
+		t.Error("failure on a switch accepted")
+	}
+}
+
+// TestFailureFreesNothingTwice: an online run with failures still releases
+// every allocation exactly once (no panic, consistent accounting).
+func TestFailureOnlineAccounting(t *testing.T) {
+	topo := testTopo(t)
+	jobs := testJobs(12, 33)
+	arrivals := make([]int, len(jobs))
+	for i := range arrivals {
+		arrivals[i] = i * 10
+	}
+	cfg := Config{
+		Topo: topo, Eps: 0.05, Abstraction: SVC,
+		Failures: []MachineFailure{
+			{At: 15, Machine: topo.Machines()[1]},
+			{At: 40, Machine: topo.Machines()[5]},
+		},
+	}
+	res, err := RunOnline(cfg, jobs, arrivals)
+	if err != nil {
+		t.Fatalf("RunOnline: %v", err)
+	}
+	if res.FailedJobs+len(res.JobTimes)+res.Rejected != len(jobs) {
+		t.Errorf("failed %d + completed %d + rejected %d != %d",
+			res.FailedJobs, len(res.JobTimes), res.Rejected, len(jobs))
+	}
+}
+
+// TestTracedRunEventStream: a traced run emits a consistent event stream —
+// every admitted job either completes or fails, rejections match the
+// result, and snapshots appear on schedule.
+func TestTracedRunEventStream(t *testing.T) {
+	var buf bytes.Buffer
+	topo := testTopo(t)
+	jobs := testJobs(15, 51)
+	arrivals := make([]int, len(jobs)) // all at once: force rejections
+	cfg := Config{
+		Topo: topo, Eps: 0.05, Abstraction: SVC,
+		Recorder: trace.NewRecorder(&buf, 10),
+		Failures: []MachineFailure{{At: 8, Machine: topo.Machines()[2]}},
+	}
+	res, err := RunOnline(cfg, jobs, arrivals)
+	if err != nil {
+		t.Fatalf("RunOnline: %v", err)
+	}
+	if err := cfg.Recorder.Err(); err != nil {
+		t.Fatalf("recorder: %v", err)
+	}
+	events, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	counts := make(map[trace.Kind]int)
+	lastTime := 0
+	for _, e := range events {
+		counts[e.Kind]++
+		if e.Time < lastTime {
+			t.Fatalf("events out of order at t=%d after t=%d", e.Time, lastTime)
+		}
+		lastTime = e.Time
+	}
+	if counts[trace.KindAdmit] != len(jobs)-res.Rejected {
+		t.Errorf("admit events = %d, want %d", counts[trace.KindAdmit], len(jobs)-res.Rejected)
+	}
+	if counts[trace.KindReject] != res.Rejected {
+		t.Errorf("reject events = %d, want %d", counts[trace.KindReject], res.Rejected)
+	}
+	if counts[trace.KindComplete] != len(res.JobTimes) {
+		t.Errorf("complete events = %d, want %d", counts[trace.KindComplete], len(res.JobTimes))
+	}
+	if counts[trace.KindJobFail] != res.FailedJobs {
+		t.Errorf("job_fail events = %d, want %d", counts[trace.KindJobFail], res.FailedJobs)
+	}
+	if counts[trace.KindMachineFail] != 1 {
+		t.Errorf("machine_fail events = %d, want 1", counts[trace.KindMachineFail])
+	}
+	if counts[trace.KindSnapshot] == 0 {
+		t.Error("no snapshots recorded")
+	}
+}
+
+// TestDeferredAdmissionReducesRejection: allowing jobs to wait strictly
+// reduces (or preserves) the rejection rate, and waited jobs are counted
+// with their wait times.
+func TestDeferredAdmissionReducesRejection(t *testing.T) {
+	topo := testTopo(t)
+	jobs := testJobs(40, 61)
+	arrivals := make([]int, len(jobs)) // burst at t=0: heavy contention
+	strict, err := RunOnline(Config{Topo: topo, Eps: 0.05, Abstraction: SVC}, jobs, arrivals)
+	if err != nil {
+		t.Fatalf("RunOnline strict: %v", err)
+	}
+	patient, err := RunOnline(Config{
+		Topo: testTopo(t), Eps: 0.05, Abstraction: SVC, MaxWaitSeconds: 5000,
+	}, jobs, arrivals)
+	if err != nil {
+		t.Fatalf("RunOnline patient: %v", err)
+	}
+	if strict.Rejected == 0 {
+		t.Fatal("strict run rejected nothing; test needs contention")
+	}
+	if patient.Rejected > strict.Rejected {
+		t.Errorf("waiting increased rejections: %d > %d", patient.Rejected, strict.Rejected)
+	}
+	if patient.Deferred == 0 {
+		t.Error("no job was admitted after waiting")
+	}
+	if patient.Deferred > 0 && patient.MeanWaitSeconds <= 0 {
+		t.Errorf("MeanWaitSeconds = %v with %d deferred", patient.MeanWaitSeconds, patient.Deferred)
+	}
+	total := patient.Rejected + len(patient.JobTimes) + patient.FailedJobs
+	if total != len(jobs) {
+		t.Errorf("accounting: rejected %d + completed %d + failed %d != %d",
+			patient.Rejected, len(patient.JobTimes), patient.FailedJobs, len(jobs))
+	}
+}
+
+// TestDeferredExpiry: with a tiny wait budget under permanent overload,
+// queued jobs expire and are rejected.
+func TestDeferredExpiry(t *testing.T) {
+	topo := testTopo(t)
+	// One long job fills the datacenter; the rest cannot fit before their
+	// wait budget expires.
+	jobs := []JobSpec{
+		{ID: 0, N: 24, Profile: stats.Normal{Mu: 10}, ComputeSeconds: 500, FlowMbits: 10},
+		{ID: 1, N: 24, Profile: stats.Normal{Mu: 10}, ComputeSeconds: 10, FlowMbits: 10},
+	}
+	res, err := RunOnline(Config{
+		Topo: topo, Eps: 0.05, Abstraction: SVC, MaxWaitSeconds: 20,
+	}, jobs, []int{0, 1})
+	if err != nil {
+		t.Fatalf("RunOnline: %v", err)
+	}
+	if res.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1 (expired in queue)", res.Rejected)
+	}
+	if res.Deferred != 0 {
+		t.Errorf("deferred = %d, want 0", res.Deferred)
+	}
+}
+
+// TestEnforcementNeverExceedsReservation (white box): under a deterministic
+// abstraction with zero burst, no flow's allocated rate ever exceeds the
+// reserved bandwidth B — the hypervisor enforcement the paper's framework
+// relies on for deterministic tenants.
+func TestEnforcementNeverExceedsReservation(t *testing.T) {
+	cfg := Config{Topo: testTopo(t), Eps: 0.05, Abstraction: MeanVC}
+	e, err := newEngine(cfg.withDefaults())
+	if err != nil {
+		t.Fatalf("newEngine: %v", err)
+	}
+	profile := stats.Normal{Mu: 150, Sigma: 140} // spikes far above the mean
+	spec := JobSpec{
+		ID: 0, N: 8, Profile: profile,
+		ComputeSeconds: 1, FlowMbits: 150 * 50, Seed: 7,
+	}
+	ok, err := e.tryStart(spec)
+	if err != nil || !ok {
+		t.Fatalf("tryStart: ok=%v err=%v", ok, err)
+	}
+	cap := MeanVC.rateCap(profile, 1000)
+	for s := 0; s < 200 && e.running() > 0; s++ {
+		if _, err := e.step(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		for _, j := range e.jobs {
+			for _, f := range j.flows {
+				if f.sf.rate > cap+1e-9 {
+					t.Fatalf("second %d: flow rate %v exceeds reservation %v", s, f.sf.rate, cap)
+				}
+			}
+		}
+	}
+}
+
+// TestNetBoundAccounting: with a negligible compute phase every job is
+// network bound; with an enormous one, none are.
+func TestNetBoundAccounting(t *testing.T) {
+	mk := func(compute int) []JobSpec {
+		jobs := testJobs(5, 71)
+		for i := range jobs {
+			jobs[i].ComputeSeconds = compute
+		}
+		return jobs
+	}
+	cfg := Config{Topo: testTopo(t), Eps: 0.05, Abstraction: SVC}
+	netty, err := RunBatch(cfg, mk(1))
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if netty.NetBoundJobs != 5 {
+		t.Errorf("NetBoundJobs = %d, want 5 with 1s compute", netty.NetBoundJobs)
+	}
+	compy, err := RunBatch(Config{Topo: testTopo(t), Eps: 0.05, Abstraction: SVC}, mk(100000))
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if compy.NetBoundJobs != 0 {
+		t.Errorf("NetBoundJobs = %d, want 0 with huge compute", compy.NetBoundJobs)
+	}
+}
+
+// TestRejectedByClass: mixed runs attribute rejections to the abstraction
+// each job was admitted under.
+func TestRejectedByClass(t *testing.T) {
+	jobs := testJobs(30, 81)
+	for i := range jobs {
+		if i%2 == 0 {
+			jobs[i].Abstraction = PercentileVC
+		}
+	}
+	arrivals := make([]int, len(jobs)) // burst: force rejections
+	res, err := RunOnline(Config{Topo: testTopo(t), Eps: 0.05, Abstraction: SVC}, jobs, arrivals)
+	if err != nil {
+		t.Fatalf("RunOnline: %v", err)
+	}
+	total := 0
+	for _, n := range res.RejectedByClass {
+		total += n
+	}
+	if total != res.Rejected {
+		t.Errorf("class counts sum to %d, Rejected = %d", total, res.Rejected)
+	}
+	if res.Rejected > 0 && len(res.RejectedByClass) == 0 {
+		t.Error("no class breakdown despite rejections")
+	}
+}
+
+// TestHeteroGroundTruthDists: heterogeneous jobs can draw traffic from
+// per-VM distributions distinct from the advertised profiles.
+func TestHeteroGroundTruthDists(t *testing.T) {
+	r := stats.NewRand(91)
+	n := 4
+	profiles := make([]stats.Normal, n)
+	dists := make([]stats.Dist, n)
+	for i := range profiles {
+		mu := r.UniformRange(80, 200)
+		profiles[i] = stats.Normal{Mu: mu, Sigma: 0.5 * mu}
+		ln, err := stats.LogNormalFromMoments(mu, 0.5*mu)
+		if err != nil {
+			t.Fatalf("LogNormalFromMoments: %v", err)
+		}
+		dists[i] = ln
+	}
+	jobs := []JobSpec{{
+		ID: 0, N: n, Profile: stats.Normal{Mu: 150, Sigma: 75},
+		Hetero: profiles, HeteroDists: dists,
+		ComputeSeconds: 10, FlowMbits: 2000, Seed: 5,
+	}}
+	res, err := RunBatch(Config{Topo: testTopo(t), Eps: 0.05}, jobs)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if len(res.JobTimes) != 1 {
+		t.Errorf("completed %d jobs, want 1", len(res.JobTimes))
+	}
+
+	// Validation: mismatched lengths and dists-without-profiles fail.
+	bad := JobSpec{ID: 1, N: 2, Hetero: profiles[:2], HeteroDists: dists[:1]}
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched HeteroDists accepted")
+	}
+	bad = JobSpec{ID: 2, N: 2, HeteroDists: dists[:2]}
+	if err := bad.Validate(); err == nil {
+		t.Error("HeteroDists without Hetero accepted")
+	}
+}
+
+func TestParseAbstraction(t *testing.T) {
+	for give, want := range map[string]Abstraction{
+		"SVC": SVC, "svc": SVC,
+		"mean-VC": MeanVC, "mean": MeanVC,
+		"percentile-VC": PercentileVC, "percentile": PercentileVC,
+	} {
+		got, err := ParseAbstraction(give)
+		if err != nil || got != want {
+			t.Errorf("ParseAbstraction(%q) = %v, %v", give, got, err)
+		}
+	}
+	if _, err := ParseAbstraction("psychic"); err == nil {
+		t.Error("unknown abstraction accepted")
+	}
+}

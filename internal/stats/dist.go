@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dist is a bandwidth demand distribution. The SVC framework reserves by
+// first and second moments (it approximates aggregates as normal via the
+// CLT), so any distribution that reports its moments can back a request;
+// the simulator additionally samples from it to generate traffic.
+//
+// This realizes the paper's closing remark that "SVC can straightforwardly
+// use other types of probability distributions": the reservation machinery
+// consumes Moments(), the traffic generator consumes Sample().
+type Dist interface {
+	// Moments returns the mean and standard deviation that the SVC
+	// admission condition reserves by.
+	Moments() Normal
+	// Sample draws one value.
+	Sample(r *Rand) float64
+}
+
+// Moments implements Dist.
+func (n Normal) Moments() Normal { return n }
+
+// Sample implements Dist.
+func (n Normal) Sample(r *Rand) float64 { return r.Normal(n) }
+
+// LogNormal is a log-normal demand distribution with log-space location M
+// and scale S (S > 0): exp(N(M, S^2)). Its right tail is heavier than a
+// moment-matched normal's, which makes it a useful stress test for the
+// probabilistic guarantee.
+type LogNormal struct {
+	M float64
+	S float64
+}
+
+// LogNormalFromMoments returns the log-normal with the given mean and
+// standard deviation. mean must be positive and sigma non-negative; a zero
+// sigma is nudged to a tiny positive scale to keep the distribution
+// well-defined.
+func LogNormalFromMoments(mean, sigma float64) (LogNormal, error) {
+	if mean <= 0 || sigma < 0 || math.IsNaN(mean) || math.IsNaN(sigma) {
+		return LogNormal{}, fmt.Errorf("stats: log-normal needs mean > 0 and sigma >= 0, got (%v, %v)", mean, sigma)
+	}
+	v := sigma * sigma
+	s2 := math.Log(1 + v/(mean*mean))
+	return LogNormal{
+		M: math.Log(mean) - s2/2,
+		S: math.Sqrt(s2),
+	}, nil
+}
+
+// Moments implements Dist.
+func (l LogNormal) Moments() Normal {
+	es2 := math.Exp(l.S * l.S)
+	mean := math.Exp(l.M + l.S*l.S/2)
+	variance := (es2 - 1) * mean * mean
+	return Normal{Mu: mean, Sigma: math.Sqrt(variance)}
+}
+
+// Sample implements Dist.
+func (l LogNormal) Sample(r *Rand) float64 {
+	return math.Exp(l.M + l.S*r.rng.NormFloat64())
+}
+
+// String implements fmt.Stringer.
+func (l LogNormal) String() string {
+	return fmt.Sprintf("LogN(%.4g, %.4g^2)", l.M, l.S)
+}
+
+// ErrTooFewSamples is returned by Estimate when fewer than two samples are
+// supplied.
+var ErrTooFewSamples = errors.New("stats: need at least 2 samples to estimate a demand profile")
+
+// Estimate fits a Normal demand profile to observed rate samples (e.g.
+// from a tenant's profiling run) using the sample mean and the unbiased
+// sample standard deviation — the paper's proposed path from measured
+// workloads to SVC requests.
+func Estimate(samples []float64) (Normal, error) {
+	if len(samples) < 2 {
+		return Normal{}, ErrTooFewSamples
+	}
+	mean := Mean(samples)
+	var sum float64
+	for _, x := range samples {
+		d := x - mean
+		sum += d * d
+	}
+	sd := math.Sqrt(sum / float64(len(samples)-1))
+	return Normal{Mu: mean, Sigma: sd}, nil
+}
+
+// Empirical is a demand distribution backed directly by observed rate
+// samples: the simulator resamples the trace (bootstrap) while the SVC
+// framework reserves by the trace's estimated moments. It closes the loop
+// of the paper's profiling-run workflow without assuming any parametric
+// family.
+type Empirical struct {
+	samples []float64
+	moments Normal
+}
+
+// NewEmpirical builds an empirical distribution over a copy of the given
+// samples. At least two samples are required.
+func NewEmpirical(samples []float64) (*Empirical, error) {
+	moments, err := Estimate(samples)
+	if err != nil {
+		return nil, err
+	}
+	e := &Empirical{
+		samples: make([]float64, len(samples)),
+		moments: moments,
+	}
+	copy(e.samples, samples)
+	return e, nil
+}
+
+// Moments implements Dist.
+func (e *Empirical) Moments() Normal { return e.moments }
+
+// Sample implements Dist by drawing a uniformly random trace sample.
+func (e *Empirical) Sample(r *Rand) float64 {
+	return e.samples[r.IntN(len(e.samples))]
+}
+
+// Len returns the number of backing samples.
+func (e *Empirical) Len() int { return len(e.samples) }

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalImplementsDist(t *testing.T) {
+	var _ Dist = Normal{}
+	var _ Dist = LogNormal{}
+	n := Normal{Mu: 5, Sigma: 2}
+	if got := n.Moments(); got != n {
+		t.Errorf("Normal.Moments = %v, want identity", got)
+	}
+}
+
+func TestLogNormalFromMoments(t *testing.T) {
+	l, err := LogNormalFromMoments(300, 150)
+	if err != nil {
+		t.Fatalf("LogNormalFromMoments: %v", err)
+	}
+	m := l.Moments()
+	if math.Abs(m.Mu-300) > 1e-9 {
+		t.Errorf("round-trip mean = %v, want 300", m.Mu)
+	}
+	if math.Abs(m.Sigma-150) > 1e-9 {
+		t.Errorf("round-trip sigma = %v, want 150", m.Sigma)
+	}
+}
+
+func TestLogNormalFromMomentsInvalid(t *testing.T) {
+	invalid := [][2]float64{{0, 1}, {-5, 1}, {5, -1}, {math.NaN(), 1}}
+	for _, tt := range invalid {
+		if _, err := LogNormalFromMoments(tt[0], tt[1]); err == nil {
+			t.Errorf("LogNormalFromMoments(%v, %v): want error", tt[0], tt[1])
+		}
+	}
+}
+
+// TestLogNormalMomentsRoundTripProperty: from-moments then Moments is the
+// identity over a wide parameter range.
+func TestLogNormalMomentsRoundTripProperty(t *testing.T) {
+	f := func(meanRaw, sigmaRaw uint16) bool {
+		mean := float64(meanRaw)/100 + 0.01
+		sigma := float64(sigmaRaw) / 100
+		l, err := LogNormalFromMoments(mean, sigma)
+		if err != nil {
+			return false
+		}
+		m := l.Moments()
+		return math.Abs(m.Mu-mean) < 1e-6*(1+mean) && math.Abs(m.Sigma-sigma) < 1e-6*(1+sigma)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogNormalSampleMoments(t *testing.T) {
+	l, err := LogNormalFromMoments(200, 80)
+	if err != nil {
+		t.Fatalf("LogNormalFromMoments: %v", err)
+	}
+	r := NewRand(5)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := l.Sample(r)
+		if x <= 0 {
+			t.Fatalf("log-normal sample %v <= 0", x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-200) > 2 {
+		t.Errorf("sample mean = %v, want ~200", mean)
+	}
+	if math.Abs(sd-80) > 3 {
+		t.Errorf("sample sd = %v, want ~80", sd)
+	}
+}
+
+func TestLogNormalString(t *testing.T) {
+	l := LogNormal{M: 1, S: 0.5}
+	if got := l.String(); got != "LogN(1, 0.5^2)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	profile, err := Estimate([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if profile.Mu != 5 {
+		t.Errorf("mean = %v, want 5", profile.Mu)
+	}
+	// Unbiased sample sd: sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7); math.Abs(profile.Sigma-want) > 1e-12 {
+		t.Errorf("sigma = %v, want %v", profile.Sigma, want)
+	}
+}
+
+func TestEstimateTooFew(t *testing.T) {
+	for _, s := range [][]float64{nil, {1}} {
+		if _, err := Estimate(s); err == nil {
+			t.Errorf("Estimate(%v): want error", s)
+		}
+	}
+}
+
+// TestEstimateRecoversProfile: estimating from samples of a known normal
+// recovers its parameters — the profiling-run workflow the paper proposes.
+func TestEstimateRecoversProfile(t *testing.T) {
+	truth := Normal{Mu: 320, Sigma: 90}
+	r := NewRand(77)
+	samples := make([]float64, 50000)
+	for i := range samples {
+		samples[i] = truth.Sample(r)
+	}
+	got, err := Estimate(samples)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if math.Abs(got.Mu-truth.Mu) > 2 {
+		t.Errorf("estimated mean %v, want ~%v", got.Mu, truth.Mu)
+	}
+	if math.Abs(got.Sigma-truth.Sigma) > 2 {
+		t.Errorf("estimated sigma %v, want ~%v", got.Sigma, truth.Sigma)
+	}
+}
+
+func TestEmpiricalDist(t *testing.T) {
+	trace := []float64{10, 20, 30, 40}
+	e, err := NewEmpirical(trace)
+	if err != nil {
+		t.Fatalf("NewEmpirical: %v", err)
+	}
+	var _ Dist = e
+	if got := e.Moments().Mu; got != 25 {
+		t.Errorf("moments mean = %v, want 25", got)
+	}
+	if got := e.Len(); got != 4 {
+		t.Errorf("Len = %d, want 4", got)
+	}
+	// The trace must be copied, not aliased.
+	trace[0] = 999
+	r := NewRand(3)
+	seen := make(map[float64]bool)
+	for i := 0; i < 1000; i++ {
+		x := e.Sample(r)
+		seen[x] = true
+		if x == 999 {
+			t.Fatal("empirical distribution aliases caller slice")
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("sampled %d distinct values, want 4", len(seen))
+	}
+	if _, err := NewEmpirical([]float64{1}); err == nil {
+		t.Error("single-sample trace accepted")
+	}
+}
+
+// TestEmpiricalSampleMean: bootstrap samples reproduce the trace mean.
+func TestEmpiricalSampleMean(t *testing.T) {
+	r := NewRand(9)
+	trace := make([]float64, 500)
+	for i := range trace {
+		trace[i] = r.UniformRange(100, 500)
+	}
+	e, err := NewEmpirical(trace)
+	if err != nil {
+		t.Fatalf("NewEmpirical: %v", err)
+	}
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += e.Sample(r)
+	}
+	if got, want := sum/n, e.Moments().Mu; math.Abs(got-want) > 3 {
+		t.Errorf("bootstrap mean %v, trace mean %v", got, want)
+	}
+}

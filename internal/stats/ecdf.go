@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function over a fixed set of
+// samples. The zero value is an empty distribution; add samples with Add and
+// query after all samples are in (queries sort lazily).
+type ECDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewECDF returns an ECDF over a copy of the given samples.
+func NewECDF(samples []float64) *ECDF {
+	e := &ECDF{samples: make([]float64, len(samples))}
+	copy(e.samples, samples)
+	return e
+}
+
+// Add appends a sample.
+func (e *ECDF) Add(x float64) {
+	e.samples = append(e.samples, x)
+	e.sorted = false
+}
+
+// Len returns the number of samples.
+func (e *ECDF) Len() int { return len(e.samples) }
+
+// At returns the fraction of samples <= x. An empty ECDF returns 0.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.samples) == 0 {
+		return 0
+	}
+	e.ensureSorted()
+	i := sort.SearchFloat64s(e.samples, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.samples))
+}
+
+// Quantile returns the smallest sample y such that At(y) >= p, for
+// p in (0, 1]. An empty ECDF returns NaN.
+func (e *ECDF) Quantile(p float64) float64 {
+	if len(e.samples) == 0 {
+		return math.NaN()
+	}
+	e.ensureSorted()
+	i := int(math.Ceil(p*float64(len(e.samples)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(e.samples) {
+		i = len(e.samples) - 1
+	}
+	return e.samples[i]
+}
+
+// Mean returns the sample mean, or NaN if empty.
+func (e *ECDF) Mean() float64 {
+	return Mean(e.samples)
+}
+
+func (e *ECDF) ensureSorted() {
+	if !e.sorted {
+		sort.Float64s(e.samples)
+		e.sorted = true
+	}
+}
+
+// Mean returns the arithmetic mean of xs, or NaN if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or NaN if xs is empty.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0},
+		{1, 0.25},
+		{2.5, 0.5},
+		{4, 1},
+		{100, 1},
+	}
+	for _, tt := range tests {
+		if got := e.At(tt.x); got != tt.want {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e := NewECDF([]float64{10, 20, 30, 40, 50})
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0.2, 10},
+		{0.5, 30},
+		{0.95, 50},
+		{1, 50},
+	}
+	for _, tt := range tests {
+		if got := e.Quantile(tt.p); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	var e ECDF
+	if got := e.At(1); got != 0 {
+		t.Errorf("empty At = %v, want 0", got)
+	}
+	if got := e.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty Quantile = %v, want NaN", got)
+	}
+	if got := e.Mean(); !math.IsNaN(got) {
+		t.Errorf("empty Mean = %v, want NaN", got)
+	}
+}
+
+func TestECDFAddThenQuery(t *testing.T) {
+	var e ECDF
+	e.Add(3)
+	e.Add(1)
+	if got := e.At(1); got != 0.5 {
+		t.Errorf("At(1) = %v, want 0.5", got)
+	}
+	e.Add(2) // adding after a query must re-sort
+	if got := e.At(2); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("At(2) = %v, want 2/3", got)
+	}
+	if got := e.Len(); got != 3 {
+		t.Errorf("Len = %v, want 3", got)
+	}
+}
+
+// TestECDFMonotoneProperty checks At is a non-decreasing function.
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(raw []int8, a, b int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var e ECDF
+		for _, v := range raw {
+			e.Add(float64(v))
+		}
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return e.At(x) <= e.At(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestECDFQuantileInverseProperty checks At(Quantile(p)) >= p.
+func TestECDFQuantileInverseProperty(t *testing.T) {
+	f := func(raw []int8, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := (float64(pRaw) + 1) / 257 // p in (0, 1)
+		var e ECDF
+		for _, v := range raw {
+			e.Add(float64(v))
+		}
+		return e.At(e.Quantile(p)) >= p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) {
+		t.Error("Mean/Variance of empty slice should be NaN")
+	}
+}

@@ -1,0 +1,52 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ExampleMinOfNormals computes the paper's Lemma 1 for two demand
+// aggregates: the moments of min(X1, X2).
+func ExampleMinOfNormals() {
+	inside := stats.Normal{Mu: 200, Sigma: 70}  // 2 VMs' aggregate demand
+	outside := stats.Normal{Mu: 400, Sigma: 99} // the other 4 VMs'
+	cross := stats.MinOfNormals(inside, outside)
+	fmt.Printf("crossing demand ~ N(%.1f, %.1f^2)\n", cross.Mu, cross.Sigma)
+	// Output: crossing demand ~ N(197.5, 68.1^2)
+}
+
+// ExamplePhiInv shows the risk constant the admission condition uses.
+func ExamplePhiInv() {
+	for _, eps := range []float64{0.05, 0.02} {
+		fmt.Printf("eps=%.2f -> c=%.3f\n", eps, stats.PhiInv(1-eps))
+	}
+	// Output:
+	// eps=0.05 -> c=1.645
+	// eps=0.02 -> c=2.054
+}
+
+// ExampleEstimate fits a demand profile from a profiling-run trace.
+func ExampleEstimate() {
+	trace := []float64{120, 180, 90, 210, 150, 160, 140, 190}
+	profile, err := stats.Estimate(trace)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("fitted profile: mean %.1f Mbps\n", profile.Mu)
+	// Output: fitted profile: mean 155.0 Mbps
+}
+
+// ExampleLogNormalFromMoments builds a heavier-tailed demand distribution
+// with the same moments the SVC framework reserves by.
+func ExampleLogNormalFromMoments() {
+	ln, err := stats.LogNormalFromMoments(300, 150)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m := ln.Moments()
+	fmt.Printf("mean %.0f, sd %.0f\n", m.Mu, m.Sigma)
+	// Output: mean 300, sd 150
+}

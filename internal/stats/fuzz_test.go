@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPhiInvRoundTrip fuzzes the quantile function: for any p in (0, 1),
+// Phi(PhiInv(p)) must return p, and out-of-range inputs must error rather
+// than return garbage.
+func FuzzPhiInvRoundTrip(f *testing.F) {
+	for _, seed := range []float64{0.5, 0.05, 0.95, 1e-9, 1 - 1e-9, 0, 1, -3, math.NaN()} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, p float64) {
+		x, err := PhiInvE(p)
+		if math.IsNaN(p) || p <= 0 || p >= 1 {
+			if err == nil {
+				t.Fatalf("PhiInvE(%v) accepted an invalid probability", p)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("PhiInvE(%v): %v", p, err)
+		}
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("PhiInvE(%v) = %v", p, x)
+		}
+		back := Phi(x)
+		// Tail probabilities lose absolute precision; compare with a
+		// tolerance proportional to the density around x.
+		if math.Abs(back-p) > 1e-9+1e-6*math.Min(p, 1-p) {
+			t.Fatalf("Phi(PhiInv(%v)) = %v", p, back)
+		}
+	})
+}
+
+// FuzzMinOfNormals fuzzes Clark's formulas: the result must be finite, its
+// mean at most min of the input means, and its variance non-negative.
+func FuzzMinOfNormals(f *testing.F) {
+	f.Add(100.0, 10.0, 200.0, 20.0)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(1e6, 1e3, -1e6, 1e3)
+	f.Fuzz(func(t *testing.T, mu1, s1, mu2, s2 float64) {
+		// Constrain to the domain the library uses: finite means, finite
+		// non-negative sigmas of sane magnitude.
+		if math.IsNaN(mu1) || math.IsNaN(mu2) || math.IsNaN(s1) || math.IsNaN(s2) {
+			t.Skip()
+		}
+		if math.Abs(mu1) > 1e9 || math.Abs(mu2) > 1e9 || s1 < 0 || s2 < 0 || s1 > 1e9 || s2 > 1e9 {
+			t.Skip()
+		}
+		got := MinOfNormals(Normal{Mu: mu1, Sigma: s1}, Normal{Mu: mu2, Sigma: s2})
+		if math.IsNaN(got.Mu) || math.IsNaN(got.Sigma) {
+			t.Fatalf("MinOfNormals produced NaN: %v", got)
+		}
+		if got.Sigma < 0 {
+			t.Fatalf("negative sigma: %v", got)
+		}
+		if got.Mu > math.Min(mu1, mu2)+1e-6*(1+math.Abs(mu1)+math.Abs(mu2)) {
+			t.Fatalf("mean %v above min(%v, %v)", got.Mu, mu1, mu2)
+		}
+	})
+}
+
+// FuzzEstimate fuzzes the profile estimator with arbitrary sample pairs.
+func FuzzEstimate(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0)
+	f.Add(0.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, a, b, c float64) {
+		for _, v := range []float64{a, b, c} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				t.Skip()
+			}
+		}
+		got, err := Estimate([]float64{a, b, c})
+		if err != nil {
+			t.Fatalf("Estimate: %v", err)
+		}
+		if math.IsNaN(got.Mu) || math.IsNaN(got.Sigma) || got.Sigma < 0 {
+			t.Fatalf("Estimate = %v", got)
+		}
+	})
+}

@@ -1,0 +1,254 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhiKnownValues(t *testing.T) {
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.6448536269514722, 0.95},
+		{2, 0.9772498680518208},
+		{-3, 0.0013498980316300933},
+	}
+	for _, tt := range tests {
+		if got := Phi(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Phi(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestPdfKnownValues(t *testing.T) {
+	if got, want := Pdf(0), invSqrt2Pi; math.Abs(got-want) > 1e-15 {
+		t.Errorf("Pdf(0) = %v, want %v", got, want)
+	}
+	if got, want := Pdf(1), 0.24197072451914337; math.Abs(got-want) > 1e-15 {
+		t.Errorf("Pdf(1) = %v, want %v", got, want)
+	}
+}
+
+func TestPhiInvKnownValues(t *testing.T) {
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0.5, 0},
+		{0.95, 1.6448536269514722},
+		{0.975, 1.959963984540054},
+		{0.98, 2.0537489106318225},
+		{0.05, -1.6448536269514722},
+		{0.0013498980316300933, -3},
+	}
+	for _, tt := range tests {
+		if got := PhiInv(tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("PhiInv(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPhiInvEInvalid(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := PhiInvE(p); err == nil {
+			t.Errorf("PhiInvE(%v): want error, got nil", p)
+		}
+	}
+}
+
+func TestPhiInvPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PhiInv(0) did not panic")
+		}
+	}()
+	PhiInv(0)
+}
+
+// TestPhiInvRoundTrip checks PhiInv(Phi(x)) == x across the useful domain.
+func TestPhiInvRoundTrip(t *testing.T) {
+	f := func(seed uint16) bool {
+		// Map the seed to x in (-6, 6), the range relevant to any
+		// realistic risk factor.
+		x := (float64(seed)/65535 - 0.5) * 12
+		got := PhiInv(Phi(x))
+		return math.Abs(got-x) < 1e-7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPhiMonotone checks that Phi is non-decreasing.
+func TestPhiMonotone(t *testing.T) {
+	f := func(a, b int16) bool {
+		x, y := float64(a)/1000, float64(b)/1000
+		if x > y {
+			x, y = y, x
+		}
+		return Phi(x) <= Phi(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalCDFAndQuantile(t *testing.T) {
+	n := Normal{Mu: 10, Sigma: 2}
+	if got := n.CDF(10); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(mu) = %v, want 0.5", got)
+	}
+	if got := n.Quantile(0.95); math.Abs(got-(10+2*1.6448536269514722)) > 1e-8 {
+		t.Errorf("Quantile(0.95) = %v", got)
+	}
+}
+
+func TestNormalDegenerate(t *testing.T) {
+	n := Normal{Mu: 5}
+	if got := n.CDF(4.999); got != 0 {
+		t.Errorf("degenerate CDF below mu = %v, want 0", got)
+	}
+	if got := n.CDF(5); got != 1 {
+		t.Errorf("degenerate CDF at mu = %v, want 1", got)
+	}
+	if got := n.Quantile(0.99); got != 5 {
+		t.Errorf("degenerate Quantile = %v, want 5", got)
+	}
+}
+
+func TestNormalSum(t *testing.T) {
+	n := Normal{Mu: 3, Sigma: 2}
+	s := n.Sum(4)
+	if s.Mu != 12 {
+		t.Errorf("Sum(4).Mu = %v, want 12", s.Mu)
+	}
+	if math.Abs(s.Sigma-4) > 1e-12 {
+		t.Errorf("Sum(4).Sigma = %v, want 4", s.Sigma)
+	}
+	if z := n.Sum(0); z.Mu != 0 || z.Sigma != 0 {
+		t.Errorf("Sum(0) = %v, want degenerate zero", z)
+	}
+}
+
+func TestNormalSumNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Sum(-1) did not panic")
+		}
+	}()
+	Normal{Mu: 1, Sigma: 1}.Sum(-1)
+}
+
+func TestNormalAdd(t *testing.T) {
+	a := Normal{Mu: 1, Sigma: 3}
+	b := Normal{Mu: 2, Sigma: 4}
+	c := a.Add(b)
+	if c.Mu != 3 || math.Abs(c.Sigma-5) > 1e-12 {
+		t.Errorf("Add = %v, want N(3, 5^2)", c)
+	}
+}
+
+func TestMinOfNormalsDegenerate(t *testing.T) {
+	a := Normal{Mu: 3}
+	b := Normal{Mu: 7}
+	got := MinOfNormals(a, b)
+	if got.Mu != 3 || got.Sigma != 0 {
+		t.Errorf("min of constants = %v, want N(3, 0)", got)
+	}
+}
+
+func TestMinOfNormalsSymmetricEqual(t *testing.T) {
+	// For iid X1, X2 ~ N(0,1): E[min] = -1/sqrt(pi), Var = 1 - 1/pi.
+	n := Normal{Mu: 0, Sigma: 1}
+	got := MinOfNormals(n, n)
+	wantMu := -1 / math.Sqrt(math.Pi)
+	wantVar := 1 - 1/math.Pi
+	if math.Abs(got.Mu-wantMu) > 1e-12 {
+		t.Errorf("mean = %v, want %v", got.Mu, wantMu)
+	}
+	if math.Abs(got.Var()-wantVar) > 1e-12 {
+		t.Errorf("var = %v, want %v", got.Var(), wantVar)
+	}
+}
+
+// TestMinOfNormalsFarApart verifies that when the distributions barely
+// overlap, the min converges to the smaller input.
+func TestMinOfNormalsFarApart(t *testing.T) {
+	a := Normal{Mu: 10, Sigma: 1}
+	b := Normal{Mu: 1000, Sigma: 1}
+	got := MinOfNormals(a, b)
+	if math.Abs(got.Mu-10) > 1e-6 {
+		t.Errorf("mean = %v, want ~10", got.Mu)
+	}
+	if math.Abs(got.Sigma-1) > 1e-6 {
+		t.Errorf("sigma = %v, want ~1", got.Sigma)
+	}
+}
+
+// TestMinOfNormalsProperties checks, with random parameters, that the
+// moment-matched min is commutative, has mean at most min(mu1, mu2), and
+// never reports a negative variance.
+func TestMinOfNormalsProperties(t *testing.T) {
+	f := func(m1, m2 uint16, s1, s2 uint8) bool {
+		a := Normal{Mu: float64(m1) / 10, Sigma: float64(s1) / 10}
+		b := Normal{Mu: float64(m2) / 10, Sigma: float64(s2) / 10}
+		x := MinOfNormals(a, b)
+		y := MinOfNormals(b, a)
+		if math.Abs(x.Mu-y.Mu) > 1e-9*(1+math.Abs(x.Mu)) {
+			return false
+		}
+		if math.Abs(x.Sigma-y.Sigma) > 1e-9*(1+x.Sigma) {
+			return false
+		}
+		if x.Mu > math.Min(a.Mu, b.Mu)+1e-9 {
+			return false
+		}
+		return x.Var() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinOfNormalsAgainstMonteCarlo validates Clark's formulas against
+// simulation for a few representative parameter pairs.
+func TestMinOfNormalsAgainstMonteCarlo(t *testing.T) {
+	tests := []struct {
+		a, b Normal
+	}{
+		{Normal{Mu: 100, Sigma: 20}, Normal{Mu: 120, Sigma: 30}},
+		{Normal{Mu: 50, Sigma: 5}, Normal{Mu: 50, Sigma: 5}},
+		{Normal{Mu: 10, Sigma: 1}, Normal{Mu: 40, Sigma: 8}},
+	}
+	r := NewRand(42)
+	const n = 200000
+	for _, tt := range tests {
+		want := MinOfNormals(tt.a, tt.b)
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := math.Min(r.Normal(tt.a), r.Normal(tt.b))
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-want.Mu) > 0.05*math.Max(1, math.Abs(want.Mu)) {
+			t.Errorf("min(%v, %v): MC mean %v, formula %v", tt.a, tt.b, mean, want.Mu)
+		}
+		if math.Abs(variance-want.Var()) > 0.05*math.Max(1, want.Var()) {
+			t.Errorf("min(%v, %v): MC var %v, formula %v", tt.a, tt.b, variance, want.Var())
+		}
+	}
+}
+
+func TestNormalString(t *testing.T) {
+	got := Normal{Mu: 1.5, Sigma: 0.25}.String()
+	if got != "N(1.5, 0.25^2)" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Rand is a deterministic random source for workload generation and
+// demand sampling. It wraps math/rand/v2 with the distributions the
+// simulator needs. A nil *Rand is not valid; construct one with NewRand.
+type Rand struct {
+	rng *rand.Rand
+}
+
+// NewRand returns a Rand seeded deterministically from seed. Two Rands
+// built from the same seed produce identical streams.
+func NewRand(seed uint64) *Rand {
+	// Derive a second PCG word from the first so that nearby seeds do not
+	// produce trivially correlated streams.
+	return &Rand{rng: rand.New(rand.NewPCG(seed, seed*0x9e3779b97f4a7c15+0x6c62272e07bb0142))}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 { return r.rng.Float64() }
+
+// IntN returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) IntN(n int) int { return r.rng.IntN(n) }
+
+// Uint64 returns a uniform 64-bit value, useful for deriving child seeds.
+func (r *Rand) Uint64() uint64 { return r.rng.Uint64() }
+
+// Normal samples from the given normal distribution.
+func (r *Rand) Normal(n Normal) float64 {
+	return n.Mu + n.Sigma*r.rng.NormFloat64()
+}
+
+// TruncNormal samples from the normal distribution n truncated below at lo:
+// values are resampled as max(lo, x). This matches how the simulator treats
+// data generation rates, which cannot be negative.
+func (r *Rand) TruncNormal(n Normal, lo float64) float64 {
+	return math.Max(lo, r.Normal(n))
+}
+
+// Exp samples from the exponential distribution with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	return r.rng.ExpFloat64() * mean
+}
+
+// UniformRange returns a uniform value in [lo, hi).
+func (r *Rand) UniformRange(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.rng.Float64()
+}
+
+// UniformInt returns a uniform integer in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (r *Rand) UniformInt(lo, hi int) int {
+	if hi < lo {
+		panic("stats: UniformInt: empty range")
+	}
+	return lo + r.rng.IntN(hi-lo+1)
+}
+
+// Pick returns a uniformly chosen element of xs. It panics on an empty
+// slice.
+func (r *Rand) Pick(xs []float64) float64 {
+	return xs[r.rng.IntN(len(xs))]
+}
+
+// Child returns a new Rand whose stream is derived from, but independent
+// of, the parent stream. It is used to give every job its own demand
+// stream so that experiment sweeps perturb only what they vary.
+func (r *Rand) Child() *Rand {
+	return NewRand(r.rng.Uint64())
+}

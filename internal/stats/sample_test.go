@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 32; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical draws out of 32", same)
+	}
+}
+
+func TestNormalSampleMoments(t *testing.T) {
+	r := NewRand(11)
+	n := Normal{Mu: 300, Sigma: 60}
+	const count = 100000
+	var sum, sumSq float64
+	for i := 0; i < count; i++ {
+		x := r.Normal(n)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / count
+	variance := sumSq/count - mean*mean
+	if math.Abs(mean-300) > 1 {
+		t.Errorf("sample mean %v, want ~300", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-60) > 1 {
+		t.Errorf("sample sd %v, want ~60", math.Sqrt(variance))
+	}
+}
+
+func TestTruncNormalNonNegative(t *testing.T) {
+	r := NewRand(13)
+	n := Normal{Mu: 10, Sigma: 50} // heavy mass below zero before truncation
+	for i := 0; i < 10000; i++ {
+		if x := r.TruncNormal(n, 0); x < 0 {
+			t.Fatalf("TruncNormal produced %v < 0", x)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRand(17)
+	const mean, count = 49.0, 200000
+	var sum float64
+	for i := 0; i < count; i++ {
+		sum += r.Exp(mean)
+	}
+	if got := sum / count; math.Abs(got-mean) > 0.5 {
+		t.Errorf("Exp sample mean %v, want ~%v", got, mean)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewRand(19)
+	for i := 0; i < 10000; i++ {
+		x := r.UniformRange(200, 500)
+		if x < 200 || x >= 500 {
+			t.Fatalf("UniformRange produced %v outside [200,500)", x)
+		}
+	}
+}
+
+func TestUniformInt(t *testing.T) {
+	r := NewRand(23)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		x := r.UniformInt(1, 5)
+		if x < 1 || x > 5 {
+			t.Fatalf("UniformInt produced %v outside [1,5]", x)
+		}
+		seen[x] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("UniformInt covered %d of 5 values", len(seen))
+	}
+}
+
+func TestUniformIntEmptyRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("UniformInt(5,1) did not panic")
+		}
+	}()
+	NewRand(1).UniformInt(5, 1)
+}
+
+func TestPick(t *testing.T) {
+	r := NewRand(29)
+	choices := []float64{100, 200, 300, 400, 500}
+	counts := make(map[float64]int)
+	for i := 0; i < 5000; i++ {
+		counts[r.Pick(choices)]++
+	}
+	for _, c := range choices {
+		if counts[c] < 700 {
+			t.Errorf("choice %v picked only %d of 5000 times", c, counts[c])
+		}
+	}
+}
+
+func TestChildIndependence(t *testing.T) {
+	parent := NewRand(31)
+	c1 := parent.Child()
+	c2 := parent.Child()
+	same := 0
+	for i := 0; i < 32; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("sibling child streams overlapped in %d of 32 draws", same)
+	}
+}

@@ -1,0 +1,125 @@
+package topology
+
+import (
+	"fmt"
+)
+
+// ThreeTierConfig describes the multi-rooted-tree-like datacenter of the
+// paper's evaluation (Section VI-A): racks of machines under ToR switches,
+// ToRs under aggregation switches, aggregation switches under a single core
+// switch, with a uniform per-level oversubscription factor.
+type ThreeTierConfig struct {
+	Aggs            int     // aggregation switches under the core
+	ToRsPerAgg      int     // ToR switches under each aggregation switch
+	MachinesPerRack int     // machines under each ToR
+	SlotsPerMachine int     // VM slots per machine
+	HostCap         float64 // machine uplink capacity (Mbps)
+	Oversub         float64 // per-level oversubscription factor (>= is typical; 1 = non-blocking)
+}
+
+// PaperConfig returns the exact evaluation topology of the paper: 5
+// aggregation switches x 10 ToRs x 20 machines x 4 slots (1,000 machines,
+// 4,000 slots), 1 Gbps host links and oversubscription 2, yielding 10 Gbps
+// ToR uplinks and 50 Gbps aggregation uplinks.
+func PaperConfig() ThreeTierConfig {
+	return ThreeTierConfig{
+		Aggs:            5,
+		ToRsPerAgg:      10,
+		MachinesPerRack: 20,
+		SlotsPerMachine: 4,
+		HostCap:         1000,
+		Oversub:         2,
+	}
+}
+
+// Scaled returns a copy of the config with the switch counts divided by
+// factor (minimum 1 each), used to run experiments at reduced scale with
+// the same per-level oversubscription.
+func (c ThreeTierConfig) Scaled(factor int) ThreeTierConfig {
+	div := func(n int) int {
+		n /= factor
+		if n < 1 {
+			return 1
+		}
+		return n
+	}
+	c.Aggs = div(c.Aggs)
+	c.ToRsPerAgg = div(c.ToRsPerAgg)
+	return c
+}
+
+// Machines returns the total machine count of the configuration.
+func (c ThreeTierConfig) Machines() int {
+	return c.Aggs * c.ToRsPerAgg * c.MachinesPerRack
+}
+
+// Slots returns the total VM slot count of the configuration.
+func (c ThreeTierConfig) Slots() int {
+	return c.Machines() * c.SlotsPerMachine
+}
+
+// NewThreeTier builds the three-level tree described by the config.
+func NewThreeTier(c ThreeTierConfig) (*Topology, error) {
+	switch {
+	case c.Aggs <= 0 || c.ToRsPerAgg <= 0 || c.MachinesPerRack <= 0:
+		return nil, fmt.Errorf("%w: three-tier config has non-positive counts: %+v", errTopology, c)
+	case c.SlotsPerMachine <= 0:
+		return nil, fmt.Errorf("%w: non-positive slots per machine", errTopology)
+	case c.HostCap <= 0:
+		return nil, fmt.Errorf("%w: non-positive host capacity", errTopology)
+	case c.Oversub <= 0:
+		return nil, fmt.Errorf("%w: non-positive oversubscription", errTopology)
+	}
+	torCap := float64(c.MachinesPerRack) * c.HostCap / c.Oversub
+	aggCap := float64(c.ToRsPerAgg) * torCap / c.Oversub
+
+	spec := Spec{
+		Children: make([]Spec, 0, c.Aggs),
+	}
+	for a := 0; a < c.Aggs; a++ {
+		agg := Spec{UpCap: aggCap, Children: make([]Spec, 0, c.ToRsPerAgg)}
+		for r := 0; r < c.ToRsPerAgg; r++ {
+			tor := Spec{UpCap: torCap, Children: make([]Spec, 0, c.MachinesPerRack)}
+			for m := 0; m < c.MachinesPerRack; m++ {
+				tor.Children = append(tor.Children, Spec{UpCap: c.HostCap, Slots: c.SlotsPerMachine})
+			}
+			agg.Children = append(agg.Children, tor)
+		}
+		spec.Children = append(spec.Children, agg)
+	}
+	return NewFromSpec(spec)
+}
+
+// Spec is a declarative tree description used to build arbitrary (possibly
+// irregular) topologies, mostly for tests and examples. A Spec with no
+// children is a machine and must set Slots; interior Specs must leave Slots
+// zero. UpCap is the capacity of the link to the parent and is ignored on
+// the root.
+type Spec struct {
+	UpCap    float64
+	Slots    int
+	Children []Spec
+}
+
+// NewFromSpec builds a topology from the spec tree. Node IDs are assigned
+// in depth-first pre-order starting at the root (ID 0).
+func NewFromSpec(root Spec) (*Topology, error) {
+	var nodes []Node
+	var walk func(s *Spec, parent NodeID) NodeID
+	walk = func(s *Spec, parent NodeID) NodeID {
+		id := NodeID(len(nodes))
+		nodes = append(nodes, Node{
+			ID:     id,
+			Parent: parent,
+			Slots:  s.Slots,
+			UpCap:  s.UpCap,
+		})
+		for i := range s.Children {
+			child := walk(&s.Children[i], id)
+			nodes[id].Children = append(nodes[id].Children, child)
+		}
+		return id
+	}
+	walk(&root, None)
+	return build(nodes)
+}

@@ -1,0 +1,44 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// ExampleNewThreeTier builds the paper's evaluation datacenter.
+func ExampleNewThreeTier() {
+	topo, err := topology.NewThreeTier(topology.PaperConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d machines, %d VM slots, height %d\n",
+		len(topo.Machines()), topo.TotalSlots(), topo.Height())
+	m := topo.Machines()[0]
+	fmt.Printf("host link %g Mbps, ToR uplink %g Mbps\n",
+		topo.LinkCap(m), topo.LinkCap(topo.Node(m).Parent))
+	// Output:
+	// 1000 machines, 4000 VM slots, height 3
+	// host link 1000 Mbps, ToR uplink 10000 Mbps
+}
+
+// ExampleNewFromSpec builds an irregular datacenter declaratively.
+func ExampleNewFromSpec() {
+	topo, err := topology.NewFromSpec(topology.Spec{Children: []topology.Spec{
+		{UpCap: 4000, Children: []topology.Spec{
+			{UpCap: 1000, Slots: 4},
+			{UpCap: 1000, Slots: 4},
+		}},
+		{UpCap: 2000, Children: []topology.Spec{
+			{UpCap: 1000, Slots: 8},
+		}},
+	}})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("machines %d, slots %d, links %d\n",
+		len(topo.Machines()), topo.TotalSlots(), len(topo.Links()))
+	// Output: machines 3, slots 16, links 5
+}

@@ -1,0 +1,47 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSpec fuzzes the JSON spec parser: arbitrary input must either
+// error or produce a spec that (if buildable) round-trips through
+// WriteSpec/ReadSpec unchanged.
+func FuzzReadSpec(f *testing.F) {
+	f.Add(`{"slots": 4}`)
+	f.Add(`{"children": [{"upCapMbps": 50, "slots": 5}, {"upCapMbps": 50, "slots": 5}]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := ReadSpec(strings.NewReader(input))
+		if err != nil {
+			return // malformed input is allowed to fail
+		}
+		var buf bytes.Buffer
+		if err := WriteSpec(&buf, spec); err != nil {
+			t.Fatalf("WriteSpec after successful ReadSpec: %v", err)
+		}
+		again, err := ReadSpec(&buf)
+		if err != nil {
+			t.Fatalf("ReadSpec(WriteSpec(spec)): %v", err)
+		}
+		var b1, b2 bytes.Buffer
+		if err := WriteSpec(&b1, spec); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSpec(&b2, again); err != nil {
+			t.Fatal(err)
+		}
+		if b1.String() != b2.String() {
+			t.Fatalf("round trip changed spec:\n%s\nvs\n%s", b1.String(), b2.String())
+		}
+		// If the spec builds, basic invariants must hold.
+		if tp, err := NewFromSpec(spec); err == nil {
+			if tp.TotalSlots() < 0 || tp.Height() < 0 {
+				t.Fatalf("built topology with bad invariants: slots=%d height=%d", tp.TotalSlots(), tp.Height())
+			}
+		}
+	})
+}

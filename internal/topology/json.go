@@ -1,0 +1,68 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonSpec is the serialized form of a Spec tree. Field names are part of
+// the on-disk contract of cmd/svcplan.
+type jsonSpec struct {
+	UpCap    float64    `json:"upCapMbps,omitempty"`
+	Slots    int        `json:"slots,omitempty"`
+	Children []jsonSpec `json:"children,omitempty"`
+}
+
+func toJSONSpec(s *Spec) jsonSpec {
+	out := jsonSpec{UpCap: s.UpCap, Slots: s.Slots}
+	for i := range s.Children {
+		out.Children = append(out.Children, toJSONSpec(&s.Children[i]))
+	}
+	return out
+}
+
+func fromJSONSpec(j *jsonSpec) Spec {
+	out := Spec{UpCap: j.UpCap, Slots: j.Slots}
+	for i := range j.Children {
+		out.Children = append(out.Children, fromJSONSpec(&j.Children[i]))
+	}
+	return out
+}
+
+// WriteSpec serializes a topology spec as indented JSON.
+func WriteSpec(w io.Writer, s Spec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(toJSONSpec(&s)); err != nil {
+		return fmt.Errorf("topology: encode spec: %w", err)
+	}
+	return nil
+}
+
+// ReadSpec parses a JSON topology spec. The result still needs
+// NewFromSpec, which performs full validation.
+func ReadSpec(r io.Reader) (Spec, error) {
+	var j jsonSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return Spec{}, fmt.Errorf("topology: decode spec: %w", err)
+	}
+	return fromJSONSpec(&j), nil
+}
+
+// ToSpec exports the topology back to a declarative spec (node IDs are not
+// preserved; structure, capacities and slots are).
+func (t *Topology) ToSpec() Spec {
+	var build func(id NodeID) Spec
+	build = func(id NodeID) Spec {
+		n := t.Node(id)
+		s := Spec{UpCap: n.UpCap, Slots: n.Slots}
+		for _, c := range n.Children {
+			s.Children = append(s.Children, build(c))
+		}
+		return s
+	}
+	return build(t.root)
+}

@@ -1,0 +1,69 @@
+package topology
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := Spec{Children: []Spec{
+		{UpCap: 40, Children: []Spec{
+			{UpCap: 30, Slots: 3},
+			{UpCap: 30, Slots: 3},
+		}},
+		{UpCap: 40, Children: []Spec{
+			{UpCap: 25, Slots: 2},
+		}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, spec); err != nil {
+		t.Fatalf("WriteSpec: %v", err)
+	}
+	got, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatalf("ReadSpec: %v", err)
+	}
+	if !reflect.DeepEqual(got, spec) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, spec)
+	}
+}
+
+func TestReadSpecRejectsUnknownFields(t *testing.T) {
+	_, err := ReadSpec(strings.NewReader(`{"slots": 2, "color": "red"}`))
+	if err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestReadSpecMalformed(t *testing.T) {
+	if _, err := ReadSpec(strings.NewReader("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestToSpecRoundTrip(t *testing.T) {
+	cfg := ThreeTierConfig{
+		Aggs: 2, ToRsPerAgg: 2, MachinesPerRack: 3, SlotsPerMachine: 4,
+		HostCap: 1000, Oversub: 2,
+	}
+	tp, err := NewThreeTier(cfg)
+	if err != nil {
+		t.Fatalf("NewThreeTier: %v", err)
+	}
+	rebuilt, err := NewFromSpec(tp.ToSpec())
+	if err != nil {
+		t.Fatalf("NewFromSpec(ToSpec): %v", err)
+	}
+	if rebuilt.Len() != tp.Len() || rebuilt.TotalSlots() != tp.TotalSlots() ||
+		rebuilt.Height() != tp.Height() {
+		t.Errorf("rebuilt topology differs: %d/%d nodes, %d/%d slots",
+			rebuilt.Len(), tp.Len(), rebuilt.TotalSlots(), tp.TotalSlots())
+	}
+	for _, l := range tp.Links() {
+		if rebuilt.LinkCap(l) != tp.LinkCap(l) {
+			t.Errorf("link %d capacity %v != %v", l, rebuilt.LinkCap(l), tp.LinkCap(l))
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Summary aggregates one recorded run: admissions, rejections, completion
+// statistics, failure counts, and the concurrency/occupancy profile from
+// the snapshots.
+type Summary struct {
+	Span            int // last event time (s)
+	Admitted        int
+	Rejected        int
+	Completed       int
+	JobFailures     int
+	MachineFailures int
+
+	MeanJobSeconds float64 // over complete events
+	P95JobSeconds  float64
+
+	MeanConcurrency float64 // over snapshots
+	PeakConcurrency int
+	MeanMaxOcc      float64
+	PeakMaxOcc      float64
+
+	ThroughputPerHour float64 // completions per simulated hour
+}
+
+// Analyze computes the summary of an event stream.
+func Analyze(events []Event) Summary {
+	var s Summary
+	took := stats.NewECDF(nil)
+	var concSum, occSum float64
+	snapshots := 0
+	for _, e := range events {
+		if e.Time > s.Span {
+			s.Span = e.Time
+		}
+		switch e.Kind {
+		case KindAdmit:
+			s.Admitted++
+		case KindReject:
+			s.Rejected++
+		case KindComplete:
+			s.Completed++
+			took.Add(float64(e.Took))
+		case KindJobFail:
+			s.JobFailures++
+		case KindMachineFail:
+			s.MachineFailures++
+		case KindSnapshot:
+			snapshots++
+			concSum += float64(e.Running)
+			occSum += e.MaxOcc
+			if e.Running > s.PeakConcurrency {
+				s.PeakConcurrency = e.Running
+			}
+			if e.MaxOcc > s.PeakMaxOcc {
+				s.PeakMaxOcc = e.MaxOcc
+			}
+		}
+	}
+	if took.Len() > 0 {
+		s.MeanJobSeconds = took.Mean()
+		s.P95JobSeconds = took.Quantile(0.95)
+	}
+	if snapshots > 0 {
+		s.MeanConcurrency = concSum / float64(snapshots)
+		s.MeanMaxOcc = occSum / float64(snapshots)
+	}
+	if s.Span > 0 {
+		s.ThroughputPerHour = float64(s.Completed) / float64(s.Span) * 3600
+	}
+	return s
+}
+
+// String renders the summary as a readable report.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace span: %d s\n", s.Span)
+	fmt.Fprintf(&b, "jobs: %d admitted, %d rejected, %d completed, %d killed by failures\n",
+		s.Admitted, s.Rejected, s.Completed, s.JobFailures)
+	if s.MachineFailures > 0 {
+		fmt.Fprintf(&b, "machine failures: %d\n", s.MachineFailures)
+	}
+	if s.Completed > 0 {
+		fmt.Fprintf(&b, "job running time: mean %.0f s, p95 %.0f s\n", s.MeanJobSeconds, s.P95JobSeconds)
+		fmt.Fprintf(&b, "throughput: %.1f jobs/simulated hour\n", s.ThroughputPerHour)
+	}
+	if s.MeanConcurrency > 0 || s.PeakConcurrency > 0 {
+		fmt.Fprintf(&b, "concurrency: mean %.1f, peak %d\n", s.MeanConcurrency, s.PeakConcurrency)
+		fmt.Fprintf(&b, "max link occupancy: mean %.3f, peak %.3f\n", s.MeanMaxOcc, s.PeakMaxOcc)
+	}
+	return b.String()
+}

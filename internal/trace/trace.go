@@ -1,0 +1,91 @@
+// Package trace records simulation runs as a stream of JSON-lines events:
+// job admissions, rejections, completions, failures, and periodic
+// datacenter snapshots (occupancy, concurrency). Traces make individual
+// runs inspectable offline — every figure in the paper is an aggregate,
+// and when an aggregate looks wrong the trace is how to see why.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Kind labels an event.
+type Kind string
+
+// Event kinds.
+const (
+	KindAdmit       Kind = "admit"
+	KindReject      Kind = "reject"
+	KindComplete    Kind = "complete"
+	KindJobFail     Kind = "job_fail"
+	KindMachineFail Kind = "machine_fail"
+	KindSnapshot    Kind = "snapshot"
+)
+
+// Event is one trace record. Unused fields are omitted from the JSON.
+type Event struct {
+	Time int  `json:"t"`
+	Kind Kind `json:"kind"`
+
+	Job      int     `json:"job,omitempty"`      // job ID
+	VMs      int     `json:"vms,omitempty"`      // job size
+	Machines int     `json:"machines,omitempty"` // machines used / failed machine ID
+	Took     int     `json:"tookSeconds,omitempty"`
+	Running  int     `json:"running,omitempty"` // concurrent jobs (snapshots)
+	MaxOcc   float64 `json:"maxOcc,omitempty"`  // max link occupancy (snapshots)
+}
+
+// Recorder writes events as JSON lines. A nil *Recorder is valid and
+// discards everything, so callers can hold one unconditionally. Errors are
+// sticky: the first write error is kept and later writes are dropped;
+// check Err once at the end of the run.
+type Recorder struct {
+	enc *json.Encoder
+	err error
+
+	// SnapshotEvery is the period (simulated seconds) of datacenter
+	// snapshots; zero disables them.
+	SnapshotEvery int
+}
+
+// NewRecorder returns a recorder writing JSON lines to w, with snapshots
+// every snapshotEvery seconds (0 disables snapshots).
+func NewRecorder(w io.Writer, snapshotEvery int) *Recorder {
+	return &Recorder{enc: json.NewEncoder(w), SnapshotEvery: snapshotEvery}
+}
+
+// Record writes one event.
+func (r *Recorder) Record(e Event) {
+	if r == nil || r.err != nil {
+		return
+	}
+	r.err = r.enc.Encode(e)
+}
+
+// WantSnapshot reports whether a snapshot is due at the given second.
+func (r *Recorder) WantSnapshot(now int) bool {
+	return r != nil && r.SnapshotEvery > 0 && now%r.SnapshotEvery == 0
+}
+
+// Err returns the first write error, if any.
+func (r *Recorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	return r.err
+}
+
+// Read parses a JSONL trace back into events, for analysis and tests.
+func Read(rd io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(rd)
+	var events []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return events, err
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf, 10)
+	r.Record(Event{Time: 0, Kind: KindAdmit, Job: 1, VMs: 8, Machines: 3})
+	r.Record(Event{Time: 5, Kind: KindReject, Job: 2, VMs: 50})
+	r.Record(Event{Time: 300, Kind: KindComplete, Job: 1, Took: 300})
+	r.Record(Event{Time: 300, Kind: KindSnapshot, Running: 4, MaxOcc: 0.87})
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("read %d events, want 4", len(events))
+	}
+	if events[0].Kind != KindAdmit || events[0].VMs != 8 {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if events[3].MaxOcc != 0.87 {
+		t.Errorf("snapshot MaxOcc = %v", events[3].MaxOcc)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindAdmit}) // must not panic
+	if r.WantSnapshot(0) {
+		t.Error("nil recorder wants snapshots")
+	}
+	if r.Err() != nil {
+		t.Error("nil recorder has an error")
+	}
+}
+
+func TestWantSnapshot(t *testing.T) {
+	r := NewRecorder(&bytes.Buffer{}, 10)
+	if !r.WantSnapshot(0) || !r.WantSnapshot(20) {
+		t.Error("snapshot not due on period boundary")
+	}
+	if r.WantSnapshot(15) {
+		t.Error("snapshot due off-boundary")
+	}
+	r = NewRecorder(&bytes.Buffer{}, 0)
+	if r.WantSnapshot(0) {
+		t.Error("snapshots enabled with period 0")
+	}
+}
+
+// failingWriter fails after the first write.
+type failingWriter struct{ writes int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > 1 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestStickyError(t *testing.T) {
+	r := NewRecorder(&failingWriter{}, 0)
+	r.Record(Event{Kind: KindAdmit})
+	r.Record(Event{Kind: KindComplete}) // fails
+	r.Record(Event{Kind: KindComplete}) // dropped
+	if r.Err() == nil {
+		t.Error("write error not surfaced")
+	}
+}
+
+func TestReadMalformed(t *testing.T) {
+	_, err := Read(strings.NewReader("{\"t\":1}\nnot json\n"))
+	if err == nil {
+		t.Error("malformed trace accepted")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	events := []Event{
+		{Time: 0, Kind: KindAdmit, Job: 1},
+		{Time: 0, Kind: KindAdmit, Job: 2},
+		{Time: 5, Kind: KindReject, Job: 3},
+		{Time: 10, Kind: KindSnapshot, Running: 2, MaxOcc: 0.5},
+		{Time: 20, Kind: KindMachineFail, Machines: 7},
+		{Time: 20, Kind: KindJobFail, Job: 2},
+		{Time: 30, Kind: KindSnapshot, Running: 1, MaxOcc: 0.7},
+		{Time: 60, Kind: KindComplete, Job: 1, Took: 60},
+	}
+	s := Analyze(events)
+	if s.Admitted != 2 || s.Rejected != 1 || s.Completed != 1 || s.JobFailures != 1 || s.MachineFailures != 1 {
+		t.Errorf("counts = %+v", s)
+	}
+	if s.Span != 60 {
+		t.Errorf("Span = %d, want 60", s.Span)
+	}
+	if s.MeanJobSeconds != 60 || s.P95JobSeconds != 60 {
+		t.Errorf("job time stats = %v / %v", s.MeanJobSeconds, s.P95JobSeconds)
+	}
+	if s.MeanConcurrency != 1.5 || s.PeakConcurrency != 2 {
+		t.Errorf("concurrency = %v / %d", s.MeanConcurrency, s.PeakConcurrency)
+	}
+	if s.PeakMaxOcc != 0.7 {
+		t.Errorf("PeakMaxOcc = %v", s.PeakMaxOcc)
+	}
+	if s.ThroughputPerHour != 60 {
+		t.Errorf("ThroughputPerHour = %v, want 60", s.ThroughputPerHour)
+	}
+	out := s.String()
+	for _, want := range []string{"2 admitted", "machine failures: 1", "throughput"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	s := Analyze(nil)
+	if s.Admitted != 0 || s.ThroughputPerHour != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty summary renders nothing")
+	}
+}

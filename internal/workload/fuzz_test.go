@@ -1,0 +1,33 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJobs fuzzes the job-file parser: arbitrary input either errors or
+// yields a population that round-trips through WriteJobs/ReadJobs.
+func FuzzReadJobs(f *testing.F) {
+	f.Add(`{"jobs": [{"id":0,"n":2,"mu":100,"computeSeconds":10,"flowMbits":500,"seed":1}]}`)
+	f.Add(`{"jobs": [{"id":1,"n":2,"mu":100,"sigma":40,"distribution":"lognormal","computeSeconds":10,"flowMbits":500,"seed":2}]}`)
+	f.Add(`{"jobs": []}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, input string) {
+		jobs, err := ReadJobs(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteJobs(&buf, jobs); err != nil {
+			t.Fatalf("WriteJobs after successful ReadJobs: %v", err)
+		}
+		again, err := ReadJobs(&buf)
+		if err != nil {
+			t.Fatalf("ReadJobs(WriteJobs(jobs)): %v", err)
+		}
+		if len(again) != len(jobs) {
+			t.Fatalf("round trip changed job count: %d -> %d", len(jobs), len(again))
+		}
+	})
+}

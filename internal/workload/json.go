@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// jobWire is the serialized form of a sim.JobSpec. The demand stream seed
+// is included, so a written-and-reread population replays bit-for-bit.
+type jobWire struct {
+	ID             int          `json:"id"`
+	N              int          `json:"n"`
+	Mu             float64      `json:"mu"`
+	Sigma          float64      `json:"sigma,omitempty"`
+	Hetero         []demandWire `json:"hetero,omitempty"`
+	ComputeSeconds int          `json:"computeSeconds"`
+	FlowMbits      float64      `json:"flowMbits"`
+	Seed           uint64       `json:"seed"`
+	Distribution   string       `json:"distribution,omitempty"` // "" (normal) or "lognormal"
+	Abstraction    string       `json:"abstraction,omitempty"`  // per-job override
+}
+
+type demandWire struct {
+	Mu    float64 `json:"mu"`
+	Sigma float64 `json:"sigma,omitempty"`
+}
+
+// jobsFile wraps the job list on disk.
+type jobsFile struct {
+	Jobs []jobWire `json:"jobs"`
+}
+
+// WriteJobs serializes a job population as indented JSON so an experiment's
+// exact inputs can be archived and replayed.
+func WriteJobs(w io.Writer, jobs []sim.JobSpec) error {
+	out := jobsFile{Jobs: make([]jobWire, 0, len(jobs))}
+	for _, j := range jobs {
+		wire := jobWire{
+			ID: j.ID, N: j.N,
+			Mu: j.Profile.Mu, Sigma: j.Profile.Sigma,
+			ComputeSeconds: j.ComputeSeconds,
+			FlowMbits:      j.FlowMbits,
+			Seed:           j.Seed,
+		}
+		switch d := j.DemandDist.(type) {
+		case nil:
+		case stats.LogNormal:
+			wire.Distribution = "lognormal"
+		default:
+			return fmt.Errorf("workload: job %d: cannot serialize demand distribution %T", j.ID, d)
+		}
+		for v, hd := range j.HeteroDists {
+			if _, ok := hd.(stats.LogNormal); !ok {
+				return fmt.Errorf("workload: job %d vm %d: cannot serialize demand distribution %T", j.ID, v, hd)
+			}
+			wire.Distribution = "lognormal"
+		}
+		if j.Abstraction != 0 {
+			wire.Abstraction = j.Abstraction.String()
+		}
+		for _, d := range j.Hetero {
+			wire.Hetero = append(wire.Hetero, demandWire{Mu: d.Mu, Sigma: d.Sigma})
+		}
+		out.Jobs = append(out.Jobs, wire)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("workload: encode jobs: %w", err)
+	}
+	return nil
+}
+
+// ReadJobs parses a job population written by WriteJobs.
+func ReadJobs(r io.Reader) ([]sim.JobSpec, error) {
+	var in jobsFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("workload: decode jobs: %w", err)
+	}
+	if len(in.Jobs) == 0 {
+		return nil, fmt.Errorf("workload: job file contains no jobs")
+	}
+	jobs := make([]sim.JobSpec, 0, len(in.Jobs))
+	for _, wire := range in.Jobs {
+		spec := sim.JobSpec{
+			ID: wire.ID, N: wire.N,
+			Profile:        stats.Normal{Mu: wire.Mu, Sigma: wire.Sigma},
+			ComputeSeconds: wire.ComputeSeconds,
+			FlowMbits:      wire.FlowMbits,
+			Seed:           wire.Seed,
+		}
+		for _, d := range wire.Hetero {
+			spec.Hetero = append(spec.Hetero, stats.Normal{Mu: d.Mu, Sigma: d.Sigma})
+		}
+		switch wire.Distribution {
+		case "", "normal":
+		case "lognormal":
+			if len(spec.Hetero) > 0 {
+				spec.HeteroDists = make([]stats.Dist, len(spec.Hetero))
+				for v, prof := range spec.Hetero {
+					ln, err := stats.LogNormalFromMoments(prof.Mu, prof.Sigma)
+					if err != nil {
+						return nil, fmt.Errorf("workload: job %d vm %d: %w", wire.ID, v, err)
+					}
+					spec.HeteroDists[v] = ln
+				}
+			} else {
+				ln, err := stats.LogNormalFromMoments(wire.Mu, wire.Sigma)
+				if err != nil {
+					return nil, fmt.Errorf("workload: job %d: %w", wire.ID, err)
+				}
+				spec.DemandDist = ln
+			}
+		default:
+			return nil, fmt.Errorf("workload: job %d: unknown distribution %q", wire.ID, wire.Distribution)
+		}
+		if wire.Abstraction != "" {
+			abs, err := sim.ParseAbstraction(wire.Abstraction)
+			if err != nil {
+				return nil, fmt.Errorf("workload: job %d: %w", wire.ID, err)
+			}
+			spec.Abstraction = abs
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, spec)
+	}
+	return jobs, nil
+}

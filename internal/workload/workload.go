@@ -1,0 +1,178 @@
+// Package workload generates the tenant job populations of the paper's
+// evaluation (Section VI-A): job sizes exponentially distributed around a
+// mean of 49 VMs, per-job data generation rates with mean drawn from
+// {100..500} Mbps and sigma = rho*mu, compute times uniform in [200, 500]
+// seconds, and Poisson arrival processes for the online scenario.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Params describes a job population. The zero value is not useful; start
+// from Paper() and override.
+type Params struct {
+	Jobs        int
+	MeanSize    float64   // mean VMs per job (exponential), paper: 49
+	MinSize     int       // truncation floor, >= 2 so jobs exercise the network
+	MaxSize     int       // truncation ceiling (0 = no ceiling)
+	RateMeans   []float64 // mu_d choices (Mbps), paper: {100..500}
+	Deviation   float64   // rho: sigma_d = rho*mu_d; negative = uniform in (0,1) per job
+	ComputeLo   int       // compute time range (s), paper: [200, 500]
+	ComputeHi   int
+	FlowSeconds float64 // flow length L = mu_d * FlowSeconds
+	Hetero      bool    // per-VM profiles instead of one per job
+	// Distribution selects the ground-truth demand distribution tasks
+	// draw rates from: "normal" (default, the paper's model) or
+	// "lognormal" (same mean and sigma, heavier right tail — exercising
+	// the paper's remark that SVC extends to other distributions).
+	Distribution string
+	// DetFraction in [0, 1] marks that fraction of jobs as deterministic
+	// percentile-VC tenants, exercising the paper's coexistence of
+	// deterministic reservations (D_L) with statistically shared
+	// stochastic demand (S_L) on the same links. The rest follow the
+	// scenario-wide abstraction.
+	DetFraction float64
+	Seed        uint64
+}
+
+// Paper returns the evaluation parameters of the paper with the given
+// deviation coefficient behaviour (rho < 0 means "uniform in (0,1)",
+// the paper's default).
+func Paper(jobs int, seed uint64) Params {
+	return Params{
+		Jobs:        jobs,
+		MeanSize:    49,
+		MinSize:     2,
+		MaxSize:     200,
+		RateMeans:   []float64{100, 200, 300, 400, 500},
+		Deviation:   -1,
+		ComputeLo:   200,
+		ComputeHi:   500,
+		FlowSeconds: 300,
+		Seed:        seed,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.Jobs <= 0:
+		return fmt.Errorf("workload: Jobs = %d", p.Jobs)
+	case p.MeanSize <= 0:
+		return fmt.Errorf("workload: MeanSize = %v", p.MeanSize)
+	case p.MinSize < 1:
+		return fmt.Errorf("workload: MinSize = %d", p.MinSize)
+	case p.MaxSize != 0 && p.MaxSize < p.MinSize:
+		return fmt.Errorf("workload: MaxSize %d < MinSize %d", p.MaxSize, p.MinSize)
+	case len(p.RateMeans) == 0:
+		return fmt.Errorf("workload: no rate means")
+	case p.ComputeHi < p.ComputeLo || p.ComputeLo < 0:
+		return fmt.Errorf("workload: compute range [%d, %d]", p.ComputeLo, p.ComputeHi)
+	case p.FlowSeconds < 0:
+		return fmt.Errorf("workload: FlowSeconds = %v", p.FlowSeconds)
+	case p.Distribution != "" && p.Distribution != "normal" && p.Distribution != "lognormal":
+		return fmt.Errorf("workload: unknown distribution %q", p.Distribution)
+	case p.DetFraction < 0 || p.DetFraction > 1:
+		return fmt.Errorf("workload: DetFraction = %v", p.DetFraction)
+	}
+	return nil
+}
+
+// Generate returns the job population.
+func Generate(p Params) ([]sim.JobSpec, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := stats.NewRand(p.Seed)
+	jobs := make([]sim.JobSpec, p.Jobs)
+	for i := range jobs {
+		n := int(math.Round(r.Exp(p.MeanSize)))
+		if n < p.MinSize {
+			n = p.MinSize
+		}
+		if p.MaxSize > 0 && n > p.MaxSize {
+			n = p.MaxSize
+		}
+		mu := r.Pick(p.RateMeans)
+		rho := p.Deviation
+		if rho < 0 {
+			rho = r.Float64()
+		}
+		profile := stats.Normal{Mu: mu, Sigma: rho * mu}
+		spec := sim.JobSpec{
+			ID:             i,
+			N:              n,
+			Profile:        profile,
+			ComputeSeconds: r.UniformInt(p.ComputeLo, p.ComputeHi),
+			FlowMbits:      mu * p.FlowSeconds,
+			Seed:           r.Uint64(),
+		}
+		if p.DetFraction > 0 && r.Float64() < p.DetFraction {
+			spec.Abstraction = sim.PercentileVC
+		}
+		if p.Distribution == "lognormal" {
+			ln, err := stats.LogNormalFromMoments(profile.Mu, profile.Sigma)
+			if err != nil {
+				return nil, fmt.Errorf("workload: job %d: %w", i, err)
+			}
+			spec.DemandDist = ln
+		}
+		if p.Hetero {
+			spec.Hetero = make([]stats.Normal, n)
+			for v := range spec.Hetero {
+				vmMu := r.Pick(p.RateMeans)
+				vmRho := p.Deviation
+				if vmRho < 0 {
+					vmRho = r.Float64()
+				}
+				spec.Hetero[v] = stats.Normal{Mu: vmMu, Sigma: vmRho * vmMu}
+			}
+			if p.Distribution == "lognormal" {
+				spec.DemandDist = nil // per-VM dists supersede the job-level one
+				spec.HeteroDists = make([]stats.Dist, n)
+				for v, prof := range spec.Hetero {
+					ln, err := stats.LogNormalFromMoments(prof.Mu, prof.Sigma)
+					if err != nil {
+						return nil, fmt.Errorf("workload: job %d vm %d: %w", i, v, err)
+					}
+					spec.HeteroDists[v] = ln
+				}
+			}
+		}
+		jobs[i] = spec
+	}
+	return jobs, nil
+}
+
+// MeanComputeSeconds returns the mean compute time implied by the params.
+func (p Params) MeanComputeSeconds() float64 {
+	return float64(p.ComputeLo+p.ComputeHi) / 2
+}
+
+// ArrivalRate returns the Poisson arrival rate lambda (jobs/s) that drives
+// the datacenter at the given load fraction, following the paper's
+// definition load = lambda * meanSize * meanComputeTime / totalSlots.
+func (p Params) ArrivalRate(load float64, totalSlots int) float64 {
+	return load * float64(totalSlots) / (p.MeanSize * p.MeanComputeSeconds())
+}
+
+// PoissonArrivals returns non-decreasing integer arrival seconds for n jobs
+// with exponential inter-arrival times of rate lambda.
+func PoissonArrivals(n int, lambda float64, seed uint64) ([]int, error) {
+	if lambda <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate %v", lambda)
+	}
+	r := stats.NewRand(seed)
+	arrivals := make([]int, n)
+	t := 0.0
+	for i := range arrivals {
+		t += r.Exp(1 / lambda)
+		arrivals[i] = int(t)
+	}
+	return arrivals, nil
+}

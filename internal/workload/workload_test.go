@@ -1,0 +1,316 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Paper(20, 5)
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same params produced different populations")
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	p := Paper(500, 9)
+	jobs, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(jobs) != 500 {
+		t.Fatalf("len = %d", len(jobs))
+	}
+	var sizeSum float64
+	for i, j := range jobs {
+		if j.ID != i {
+			t.Errorf("job %d has ID %d", i, j.ID)
+		}
+		if j.N < p.MinSize || j.N > p.MaxSize {
+			t.Errorf("job %d size %d outside [%d, %d]", i, j.N, p.MinSize, p.MaxSize)
+		}
+		if j.Profile.Mu < 100 || j.Profile.Mu > 500 {
+			t.Errorf("job %d rate mean %v outside {100..500}", i, j.Profile.Mu)
+		}
+		if j.Profile.Sigma < 0 || j.Profile.Sigma > j.Profile.Mu {
+			t.Errorf("job %d sigma %v outside [0, mu]", i, j.Profile.Sigma)
+		}
+		if j.ComputeSeconds < 200 || j.ComputeSeconds > 500 {
+			t.Errorf("job %d compute %d outside [200, 500]", i, j.ComputeSeconds)
+		}
+		if want := j.Profile.Mu * p.FlowSeconds; j.FlowMbits != want {
+			t.Errorf("job %d flow length %v, want %v", i, j.FlowMbits, want)
+		}
+		sizeSum += float64(j.N)
+	}
+	// Mean size approximately 49 (truncation biases slightly).
+	if mean := sizeSum / 500; math.Abs(mean-49) > 8 {
+		t.Errorf("mean size = %v, want ~49", mean)
+	}
+}
+
+func TestGenerateFixedDeviation(t *testing.T) {
+	p := Paper(50, 3)
+	p.Deviation = 0.25
+	jobs, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for i, j := range jobs {
+		if want := 0.25 * j.Profile.Mu; math.Abs(j.Profile.Sigma-want) > 1e-9 {
+			t.Errorf("job %d sigma = %v, want %v", i, j.Profile.Sigma, want)
+		}
+	}
+}
+
+func TestGenerateHetero(t *testing.T) {
+	p := Paper(30, 4)
+	p.Hetero = true
+	p.MeanSize = 10
+	p.MaxSize = 14
+	jobs, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for i, j := range jobs {
+		if len(j.Hetero) != j.N {
+			t.Errorf("job %d has %d hetero profiles for N=%d", i, len(j.Hetero), j.N)
+		}
+		for v, d := range j.Hetero {
+			if d.Mu < 100 || d.Mu > 500 || d.Sigma < 0 {
+				t.Errorf("job %d VM %d profile %v", i, v, d)
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Params{
+		{},
+		func() Params { p := Paper(10, 1); p.MeanSize = 0; return p }(),
+		func() Params { p := Paper(10, 1); p.MinSize = 0; return p }(),
+		func() Params { p := Paper(10, 1); p.MaxSize = 1; return p }(),
+		func() Params { p := Paper(10, 1); p.RateMeans = nil; return p }(),
+		func() Params { p := Paper(10, 1); p.ComputeHi = 100; return p }(),
+		func() Params { p := Paper(10, 1); p.FlowSeconds = -1; return p }(),
+	}
+	for i, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestArrivalRate(t *testing.T) {
+	p := Paper(10, 1)
+	// load = lambda * 49 * 350 / 4000 => lambda = load*4000/(49*350)
+	got := p.ArrivalRate(0.6, 4000)
+	want := 0.6 * 4000 / (49 * 350)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ArrivalRate = %v, want %v", got, want)
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	arr, err := PoissonArrivals(1000, 0.5, 77)
+	if err != nil {
+		t.Fatalf("PoissonArrivals: %v", err)
+	}
+	if len(arr) != 1000 {
+		t.Fatalf("len = %d", len(arr))
+	}
+	for i := 1; i < len(arr); i++ {
+		if arr[i] < arr[i-1] {
+			t.Fatalf("arrivals decrease at %d", i)
+		}
+	}
+	// Mean inter-arrival ~ 2s => last arrival ~ 2000s.
+	if last := float64(arr[len(arr)-1]); math.Abs(last-2000) > 300 {
+		t.Errorf("last arrival = %v, want ~2000", last)
+	}
+	if _, err := PoissonArrivals(5, 0, 1); err == nil {
+		t.Error("lambda=0: want error")
+	}
+}
+
+func TestGenerateLogNormal(t *testing.T) {
+	p := Paper(20, 6)
+	p.Distribution = "lognormal"
+	jobs, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for i, j := range jobs {
+		if j.DemandDist == nil {
+			t.Fatalf("job %d missing DemandDist", i)
+		}
+		m := j.DemandDist.Moments()
+		if math.Abs(m.Mu-j.Profile.Mu) > 1e-6 || math.Abs(m.Sigma-j.Profile.Sigma) > 1e-6 {
+			t.Errorf("job %d: advertised %v, ground truth moments %v", i, j.Profile, m)
+		}
+	}
+}
+
+func TestGenerateUnknownDistribution(t *testing.T) {
+	p := Paper(5, 1)
+	p.Distribution = "cauchy"
+	if _, err := Generate(p); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+}
+
+func TestGenerateDetFraction(t *testing.T) {
+	p := Paper(200, 8)
+	p.DetFraction = 0.5
+	jobs, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	det := 0
+	for _, j := range jobs {
+		if j.Abstraction != 0 {
+			det++
+		}
+	}
+	if det < 60 || det > 140 {
+		t.Errorf("deterministic jobs = %d of 200, want ~100", det)
+	}
+	p.DetFraction = 1.5
+	if _, err := Generate(p); err == nil {
+		t.Error("DetFraction > 1 accepted")
+	}
+}
+
+func TestJobsJSONRoundTrip(t *testing.T) {
+	p := Paper(15, 12)
+	p.Distribution = "lognormal"
+	p.DetFraction = 0.4
+	jobs, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJobs(&buf, jobs); err != nil {
+		t.Fatalf("WriteJobs: %v", err)
+	}
+	got, err := ReadJobs(&buf)
+	if err != nil {
+		t.Fatalf("ReadJobs: %v", err)
+	}
+	if !reflect.DeepEqual(got, jobs) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got[0], jobs[0])
+	}
+}
+
+func TestJobsJSONRoundTripHetero(t *testing.T) {
+	p := Paper(8, 3)
+	p.Hetero = true
+	p.MeanSize = 6
+	p.MaxSize = 10
+	jobs, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJobs(&buf, jobs); err != nil {
+		t.Fatalf("WriteJobs: %v", err)
+	}
+	got, err := ReadJobs(&buf)
+	if err != nil {
+		t.Fatalf("ReadJobs: %v", err)
+	}
+	if !reflect.DeepEqual(got, jobs) {
+		t.Error("hetero round trip mismatch")
+	}
+}
+
+func TestReadJobsErrors(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"jobs": []}`,
+		`{"jobs": [{"id":0,"n":2,"mu":100,"distribution":"cauchy","computeSeconds":1,"flowMbits":1,"seed":1}]}`,
+		`{"jobs": [{"id":0,"n":2,"mu":100,"abstraction":"psychic","computeSeconds":1,"flowMbits":1,"seed":1}]}`,
+		`{"jobs": [{"id":0,"n":0,"mu":100,"computeSeconds":1,"flowMbits":1,"seed":1}]}`,
+		`{"jobs": [{"id":0,"n":2,"unknownField":1}]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadJobs(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWriteJobsRejectsEmpirical(t *testing.T) {
+	e, err := stats.NewEmpirical([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("NewEmpirical: %v", err)
+	}
+	jobs := []sim.JobSpec{{ID: 0, N: 2, Profile: e.Moments(), DemandDist: e, ComputeSeconds: 1, FlowMbits: 1}}
+	var buf bytes.Buffer
+	if err := WriteJobs(&buf, jobs); err == nil {
+		t.Error("empirical distribution serialized without error")
+	}
+}
+
+func TestGenerateHeteroLogNormal(t *testing.T) {
+	p := Paper(10, 14)
+	p.Hetero = true
+	p.Distribution = "lognormal"
+	p.MeanSize = 6
+	p.MaxSize = 10
+	jobs, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for i, j := range jobs {
+		if j.DemandDist != nil {
+			t.Errorf("job %d keeps job-level DemandDist alongside HeteroDists", i)
+		}
+		if len(j.HeteroDists) != j.N {
+			t.Fatalf("job %d has %d hetero dists for N=%d", i, len(j.HeteroDists), j.N)
+		}
+		for v, d := range j.HeteroDists {
+			m := d.Moments()
+			if math.Abs(m.Mu-j.Hetero[v].Mu) > 1e-6 {
+				t.Errorf("job %d vm %d: dist mean %v != profile %v", i, v, m.Mu, j.Hetero[v].Mu)
+			}
+		}
+	}
+}
+
+func TestJobsJSONRoundTripHeteroLogNormal(t *testing.T) {
+	p := Paper(6, 21)
+	p.Hetero = true
+	p.Distribution = "lognormal"
+	p.MeanSize = 5
+	p.MaxSize = 8
+	jobs, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJobs(&buf, jobs); err != nil {
+		t.Fatalf("WriteJobs: %v", err)
+	}
+	got, err := ReadJobs(&buf)
+	if err != nil {
+		t.Fatalf("ReadJobs: %v", err)
+	}
+	if !reflect.DeepEqual(got, jobs) {
+		t.Error("hetero-lognormal round trip mismatch")
+	}
+}

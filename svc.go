@@ -1,0 +1,188 @@
+// Package svc is a Go implementation of the Stochastic Virtual Cluster
+// (SVC) network abstraction from "Bandwidth Guarantee under Demand
+// Uncertainty in Multi-tenant Clouds" (Yu and Shen, ICDCS 2014).
+//
+// An SVC request describes a virtual cluster of N VMs whose per-VM
+// bandwidth demand is a normal random variable rather than a constant. The
+// network manager places such clusters on a tree datacenter so that on
+// every physical link the probability of the aggregate stochastic demand
+// exceeding the available bandwidth stays below a configurable risk factor
+// eps (the probabilistic bandwidth guarantee), while minimizing the maximum
+// link bandwidth-occupancy ratio.
+//
+// The package re-exports the library's public surface:
+//
+//   - requests: Homogeneous and Heterogeneous virtual clusters, the
+//     deterministic Oktopus-style derivations MeanVC / PercentileVC;
+//   - topology: tree datacenters built from ThreeTierConfig or Spec;
+//   - Manager: online admission control, allocation and release;
+//   - simulation: the flow-level evaluation substrate (sim.RunBatch,
+//     sim.RunOnline) and workload generators used to reproduce the paper's
+//     experiments (internal/experiments).
+//
+// Quickstart:
+//
+//	topo, _ := svc.NewThreeTier(svc.PaperTopology())
+//	mgr, _ := svc.NewManager(topo, 0.05)
+//	req, _ := svc.NewHomogeneous(49, svc.Normal{Mu: 300, Sigma: 120})
+//	alloc, err := mgr.AllocateHomog(req)
+//	if err != nil { /* rejected */ }
+//	defer mgr.Release(alloc.ID)
+//
+// See examples/ for runnable programs and cmd/svcsim for the experiment
+// harness that regenerates the paper's figures.
+package svc
+
+import (
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Normal is a normal distribution N(Mu, Sigma^2); with Sigma == 0 it is the
+// deterministic point mass used for fixed bandwidth demands.
+type Normal = stats.Normal
+
+// Core request and allocation types.
+type (
+	// Homogeneous is an SVC request <N, mu, sigma>: N VMs with i.i.d.
+	// normal bandwidth demands. Sigma == 0 yields the deterministic
+	// Oktopus virtual cluster <N, B>.
+	Homogeneous = core.Homogeneous
+	// Heterogeneous is an SVC request whose VMs have per-VM demand
+	// distributions.
+	Heterogeneous = core.Heterogeneous
+	// Manager is the network manager: admission control, VM allocation
+	// and release over a shared datacenter.
+	Manager = core.Manager
+	// ManagerOption configures a Manager.
+	ManagerOption = core.ManagerOption
+	// Allocation records an admitted request's placement.
+	Allocation = core.Allocation
+	// Placement maps a request's VMs to machines.
+	Placement = core.Placement
+	// JobID identifies an admitted request.
+	JobID = core.JobID
+	// Policy selects the placement optimization (MinMaxOccupancy or
+	// FirstFeasible).
+	Policy = core.Policy
+	// HeteroAlgorithm selects the heterogeneous allocator.
+	HeteroAlgorithm = core.HeteroAlgorithm
+	// Ledger exposes per-link reservation state for inspection.
+	Ledger = core.Ledger
+)
+
+// Topology types.
+type (
+	// Topology is an immutable tree datacenter.
+	Topology = topology.Topology
+	// ThreeTierConfig describes a machines/ToR/aggregation/core tree.
+	ThreeTierConfig = topology.ThreeTierConfig
+	// Spec declaratively describes an arbitrary tree topology.
+	Spec = topology.Spec
+	// NodeID identifies a topology node.
+	NodeID = topology.NodeID
+	// LinkID identifies a link by its lower endpoint.
+	LinkID = topology.LinkID
+)
+
+// Placement policies.
+const (
+	// MinMaxOccupancy is the paper's SVC algorithm: the valid placement in
+	// the lowest feasible subtree that minimizes the maximum link
+	// bandwidth-occupancy ratio.
+	MinMaxOccupancy = core.MinMaxOccupancy
+	// FirstFeasible is the adapted-TIVC baseline: first valid placement,
+	// no occupancy optimization.
+	FirstFeasible = core.FirstFeasible
+	// GreedyPack is the Oktopus-style baseline: pack each child subtree as
+	// full as possible, no occupancy optimization.
+	GreedyPack = core.GreedyPack
+)
+
+// Heterogeneous allocator choices.
+const (
+	// HeteroSubstring is the paper's polynomial substring heuristic.
+	HeteroSubstring = core.HeteroSubstring
+	// HeteroExact is the exact exponential DP (small N only).
+	HeteroExact = core.HeteroExact
+	// HeteroFirstFit is the first-fit baseline.
+	HeteroFirstFit = core.HeteroFirstFit
+)
+
+// Sentinel errors.
+var (
+	// ErrNoCapacity reports a rejected request.
+	ErrNoCapacity = core.ErrNoCapacity
+	// ErrBadRequest reports a structurally invalid request.
+	ErrBadRequest = core.ErrBadRequest
+	// ErrUnknownJob reports a release of an untracked job.
+	ErrUnknownJob = core.ErrUnknownJob
+)
+
+// NewManager returns a network manager over an empty datacenter with risk
+// factor eps in (0, 1).
+func NewManager(topo *Topology, eps float64, opts ...ManagerOption) (*Manager, error) {
+	return core.NewManager(topo, eps, opts...)
+}
+
+// WithPolicy selects the placement policy (default MinMaxOccupancy).
+func WithPolicy(p Policy) ManagerOption { return core.WithPolicy(p) }
+
+// WithHeteroAlgorithm selects the heterogeneous allocator (default
+// HeteroSubstring).
+func WithHeteroAlgorithm(a HeteroAlgorithm) ManagerOption { return core.WithHeteroAlgorithm(a) }
+
+// NewHomogeneous returns an SVC request of n VMs with i.i.d. demand.
+func NewHomogeneous(n int, demand Normal) (Homogeneous, error) {
+	return core.NewHomogeneous(n, demand)
+}
+
+// NewDeterministic returns the Oktopus virtual cluster <N, B>.
+func NewDeterministic(n int, bandwidth float64) (Homogeneous, error) {
+	return core.NewDeterministic(n, bandwidth)
+}
+
+// MeanVC derives a deterministic request reserving the profile mean.
+func MeanVC(n int, profile Normal) (Homogeneous, error) { return core.MeanVC(n, profile) }
+
+// PercentileVC derives a deterministic request reserving the profile's
+// 95th percentile.
+func PercentileVC(n int, profile Normal) (Homogeneous, error) { return core.PercentileVC(n, profile) }
+
+// NewHeterogeneous returns an SVC request with per-VM demands.
+func NewHeterogeneous(demands []Normal) (Heterogeneous, error) {
+	return core.NewHeterogeneous(demands)
+}
+
+// NewThreeTier builds a three-level tree datacenter.
+func NewThreeTier(cfg ThreeTierConfig) (*Topology, error) { return topology.NewThreeTier(cfg) }
+
+// NewTopology builds an arbitrary tree datacenter from a spec.
+func NewTopology(root Spec) (*Topology, error) { return topology.NewFromSpec(root) }
+
+// PaperTopology returns the paper's evaluation datacenter: 1,000 machines,
+// 4,000 VM slots, 1 Gbps host links, oversubscription 2.
+func PaperTopology() ThreeTierConfig { return topology.PaperConfig() }
+
+// Dist is a demand distribution: anything that reports the moments the SVC
+// framework reserves by and can be sampled by the simulator. Normal and
+// LogNormal implement it.
+type Dist = stats.Dist
+
+// LogNormal is a heavier-tailed demand distribution, usable wherever the
+// framework accepts moments.
+type LogNormal = stats.LogNormal
+
+// LogNormalFromMoments builds the log-normal demand distribution with the
+// given mean and standard deviation.
+func LogNormalFromMoments(mean, sigma float64) (LogNormal, error) {
+	return stats.LogNormalFromMoments(mean, sigma)
+}
+
+// EstimateProfile fits a Normal demand profile to observed rate samples
+// (e.g. a tenant's profiling run) — the paper's proposed path from measured
+// workloads to SVC requests.
+func EstimateProfile(samples []float64) (Normal, error) {
+	return stats.Estimate(samples)
+}

@@ -1,0 +1,178 @@
+package svc_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	svc "repro"
+)
+
+func smallTopology(t *testing.T) *svc.Topology {
+	t.Helper()
+	topo, err := svc.NewThreeTier(svc.ThreeTierConfig{
+		Aggs: 1, ToRsPerAgg: 2, MachinesPerRack: 4, SlotsPerMachine: 4,
+		HostCap: 1000, Oversub: 2,
+	})
+	if err != nil {
+		t.Fatalf("NewThreeTier: %v", err)
+	}
+	return topo
+}
+
+func TestPublicAPIAllocateRelease(t *testing.T) {
+	mgr, err := svc.NewManager(smallTopology(t), 0.05)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	req, err := svc.NewHomogeneous(6, svc.Normal{Mu: 200, Sigma: 100})
+	if err != nil {
+		t.Fatalf("NewHomogeneous: %v", err)
+	}
+	alloc, err := mgr.AllocateHomog(req)
+	if err != nil {
+		t.Fatalf("AllocateHomog: %v", err)
+	}
+	if got := alloc.Placement.TotalVMs(); got != 6 {
+		t.Errorf("placed %d VMs, want 6", got)
+	}
+	if err := mgr.Release(alloc.ID); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if err := mgr.Release(alloc.ID); !errors.Is(err, svc.ErrUnknownJob) {
+		t.Errorf("double release err = %v, want ErrUnknownJob", err)
+	}
+}
+
+func TestPublicAPIRejection(t *testing.T) {
+	mgr, err := svc.NewManager(smallTopology(t), 0.05)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	req, err := svc.NewHomogeneous(1000, svc.Normal{Mu: 10})
+	if err != nil {
+		t.Fatalf("NewHomogeneous: %v", err)
+	}
+	if _, err := mgr.AllocateHomog(req); !errors.Is(err, svc.ErrNoCapacity) {
+		t.Errorf("err = %v, want ErrNoCapacity", err)
+	}
+}
+
+func TestPublicAPIDerivations(t *testing.T) {
+	profile := svc.Normal{Mu: 300, Sigma: 100}
+	mean, err := svc.MeanVC(5, profile)
+	if err != nil || mean.Demand.Mu != 300 {
+		t.Errorf("MeanVC = %v, %v", mean, err)
+	}
+	det, err := svc.NewDeterministic(5, 250)
+	if err != nil || !det.Deterministic() {
+		t.Errorf("NewDeterministic = %v, %v", det, err)
+	}
+	pct, err := svc.PercentileVC(5, profile)
+	if err != nil || pct.Demand.Mu <= 300 {
+		t.Errorf("PercentileVC = %v, %v", pct, err)
+	}
+	if _, err := svc.NewHomogeneous(0, profile); !errors.Is(err, svc.ErrBadRequest) {
+		t.Errorf("invalid request err = %v", err)
+	}
+}
+
+func TestPublicAPIHeterogeneous(t *testing.T) {
+	mgr, err := svc.NewManager(smallTopology(t), 0.05, svc.WithHeteroAlgorithm(svc.HeteroSubstring))
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	req, err := svc.NewHeterogeneous([]svc.Normal{
+		{Mu: 500, Sigma: 100}, {Mu: 100, Sigma: 20}, {Mu: 250, Sigma: 50},
+	})
+	if err != nil {
+		t.Fatalf("NewHeterogeneous: %v", err)
+	}
+	alloc, err := mgr.AllocateHetero(req)
+	if err != nil {
+		t.Fatalf("AllocateHetero: %v", err)
+	}
+	if got := alloc.Placement.TotalVMs(); got != 3 {
+		t.Errorf("placed %d VMs, want 3", got)
+	}
+}
+
+func TestPaperTopology(t *testing.T) {
+	cfg := svc.PaperTopology()
+	if cfg.Machines() != 1000 || cfg.Slots() != 4000 {
+		t.Errorf("paper topology = %d machines, %d slots", cfg.Machines(), cfg.Slots())
+	}
+	topo, err := svc.NewThreeTier(cfg)
+	if err != nil {
+		t.Fatalf("NewThreeTier: %v", err)
+	}
+	if topo.TotalSlots() != 4000 {
+		t.Errorf("TotalSlots = %d", topo.TotalSlots())
+	}
+}
+
+func TestPublicAPIPolicies(t *testing.T) {
+	for _, p := range []svc.Policy{svc.MinMaxOccupancy, svc.FirstFeasible} {
+		mgr, err := svc.NewManager(smallTopology(t), 0.05, svc.WithPolicy(p))
+		if err != nil {
+			t.Fatalf("NewManager(%v): %v", p, err)
+		}
+		req, _ := svc.NewHomogeneous(10, svc.Normal{Mu: 100, Sigma: 30})
+		alloc, err := mgr.AllocateHomog(req)
+		if err != nil {
+			t.Fatalf("AllocateHomog(%v): %v", p, err)
+		}
+		if alloc.Placement.TotalVMs() != 10 {
+			t.Errorf("policy %v placed %d VMs", p, alloc.Placement.TotalVMs())
+		}
+	}
+}
+
+// Example demonstrates the basic admit-inspect-release cycle.
+func Example() {
+	topo, err := svc.NewThreeTier(svc.ThreeTierConfig{
+		Aggs: 1, ToRsPerAgg: 2, MachinesPerRack: 4, SlotsPerMachine: 4,
+		HostCap: 1000, Oversub: 2,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	mgr, err := svc.NewManager(topo, 0.05)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	req, err := svc.NewHomogeneous(8, svc.Normal{Mu: 250, Sigma: 125})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	alloc, err := mgr.AllocateHomog(req)
+	if err != nil {
+		fmt.Println("rejected:", err)
+		return
+	}
+	fmt.Printf("placed %d VMs on %d machines\n",
+		alloc.Placement.TotalVMs(), len(alloc.Placement.Entries))
+	if err := mgr.Release(alloc.ID); err != nil {
+		fmt.Println(err)
+	}
+	// A 4+4 split would put min(B(4), B(4)) — effectively ~1.35 Gbps at
+	// eps = 0.05 — across 1 Gbps host links, so the allocator spreads the
+	// job over four machines instead.
+	// Output: placed 8 VMs on 4 machines
+}
+
+// ExamplePercentileVC shows how much bandwidth a deterministic percentile
+// reservation needs compared to the stochastic profile's mean.
+func ExamplePercentileVC() {
+	profile := svc.Normal{Mu: 300, Sigma: 150}
+	pct, err := svc.PercentileVC(10, profile)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("mean demand 300 Mbps -> percentile-VC reserves %.0f Mbps per VM\n", pct.Demand.Mu)
+	// Output: mean demand 300 Mbps -> percentile-VC reserves 547 Mbps per VM
+}
