@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+## check: full gate — vet, build, race-enabled tests (what CI should run)
+check:
+	bash scripts/check.sh
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: allocator benchmark suite, writes BENCH_pr1.json
+bench:
+	bash scripts/bench.sh

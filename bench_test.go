@@ -9,6 +9,7 @@ package svc_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -155,6 +156,98 @@ func BenchmarkHomogAllocate(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAllocateHomogSeq pins the DP to the sequential single-worker
+// path on the 1,000-machine tree — the baseline for the parallel variant
+// and for the arena's allocs/op trajectory.
+func BenchmarkAllocateHomogSeq(b *testing.B) {
+	led := paperLedger(b)
+	req, err := core.NewHomogeneous(49, stats.Normal{Mu: 300, Sigma: 150})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.AllocateHomogWorkers(led, req, core.MinMaxOccupancy, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocateHomogParallel runs the same allocation with one DP
+// worker per available CPU (level-parallel vertex records). On a
+// single-CPU host it degenerates to the sequential path.
+func BenchmarkAllocateHomogParallel(b *testing.B) {
+	led := paperLedger(b)
+	req, err := core.NewHomogeneous(49, stats.Normal{Mu: 300, Sigma: 150})
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.AllocateHomogWorkers(led, req, core.MinMaxOccupancy, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeteroSubstringSeq / Parallel: the same ablation for the
+// substring heuristic's DP (N = 16 VMs).
+func BenchmarkHeteroSubstringSeq(b *testing.B) {
+	led := paperLedger(b)
+	req := benchHeteroRequest(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.AllocateHeteroSubstringWorkers(led, req, core.MinMaxOccupancy, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeteroSubstringParallel(b *testing.B) {
+	led := paperLedger(b)
+	req := benchHeteroRequest(16)
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.AllocateHeteroSubstringWorkers(led, req, core.MinMaxOccupancy, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkManagerConcurrentDryRuns measures snapshot-based CanAllocate
+// dry runs hammered from all procs at once — the admission-control read
+// path that used to serialize behind the manager's write lock.
+func BenchmarkManagerConcurrentDryRuns(b *testing.B) {
+	topo, err := topology.NewThreeTier(topology.PaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr, err := core.NewManager(topo, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req, err := core.NewHomogeneous(49, stats.Normal{Mu: 300, Sigma: 150})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Background tenants so the snapshot is non-trivial.
+	for i := 0; i < 20; i++ {
+		if _, err := mgr.AllocateHomog(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if !mgr.CanAllocateHomog(req) {
+				b.Fatal("dry run rejected on a lightly loaded datacenter")
+			}
+		}
+	})
 }
 
 func benchHeteroRequest(n int) core.Heterogeneous {

@@ -24,11 +24,46 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
+
+// startCPUProfile begins a CPU profile into path and returns the stop
+// function; diagnose allocator hot-path regressions with
+// `go tool pprof svcplan cpu.out`.
+func startCPUProfile(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeMemProfile snapshots the heap (after a GC, so it reflects live
+// memory) into path.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+	}
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -81,9 +116,22 @@ func run(args []string, out io.Writer) error {
 		policy   = fs.String("policy", "minmax", "placement policy: minmax|first-feasible|greedy-pack")
 		hetero   = fs.String("hetero", "substring", "heterogeneous allocator: substring|exact|firstfit")
 		emitTopo = fs.String("emit-topo", "", "write a builtin topology spec (paper|quick) to stdout and exit")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		stop, err := startCPUProfile(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	if *memProf != "" {
+		defer writeMemProfile(*memProf)
 	}
 
 	if *emitTopo != "" {

@@ -19,12 +19,47 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
+
+// startCPUProfile begins a CPU profile into path and returns the stop
+// function; diagnose allocator hot-path regressions with
+// `go tool pprof svcsim cpu.out`.
+func startCPUProfile(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeMemProfile snapshots the heap (after a GC, so it reflects live
+// memory) into path.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+	}
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -48,9 +83,22 @@ func run(args []string, out io.Writer) error {
 		load     = fs.Float64("load", 0.6, "load for fig 8")
 		timing   = fs.Bool("time", false, "print wall-clock time per experiment")
 		asJSON   = fs.Bool("json", false, "emit results as JSON instead of tables")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		stop, err := startCPUProfile(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	if *memProf != "" {
+		defer writeMemProfile(*memProf)
 	}
 
 	var sc experiments.Scale

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sync"
+)
+
+// This file implements the allocation-free scratch machinery behind the
+// allocator hot path. Every AllocateHomog / AllocateHeteroSubstring call
+// used to make fresh DP slices per vertex per child — several thousand
+// heap allocations per admission on the paper-scale tree. The allocators
+// now draw all per-call DP state from a sync.Pool-backed scratch arena
+// that is reset (not freed) between calls, so a steady admission stream
+// runs with near-zero garbage.
+
+// block is a bump allocator over a single backing slice. Allocations are
+// handed out zeroed; when the backing slice is exhausted a larger one
+// replaces it (slices already handed out keep referencing the old backing,
+// which the GC reclaims once the DP results die). reset makes the current
+// backing reusable, so capacity converges after a few calls and steady
+// state performs no heap allocation at all.
+type block[T any] struct {
+	buf []T
+	off int
+}
+
+// alloc returns a zeroed slice of length n with no spare capacity, so
+// appends by callers can never bleed into neighboring allocations.
+func (b *block[T]) alloc(n int) []T {
+	if b.off+n > len(b.buf) {
+		size := 2 * len(b.buf)
+		if size < n {
+			size = n
+		}
+		if size < 1024 {
+			size = 1024
+		}
+		b.buf = make([]T, size)
+		b.off = 0
+	}
+	s := b.buf[b.off : b.off+n : b.off+n]
+	b.off += n
+	clear(s)
+	return s
+}
+
+func (b *block[T]) reset() { b.off = 0 }
+
+// arena groups the typed bump allocators the DP records draw from. An
+// arena is not safe for concurrent use; parallel DP workers each hold
+// their own.
+type arena struct {
+	f64 block[float64]
+	i32 block[int32]
+	bl  block[bool]
+	s32 block[[]int32]
+}
+
+func (a *arena) reset() {
+	a.f64.reset()
+	a.i32.reset()
+	a.bl.reset()
+	a.s32.reset()
+}
+
+// homogScratch is the reusable per-call state of AllocateHomog: the
+// per-vertex record table plus one arena per DP worker.
+type homogScratch struct {
+	records []homogRecord
+	arenas  []*arena
+}
+
+var homogScratchPool = sync.Pool{New: func() any { return new(homogScratch) }}
+
+func getHomogScratch(workers, nodes int) *homogScratch {
+	s := homogScratchPool.Get().(*homogScratch)
+	if cap(s.records) < nodes {
+		s.records = make([]homogRecord, nodes)
+	}
+	s.records = s.records[:nodes]
+	for len(s.arenas) < workers {
+		s.arenas = append(s.arenas, new(arena))
+	}
+	for _, a := range s.arenas[:workers] {
+		a.reset()
+	}
+	return s
+}
+
+func putHomogScratch(s *homogScratch) { homogScratchPool.Put(s) }
+
+// substrScratch is the reusable per-call state of AllocateHeteroSubstring.
+type substrScratch struct {
+	records []substrRecord
+	arenas  []*arena
+}
+
+var substrScratchPool = sync.Pool{New: func() any { return new(substrScratch) }}
+
+func getSubstrScratch(workers, nodes int) *substrScratch {
+	s := substrScratchPool.Get().(*substrScratch)
+	if cap(s.records) < nodes {
+		s.records = make([]substrRecord, nodes)
+	}
+	s.records = s.records[:nodes]
+	for len(s.arenas) < workers {
+		s.arenas = append(s.arenas, new(arena))
+	}
+	for _, a := range s.arenas[:workers] {
+		a.reset()
+	}
+	return s
+}
+
+func putSubstrScratch(s *substrScratch) { substrScratchPool.Put(s) }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/stats"
 )
 
@@ -30,6 +32,49 @@ func CrossingSets(inside, outside stats.Normal) stats.Normal {
 }
 
 func isZero(n stats.Normal) bool { return n.Mu == 0 && n.Sigma == 0 }
+
+// crossingKey identifies a homogeneous request's full crossing-demand
+// table: the table depends only on the per-VM demand and the VM count.
+type crossingKey struct {
+	demand stats.Normal
+	n      int
+}
+
+// maxCrossingMemo bounds the memo so a long-running manager serving many
+// distinct demand profiles cannot grow it without limit; on overflow the
+// whole memo is dropped and rebuilt (it is a cache, not state).
+const maxCrossingMemo = 4096
+
+var (
+	crossingMemoMu sync.RWMutex
+	crossingMemo   = make(map[crossingKey][]stats.Normal)
+)
+
+// crossingTableHomog returns the memoized crossing-demand table of a
+// homogeneous request: table[m] is CrossingHomog(demand, m, n). The
+// returned slice is shared and must not be mutated. Headroom probes and
+// repeated identical requests hit the memo and skip recomputing Clark's
+// min-of-normals formulas for every split.
+func crossingTableHomog(demand stats.Normal, n int) []stats.Normal {
+	key := crossingKey{demand: demand, n: n}
+	crossingMemoMu.RLock()
+	table := crossingMemo[key]
+	crossingMemoMu.RUnlock()
+	if table != nil {
+		return table
+	}
+	table = make([]stats.Normal, n+1)
+	for m := range table {
+		table[m] = CrossingHomog(demand, m, n)
+	}
+	crossingMemoMu.Lock()
+	if len(crossingMemo) >= maxCrossingMemo {
+		clear(crossingMemo)
+	}
+	crossingMemo[key] = table
+	crossingMemoMu.Unlock()
+	return table
+}
 
 // demandPrefix precomputes prefix aggregates over an ordered VM sequence so
 // that the aggregate demand of any contiguous substring — and therefore the

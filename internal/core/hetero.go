@@ -37,6 +37,7 @@ func orderByPercentile(req Heterogeneous) (order []int, sorted []stats.Normal) {
 // substrRecord is the per-vertex state of the substring heuristic (paper
 // Section V-B): the allocable VM set restricted to contiguous substrings
 // [a, b) of the percentile-sorted VM sequence, indexed by (length, a).
+// All slices are arena-backed and only valid for one allocation call.
 type substrRecord struct {
 	maxLen int
 	n      int
@@ -55,6 +56,15 @@ func (r *substrRecord) idx(length, a int) int { return length*(r.n+1) + a }
 // as the homogeneous algorithm. It returns the placement and contributions
 // without committing them.
 func AllocateHeteroSubstring(led *Ledger, req Heterogeneous, policy Policy) (Placement, []linkDemand, error) {
+	return AllocateHeteroSubstringWorkers(led, req, policy, 0)
+}
+
+// AllocateHeteroSubstringWorkers is AllocateHeteroSubstring with explicit
+// control over DP parallelism, with the same semantics as
+// AllocateHomogWorkers: 1 forces sequential, > 1 forces that many level
+// workers, <= 0 picks automatically. Both paths produce bit-identical
+// placements.
+func AllocateHeteroSubstringWorkers(led *Ledger, req Heterogeneous, policy Policy, workers int) (Placement, []linkDemand, error) {
 	if err := req.Validate(); err != nil {
 		return Placement{}, nil, err
 	}
@@ -63,20 +73,26 @@ func AllocateHeteroSubstring(led *Ledger, req Heterogeneous, policy Policy) (Pla
 	prefix := newDemandPrefix(sorted)
 	n := req.N()
 
-	records := make([]*substrRecord, topo.Len())
-	full := 0 // records[v].idx(n, 0) once maxLen == n
+	w := resolveWorkers(workers, topo.Len(), n)
+	scr := getSubstrScratch(w, topo.Len())
+	defer putSubstrScratch(scr)
+	records := scr.records
+
 	for level := 0; level <= topo.Height(); level++ {
+		verts := topo.AtLevel(level)
+		forEachVertex(verts, w, func(slot int, v topology.NodeID) {
+			substrCompute(led, topo, v, n, prefix, records, policy, scr.arenas[slot])
+		})
 		var (
 			best    topology.NodeID = topology.None
 			bestVal                 = infeasible
 		)
-		for _, v := range topo.AtLevel(level) {
-			rec := substrCompute(led, topo, v, n, prefix, records, policy)
-			records[v] = rec
+		for _, v := range verts {
+			rec := &records[v]
 			if rec.maxLen < n {
 				continue
 			}
-			full = rec.idx(n, 0)
+			full := rec.idx(n, 0)
 			if rec.optIn[full] == infeasible {
 				continue
 			}
@@ -98,15 +114,18 @@ func AllocateHeteroSubstring(led *Ledger, req Heterogeneous, policy Policy) (Pla
 	return Placement{}, nil, fmt.Errorf("%w: %v", ErrNoCapacity, req)
 }
 
-// substrCompute fills the substring DP record for vertex v.
+// substrCompute fills the substring DP record for vertex v. Like
+// homogCompute it only reads the ledger and the children's finalized
+// records, so one level's vertices can run concurrently.
 func substrCompute(led *Ledger, topo *topology.Topology, v topology.NodeID, n int,
-	prefix *demandPrefix, records []*substrRecord, policy Policy) *substrRecord {
+	prefix *demandPrefix, records []substrRecord, policy Policy, ar *arena) {
 
 	node := topo.Node(v)
-	rec := &substrRecord{n: n}
+	rec := &records[v]
+	*rec = substrRecord{n: n}
 	if node.IsMachine() {
 		rec.maxLen = min(n, led.FreeSlots(v))
-		rec.optIn = make([]float64, (rec.maxLen+1)*(n+1))
+		rec.optIn = ar.f64.alloc((rec.maxLen + 1) * (n + 1))
 		// A machine can hold any substring short enough to fit its free
 		// slots; VMs sharing a machine use no links.
 	} else {
@@ -116,19 +135,19 @@ func substrCompute(led *Ledger, topo *topology.Topology, v topology.NodeID, n in
 		}
 		rec.maxLen = min(n, capV)
 		size := (rec.maxLen + 1) * (n + 1)
-		acc := make([]float64, size)
+		acc := ar.f64.alloc(size)
+		next := ar.f64.alloc(size)
 		for i := range acc {
 			acc[i] = infeasible
 		}
 		for a := 0; a <= n; a++ {
 			acc[rec.idx(0, a)] = 0 // empty substring anchored anywhere
 		}
-		rec.choice = make([][]int32, len(node.Children))
+		rec.choice = ar.s32.alloc(len(node.Children))
 		reach := 0
 		for i, c := range node.Children {
-			child := records[c]
-			next := make([]float64, size)
-			pick := make([]int32, size)
+			child := &records[c]
+			pick := ar.i32.alloc(size)
 			for j := range next {
 				next[j] = infeasible
 				pick[j] = -1
@@ -160,17 +179,17 @@ func substrCompute(led *Ledger, topo *topology.Topology, v topology.NodeID, n in
 					}
 				}
 			}
-			acc = next
+			acc, next = next, acc
 			rec.choice[i] = pick
 			reach = min(rec.maxLen, reach+child.maxLen)
 		}
 		rec.optIn = acc
 	}
 
-	rec.alloc = make([]bool, len(rec.optIn))
+	rec.alloc = ar.bl.alloc(len(rec.optIn))
 	isRoot := node.Parent == topology.None
 	if !isRoot {
-		rec.upOcc = make([]float64, len(rec.optIn))
+		rec.upOcc = ar.f64.alloc(len(rec.optIn))
 	}
 	for length := 0; length <= rec.maxLen; length++ {
 		for a := 0; a+length <= n; a++ {
@@ -186,11 +205,10 @@ func substrCompute(led *Ledger, topo *topology.Topology, v topology.NodeID, n in
 			rec.alloc[i] = rec.upOcc[i] < 1
 		}
 	}
-	return rec
 }
 
 // substrBuild reconstructs the substring assignment [a, b) at vertex v.
-func substrBuild(topo *topology.Topology, records []*substrRecord, order []int,
+func substrBuild(topo *topology.Topology, records []substrRecord, order []int,
 	v topology.NodeID, a, b int, p *Placement) {
 	if a == b {
 		return
@@ -204,7 +222,7 @@ func substrBuild(topo *topology.Topology, records []*substrRecord, order []int,
 		p.Entries = append(p.Entries, PlacementEntry{Machine: v, Count: b - a, VMs: vms})
 		return
 	}
-	rec := records[v]
+	rec := &records[v]
 	for i := len(node.Children) - 1; i >= 0; i-- {
 		k := int(rec.choice[i][rec.idx(b-a, a)])
 		if k < 0 {

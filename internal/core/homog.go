@@ -48,7 +48,8 @@ var infeasible = math.Inf(1)
 // homogRecord is the per-vertex state of Algorithm 1: the allocable VM set
 // (paper Definition 1) with, for each allocable count, the optimal max
 // occupancy of the links strictly inside the subtree and the per-child
-// split choices needed to reconstruct the allocation.
+// split choices needed to reconstruct the allocation. All slices are
+// arena-backed and only valid for the duration of one allocation call.
 type homogRecord struct {
 	cap    int       // largest VM count worth considering in this subtree
 	optIn  []float64 // optIn[e]: min over placements of max in-subtree occupancy; infeasible if e not placeable
@@ -60,8 +61,19 @@ type homogRecord struct {
 // AllocateHomog runs the paper's homogeneous VM allocation over the current
 // ledger state and returns the placement and its per-link crossing-demand
 // contributions without committing them. It returns ErrNoCapacity when no
-// subtree can host the request.
+// subtree can host the request. Worker count is chosen automatically; see
+// AllocateHomogWorkers.
 func AllocateHomog(led *Ledger, req Homogeneous, policy Policy) (Placement, []linkDemand, error) {
+	return AllocateHomogWorkers(led, req, policy, 0)
+}
+
+// AllocateHomogWorkers is AllocateHomog with explicit control over DP
+// parallelism: workers == 1 forces the sequential path, workers > 1 runs
+// each tree level's vertex records on that many goroutines, and
+// workers <= 0 picks automatically (GOMAXPROCS when the topology and
+// request are large enough to amortize the fan-out). Both paths produce
+// bit-identical placements.
+func AllocateHomogWorkers(led *Ledger, req Homogeneous, policy Policy, workers int) (Placement, []linkDemand, error) {
 	if err := req.Validate(); err != nil {
 		return Placement{}, nil, err
 	}
@@ -69,20 +81,28 @@ func AllocateHomog(led *Ledger, req Homogeneous, policy Policy) (Placement, []li
 
 	// Crossing-demand table: crossing[m] is the demand the request places
 	// on a link with m of its N VMs below (symmetric in m <-> N-m).
-	crossing := make([]stats.Normal, req.N+1)
-	for m := range crossing {
-		crossing[m] = CrossingHomog(req.Demand, m, req.N)
-	}
+	// Memoized across calls — Headroom and repeated identical requests
+	// skip recomputing Clark's formulas entirely.
+	crossing := crossingTableHomog(req.Demand, req.N)
 
-	records := make([]*homogRecord, topo.Len())
+	w := resolveWorkers(workers, topo.Len(), req.N)
+	scr := getHomogScratch(w, topo.Len())
+	defer putHomogScratch(scr)
+	records := scr.records
+
 	for level := 0; level <= topo.Height(); level++ {
+		verts := topo.AtLevel(level)
+		forEachVertex(verts, w, func(slot int, v topology.NodeID) {
+			homogCompute(led, topo, v, req.N, crossing, records, policy, scr.arenas[slot])
+		})
+		// The selection scan stays sequential in topology order so
+		// tie-breaking matches the sequential path exactly.
 		var (
 			best    topology.NodeID = topology.None
 			bestVal                 = infeasible
 		)
-		for _, v := range topo.AtLevel(level) {
-			rec := homogCompute(led, topo, v, req.N, crossing, records, policy)
-			records[v] = rec
+		for _, v := range verts {
+			rec := &records[v]
 			if rec.cap < req.N || rec.optIn[req.N] == infeasible {
 				continue
 			}
@@ -105,37 +125,42 @@ func AllocateHomog(led *Ledger, req Homogeneous, policy Policy) (Placement, []li
 }
 
 // homogCompute fills the DP record for vertex v from its children's
-// records (which the level-order traversal has already computed).
+// records (which the level-order traversal has already computed). It only
+// reads the ledger and the children's finalized records, so vertices of
+// one level can be computed concurrently, each worker with its own arena.
 func homogCompute(led *Ledger, topo *topology.Topology, v topology.NodeID, n int,
-	crossing []stats.Normal, records []*homogRecord, policy Policy) *homogRecord {
+	crossing []stats.Normal, records []homogRecord, policy Policy, ar *arena) {
 
 	node := topo.Node(v)
-	rec := &homogRecord{}
+	rec := &records[v]
+	*rec = homogRecord{}
 	if node.IsMachine() {
 		// Leaf base case: any count up to the free slots fits, and VMs on
 		// the same machine use no links, so the in-subtree occupancy is 0.
 		rec.cap = min(n, led.FreeSlots(v))
-		rec.optIn = make([]float64, rec.cap+1)
+		rec.optIn = ar.f64.alloc(rec.cap + 1)
 	} else {
 		// Combine children left to right: acc[s] is the optimal value of
 		// placing s VMs in the first i child subtrees, where a child
 		// taking e VMs costs max(child in-subtree optimum, child uplink
 		// occupancy) — Eq. 11 specialized to the incremental tree T_v[i].
+		// acc and next ping-pong between two arena buffers; only the
+		// final one survives as rec.optIn.
 		capV := 0
 		for _, c := range node.Children {
 			capV += records[c].cap
 		}
 		rec.cap = min(n, capV)
-		acc := make([]float64, rec.cap+1)
+		acc := ar.f64.alloc(rec.cap + 1)
+		next := ar.f64.alloc(rec.cap + 1)
 		for s := 1; s <= rec.cap; s++ {
 			acc[s] = infeasible
 		}
-		rec.choice = make([][]int32, len(node.Children))
+		rec.choice = ar.s32.alloc(len(node.Children))
 		reach := 0 // largest sum reachable with the children combined so far
 		for i, c := range node.Children {
-			child := records[c]
-			next := make([]float64, rec.cap+1)
-			pick := make([]int32, rec.cap+1)
+			child := &records[c]
+			pick := ar.i32.alloc(rec.cap + 1)
 			for s := range next {
 				next[s] = infeasible
 				pick[s] = -1
@@ -168,7 +193,7 @@ func homogCompute(led *Ledger, topo *topology.Topology, v topology.NodeID, n int
 					}
 				}
 			}
-			acc = next
+			acc, next = next, acc
 			rec.choice[i] = pick
 			reach = min(rec.cap, reach+child.cap)
 		}
@@ -177,10 +202,10 @@ func homogCompute(led *Ledger, topo *topology.Topology, v topology.NodeID, n int
 
 	// Uplink occupancy and the allocable VM set (Definition 1). The root
 	// has no uplink; every other vertex must keep its uplink admissible.
-	rec.alloc = make([]bool, rec.cap+1)
+	rec.alloc = ar.bl.alloc(rec.cap + 1)
 	isRoot := node.Parent == topology.None
 	if !isRoot {
-		rec.upOcc = make([]float64, rec.cap+1)
+		rec.upOcc = ar.f64.alloc(rec.cap + 1)
 	}
 	for e := 0; e <= rec.cap; e++ {
 		if rec.optIn[e] == infeasible {
@@ -193,12 +218,11 @@ func homogCompute(led *Ledger, topo *topology.Topology, v topology.NodeID, n int
 		rec.upOcc[e] = led.OccupancyWith(v, crossing[e])
 		rec.alloc[e] = rec.upOcc[e] < 1
 	}
-	return rec
 }
 
 // homogBuild reconstructs the chosen placement by replaying the recorded
 // per-child split choices top-down.
-func homogBuild(topo *topology.Topology, records []*homogRecord, v topology.NodeID, s int, p *Placement) {
+func homogBuild(topo *topology.Topology, records []homogRecord, v topology.NodeID, s int, p *Placement) {
 	if s == 0 {
 		return
 	}
@@ -207,7 +231,7 @@ func homogBuild(topo *topology.Topology, records []*homogRecord, v topology.Node
 		p.Entries = append(p.Entries, PlacementEntry{Machine: v, Count: s})
 		return
 	}
-	rec := records[v]
+	rec := &records[v]
 	for i := len(node.Children) - 1; i >= 0; i-- {
 		e := int(rec.choice[i][s])
 		if e < 0 {
@@ -219,11 +243,4 @@ func homogBuild(topo *topology.Topology, records []*homogRecord, v topology.Node
 	if s != 0 {
 		panic(fmt.Sprintf("core: reconstruction at node %d left %d VMs unassigned", v, s))
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -196,13 +196,6 @@ func (l *Ledger) MaxOccupancyByLevel() []float64 {
 	return out
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // FreeSlots returns the number of empty VM slots on the machine. An
 // offline machine has none.
 func (l *Ledger) FreeSlots(m topology.NodeID) int {

@@ -40,13 +40,28 @@ type Allocation struct {
 // running the VM allocation algorithms against the ledger, commits the
 // resulting reservations, and releases them when jobs finish. It is safe
 // for concurrent use.
+//
+// Admissions and releases serialize on the write lock, but read-only work
+// (CanAllocate* dry runs, MaxOccupancy* metrics, Headroom probes) runs
+// against a versioned ledger snapshot instead: the lock is held only for
+// the O(links) clone, not the full dynamic program, so dry runs and
+// metrics reads proceed concurrently with admissions. Snapshot reads are
+// point-in-time consistent; under concurrent mutation they may lag the
+// live ledger by the mutations that land after the snapshot was cut.
 type Manager struct {
-	mu     sync.Mutex
-	led    *Ledger
-	policy Policy
-	hetero HeteroAlgorithm
-	jobs   map[JobID]*Allocation
-	nextID JobID
+	mu      sync.Mutex
+	led     *Ledger
+	policy  Policy
+	hetero  HeteroAlgorithm
+	jobs    map[JobID]*Allocation
+	nextID  JobID
+	version uint64 // bumped on every ledger mutation (guarded by mu)
+
+	// Cached read snapshot, rebuilt lazily when version moves. snapMu
+	// only serializes snapshot rebuilds, never the DP work on top.
+	snapMu  sync.Mutex
+	snap    *Ledger
+	snapVer uint64
 }
 
 // ManagerOption configures a Manager.
@@ -131,31 +146,52 @@ func (m *Manager) admit(p Placement, contribs []linkDemand) *Allocation {
 	a := &Allocation{ID: m.nextID, Placement: p, contribs: contribs}
 	commit(m.led, &p, contribs)
 	m.jobs[a.ID] = a
+	m.version++
 	return a
+}
+
+// snapshot returns a read-only clone of the ledger reflecting every
+// mutation committed before the call. The clone is cached and shared by
+// concurrent readers until the next mutation invalidates it, so a burst
+// of dry runs costs one O(links) copy, and the write lock is held only
+// for that copy — never for the DP that runs on top of it. Callers must
+// not mutate the returned ledger; mutating probes clone it again.
+func (m *Manager) snapshot() *Ledger {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	m.mu.Lock()
+	if m.snap != nil && m.snapVer == m.version {
+		m.mu.Unlock()
+		return m.snap
+	}
+	ver := m.version
+	snap := m.led.Clone()
+	m.mu.Unlock()
+	m.snap, m.snapVer = snap, ver
+	return snap
 }
 
 // CanAllocateHomog reports whether a homogeneous request would currently
 // be admitted, without committing anything — a capacity-planning dry run.
+// It runs on a ledger snapshot, concurrently with admissions.
 func (m *Manager) CanAllocateHomog(req Homogeneous) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	_, _, err := AllocateHomog(m.led, req, m.policy)
+	_, _, err := AllocateHomog(m.snapshot(), req, m.policy)
 	return err == nil
 }
 
 // CanAllocateHetero reports whether a heterogeneous request would currently
-// be admitted, without committing anything.
+// be admitted, without committing anything. It runs on a ledger snapshot,
+// concurrently with admissions.
 func (m *Manager) CanAllocateHetero(req Heterogeneous) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	led := m.snapshot()
 	var err error
 	switch m.hetero {
 	case HeteroExact:
-		_, _, err = AllocateHeteroExact(m.led, req)
+		_, _, err = AllocateHeteroExact(led, req)
 	case HeteroFirstFit:
-		_, _, err = AllocateFirstFit(m.led, req)
+		_, _, err = AllocateFirstFit(led, req)
 	default:
-		_, _, err = AllocateHeteroSubstring(m.led, req, m.policy)
+		_, _, err = AllocateHeteroSubstring(led, req, m.policy)
 	}
 	return err == nil
 }
@@ -170,6 +206,7 @@ func (m *Manager) Release(id JobID) error {
 	}
 	rollback(m.led, &a.Placement, a.contribs)
 	delete(m.jobs, id)
+	m.version++
 	return nil
 }
 
@@ -194,14 +231,14 @@ func (m *Manager) SetOffline(machine topology.NodeID, offline bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.led.SetOffline(machine, offline)
+	m.version++
 }
 
 // MaxOccupancy returns the maximum bandwidth occupancy ratio over all
-// links, the paper's Fig. 9 statistic.
+// links, the paper's Fig. 9 statistic. It reads a ledger snapshot, so
+// metrics scrapes never stall admissions.
 func (m *Manager) MaxOccupancy() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.led.MaxOccupancy()
+	return m.snapshot().MaxOccupancy()
 }
 
 // Headroom reports how many more copies of the given homogeneous request
@@ -212,9 +249,7 @@ func (m *Manager) Headroom(req Homogeneous, limit int) (int, error) {
 	if err := req.Validate(); err != nil {
 		return 0, err
 	}
-	m.mu.Lock()
-	scratch := m.led.Clone()
-	m.mu.Unlock()
+	scratch := m.snapshot().Clone()
 	if limit <= 0 {
 		limit = scratch.TotalFreeSlots()/req.N + 1
 	}
@@ -234,11 +269,9 @@ func (m *Manager) Headroom(req Homogeneous, limit int) (int, error) {
 }
 
 // MaxOccupancyByLevel returns the maximum occupancy per link level
-// (index 0 = host links).
+// (index 0 = host links). It reads a ledger snapshot.
 func (m *Manager) MaxOccupancyByLevel() []float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.led.MaxOccupancyByLevel()
+	return m.snapshot().MaxOccupancyByLevel()
 }
 
 // Epsilon returns the manager's risk factor.

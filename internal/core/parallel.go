@@ -1,0 +1,79 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// Level-parallel execution of the allocation DP. All vertices of one tree
+// level are independent — a vertex's record depends only on its children's
+// records, which the bottom-up traversal has already finalized — so they
+// can be computed concurrently. The subtree *selection* scan stays
+// sequential in topology order, which keeps tie-breaking (and therefore
+// placements) bit-identical to the sequential path.
+
+const (
+	// parallelMinNodes gates auto-parallelism: topologies smaller than
+	// this finish the whole DP faster than goroutine fan-out costs.
+	parallelMinNodes = 256
+	// parallelMinVMs gates auto-parallelism on request size: tiny
+	// requests make each vertex record trivially cheap.
+	parallelMinVMs = 4
+)
+
+// resolveWorkers turns the caller's worker request into an effective
+// worker count. requested == 1 forces the sequential path, requested > 1
+// forces that many workers (used by equivalence tests and benchmarks),
+// and requested <= 0 picks automatically: GOMAXPROCS workers when the
+// topology and request are large enough to amortize fan-out, else 1.
+func resolveWorkers(requested, nodes, n int) int {
+	if requested == 1 {
+		return 1
+	}
+	if requested > 1 {
+		return requested
+	}
+	p := runtime.GOMAXPROCS(0)
+	if p <= 1 || nodes < parallelMinNodes || n < parallelMinVMs {
+		return 1
+	}
+	return p
+}
+
+// forEachVertex invokes fn for every vertex, fanning contiguous chunks
+// out to at most `workers` goroutines (the caller's goroutine counts as
+// worker 0). fn must be safe to run concurrently for distinct vertices;
+// the slot argument in [0, workers) lets each worker use its own arena.
+func forEachVertex(vertices []topology.NodeID, workers int, fn func(slot int, v topology.NodeID)) {
+	if workers > len(vertices) {
+		workers = len(vertices)
+	}
+	if workers <= 1 {
+		for _, v := range vertices {
+			fn(0, v)
+		}
+		return
+	}
+	chunk := (len(vertices) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for slot := 1; slot < workers; slot++ {
+		lo := slot * chunk
+		if lo >= len(vertices) {
+			break
+		}
+		hi := min(lo+chunk, len(vertices))
+		wg.Add(1)
+		go func(slot int, verts []topology.NodeID) {
+			defer wg.Done()
+			for _, v := range verts {
+				fn(slot, v)
+			}
+		}(slot, vertices[lo:hi])
+	}
+	for _, v := range vertices[:min(chunk, len(vertices))] {
+		fn(0, v)
+	}
+	wg.Wait()
+}

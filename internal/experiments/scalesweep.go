@@ -96,9 +96,3 @@ func (r *ScaleSweepResult) Render() string {
 	return t.String()
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

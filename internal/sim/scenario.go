@@ -252,9 +252,3 @@ func RunOnline(cfg Config, jobs []JobSpec, arrivals []int) (OnlineResult, error)
 	return res, nil
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite and write the results as JSON, the
+# start of the perf trajectory across PRs.
+#
+#   scripts/bench.sh                 # -> BENCH_pr1.json
+#   OUT=BENCH_pr2.json scripts/bench.sh
+#   BENCH='AllocateHomog' BENCHTIME=50x scripts/bench.sh
+#
+# BENCH      benchmark regexp           (default: the full suite, -bench=.)
+# BENCHTIME  go -benchtime value        (default: 100ms — keeps the
+#            experiment-replay benchmarks to a couple of iterations while
+#            still giving the micro benchmarks thousands)
+# OUT        output file                (default: BENCH_pr1.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-.}"
+BENCHTIME="${BENCHTIME:-100ms}"
+OUT="${OUT:-BENCH_pr1.json}"
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run='^$' -bench="$BENCH" -benchmem -benchtime="$BENCHTIME" . | tee "$raw"
+
+# Parse `BenchmarkName-P  iters  X ns/op  Y B/op  Z allocs/op [extra metrics]`
+# lines into a JSON array.
+awk -v host="$(go env GOOS)/$(go env GOARCH)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""; extras = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        else if ($(i+1) == "B/op")      bytes = $i
+        else if ($(i+1) == "allocs/op") allocs = $i
+        else if ($(i+1) ~ /\//) {
+            metric = $(i+1); gsub(/"/, "", metric)
+            extras = extras sprintf("%s\"%s\": %s", (extras == "" ? "" : ", "), metric, $i)
+        }
+    }
+    line = sprintf("  {\"name\": \"%s\", \"iterations\": %s", name, iters)
+    if (ns != "")     line = line sprintf(", \"ns_per_op\": %s", ns)
+    if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    if (extras != "") line = line sprintf(", %s", extras)
+    line = line "}"
+    out[n++] = line
+}
+END {
+    printf "{\n\"platform\": \"%s\",\n\"benchmarks\": [\n", host
+    for (i = 0; i < n; i++) printf "%s%s\n", out[i], (i < n-1 ? "," : "")
+    print "]\n}"
+}' "$raw" > "$OUT"
+
+echo "wrote $OUT"

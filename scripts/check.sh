@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# check.sh — the repo's verification gate: vet, build, race-enabled tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK"
