@@ -393,6 +393,45 @@ func BenchmarkManagerAllocateRelease(b *testing.B) {
 	}
 }
 
+// BenchmarkFailRepair measures one fail -> repair-all -> restore cycle on
+// the paper-scale datacenter with background tenants: the latency of
+// re-running the pinned allocation DP for every job displaced by a
+// machine failure.
+func BenchmarkFailRepair(b *testing.B) {
+	topo, err := topology.NewThreeTier(topology.PaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr, err := core.NewManager(topo, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req, err := core.NewHomogeneous(49, stats.Normal{Mu: 300, Sigma: 150})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := mgr.AllocateHomog(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	machines := topo.Machines()
+	var repaired int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := machines[i%len(machines)]
+		mgr.FailMachine(m)
+		for _, res := range mgr.RepairAll() {
+			if res.Outcome == core.RepairFailed {
+				b.Fatalf("repair evicted job %d on a lightly loaded datacenter", res.Job)
+			}
+			repaired++
+		}
+		mgr.RestoreMachine(m)
+	}
+	b.ReportMetric(float64(repaired)/float64(b.N), "repairs/op")
+}
+
 // BenchmarkMaxOccupancy measures the Fig. 9 sampling statistic over the
 // paper-scale link set.
 func BenchmarkMaxOccupancy(b *testing.B) {

@@ -11,11 +11,17 @@
 //	POST   /v1/dryrun
 //	GET    /v1/status
 //	GET    /v1/links?limit=10
+//	POST   /v1/faults             {"machine":3} / {"link":7,"restore":true}
+//	POST   /v1/repairs            {"job":1} or {} for all displaced jobs
+//	GET    /v1/failures
 //
 // Example session:
 //
 //	curl -s -X POST localhost:8080/v1/allocations -d '{"n":8,"mu":250,"sigma":100}'
 //	curl -s localhost:8080/v1/status
+//	curl -s -X POST localhost:8080/v1/faults -d '{"machine":3}'
+//	curl -s -X POST localhost:8080/v1/repairs -d '{}'
+//	curl -s localhost:8080/v1/failures
 //	curl -s -X DELETE localhost:8080/v1/allocations/1
 package main
 

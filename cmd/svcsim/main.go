@@ -73,7 +73,7 @@ type renderer interface{ Render() string }
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("svcsim", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "experiment to run: 5|6|7|8|9|10|hetero|eps|mixed|burst|defer|locality|tiers|scaling|all")
+		fig      = fs.String("fig", "all", "experiment to run: 5|6|7|8|9|10|hetero|eps|mixed|burst|defer|locality|tiers|scaling|failures|all")
 		scale    = fs.String("scale", "quick", "datacenter/workload scale: quick|paper")
 		jobs     = fs.Int("jobs", 0, "override job count")
 		seed     = fs.Uint64("seed", 0, "override workload seed")
@@ -81,6 +81,8 @@ func run(args []string, out io.Writer) error {
 		rhos     = fs.String("rhos", "", "comma-separated deviation sweep (fig 6)")
 		loads    = fs.String("loads", "", "comma-separated load sweep (figs 7, 9, 10, hetero)")
 		load     = fs.Float64("load", 0.6, "load for fig 8")
+		mtbfs    = fs.String("mtbfs", "", "comma-separated per-machine MTBF sweep in seconds (failures)")
+		mttr     = fs.Float64("mttr", 0, "mean machine repair time in seconds, 0 = default (failures)")
 		timing   = fs.Bool("time", false, "print wall-clock time per experiment")
 		asJSON   = fs.Bool("json", false, "emit results as JSON instead of tables")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -129,6 +131,10 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("-loads: %w", err)
 	}
+	mtbfList, err := parseFloats(*mtbfs)
+	if err != nil {
+		return fmt.Errorf("-mtbfs: %w", err)
+	}
 
 	table := map[string]func() (renderer, error){
 		"5":        func() (renderer, error) { return experiments.Fig5(sc, oversubList) },
@@ -145,8 +151,9 @@ func run(args []string, out io.Writer) error {
 		"locality": func() (renderer, error) { return experiments.Locality(sc) },
 		"tiers":    func() (renderer, error) { return experiments.Tiers(sc, *load) },
 		"scaling":  func() (renderer, error) { return experiments.ScaleSweep(*load, nil) },
+		"failures": func() (renderer, error) { return experiments.Failures(sc, *load, *mttr, mtbfList) },
 	}
-	order := []string{"5", "6", "7", "8", "9", "10", "hetero", "eps", "mixed", "burst", "defer", "locality", "tiers", "scaling"}
+	order := []string{"5", "6", "7", "8", "9", "10", "hetero", "eps", "mixed", "burst", "defer", "locality", "tiers", "scaling", "failures"}
 
 	var selected []string
 	if *fig == "all" {

@@ -21,9 +21,9 @@ type Ledger struct {
 	eps  float64
 	c    float64 // PhiInv(1 - eps), the paper's constant c
 
-	links   []linkState // indexed by NodeID; the root entry is unused
-	used    []int       // used VM slots, indexed by NodeID (machines only)
-	offline []bool      // machines taken out of service (failure injection)
+	links  []linkState      // indexed by NodeID; the root entry is unused
+	used   []int            // used VM slots, indexed by NodeID (machines only)
+	faults *topology.Faults // failed machines and links (failure injection)
 }
 
 // linkState is the reservation bookkeeping of one physical link, following
@@ -45,12 +45,12 @@ func NewLedger(topo *topology.Topology, eps float64) (*Ledger, error) {
 		return nil, fmt.Errorf("core: risk factor eps must be in (0, 1), got %v", eps)
 	}
 	l := &Ledger{
-		topo:    topo,
-		eps:     eps,
-		c:       stats.PhiInv(1 - eps),
-		links:   make([]linkState, topo.Len()),
-		used:    make([]int, topo.Len()),
-		offline: make([]bool, topo.Len()),
+		topo:   topo,
+		eps:    eps,
+		c:      stats.PhiInv(1 - eps),
+		links:  make([]linkState, topo.Len()),
+		used:   make([]int, topo.Len()),
+		faults: topology.NewFaults(topo),
 	}
 	for _, id := range topo.Links() {
 		l.links[id].cap = topo.LinkCap(id)
@@ -63,16 +63,15 @@ func NewLedger(topo *topology.Topology, eps float64) (*Ledger, error) {
 // clone freely without touching live state.
 func (l *Ledger) Clone() *Ledger {
 	c := &Ledger{
-		topo:    l.topo,
-		eps:     l.eps,
-		c:       l.c,
-		links:   make([]linkState, len(l.links)),
-		used:    make([]int, len(l.used)),
-		offline: make([]bool, len(l.offline)),
+		topo:   l.topo,
+		eps:    l.eps,
+		c:      l.c,
+		links:  make([]linkState, len(l.links)),
+		used:   make([]int, len(l.used)),
+		faults: l.faults.Clone(),
 	}
 	copy(c.links, l.links)
 	copy(c.used, l.used)
-	copy(c.offline, l.offline)
 	return c
 }
 
@@ -152,6 +151,25 @@ func clampState(s *linkState) {
 	}
 }
 
+// LinkOutageProb returns the probability that the link's stochastic
+// demand exceeds its sharing bandwidth S_L = C_L - D_L under the ledger's
+// normal model: Pr(sum B_i > S_L) = 1 - Phi((S_L - sum mu) / sqrt(sum
+// sigma^2)). For a link with no stochastic variance it is 0 when the
+// deterministic load fits and 1 when it does not. Admitted state keeps
+// this below eps on every link; after a degraded repair it is the honest
+// per-link risk the tenant actually gets.
+func (l *Ledger) LinkOutageProb(id topology.LinkID) float64 {
+	s := &l.links[id]
+	slack := s.cap - s.det - s.sumMu
+	if s.sumVar <= 0 {
+		if slack >= 0 {
+			return 0
+		}
+		return 1
+	}
+	return 1 - stats.Phi(slack/math.Sqrt(s.sumVar))
+}
+
 // StochasticCount returns the number of stochastic demands on the link.
 func (l *Ledger) StochasticCount(id topology.LinkID) int {
 	return l.links[id].stochastic
@@ -168,12 +186,17 @@ func (l *Ledger) EffectiveStochastic(id topology.LinkID) float64 {
 	return s.sumMu + l.c*math.Sqrt(s.sumVar)
 }
 
-// MaxOccupancy returns the maximum occupancy ratio over all links, the
-// statistic the paper samples for Fig. 9. A topology without links (a
-// single machine) returns 0.
+// MaxOccupancy returns the maximum occupancy ratio over all live links,
+// the statistic the paper samples for Fig. 9. Links that are failed or
+// stranded behind a failed link are skipped: their reservations are
+// bookkeeping for jobs awaiting repair, not load the network carries. A
+// topology without links (a single machine) returns 0.
 func (l *Ledger) MaxOccupancy() float64 {
 	maxOcc := 0.0
 	for _, id := range l.topo.Links() {
+		if !l.faults.Reachable(id) {
+			continue
+		}
 		if o := l.Occupancy(id); o > maxOcc {
 			maxOcc = o
 		}
@@ -188,6 +211,9 @@ func (l *Ledger) MaxOccupancy() float64 {
 func (l *Ledger) MaxOccupancyByLevel() []float64 {
 	out := make([]float64, max(0, l.topo.Height()))
 	for _, id := range l.topo.Links() {
+		if !l.faults.Reachable(id) {
+			continue
+		}
 		lvl := l.topo.Node(id).Level
 		if o := l.Occupancy(id); o > out[lvl] {
 			out[lvl] = o
@@ -196,10 +222,11 @@ func (l *Ledger) MaxOccupancyByLevel() []float64 {
 	return out
 }
 
-// FreeSlots returns the number of empty VM slots on the machine. An
-// offline machine has none.
+// FreeSlots returns the number of empty VM slots on the machine. A machine
+// that is failed, or unreachable behind a failed link, has none — so no
+// allocator ever places a VM there.
 func (l *Ledger) FreeSlots(m topology.NodeID) int {
-	if l.offline[m] {
+	if !l.faults.Alive(m) {
 		return 0
 	}
 	return l.topo.Node(m).Slots - l.used[m]
@@ -207,16 +234,28 @@ func (l *Ledger) FreeSlots(m topology.NodeID) int {
 
 // SetOffline marks a machine in or out of service. Offline machines report
 // zero free slots, so no allocator places VMs there; slots already in use
-// keep their bookkeeping so releases stay consistent.
+// keep their bookkeeping so releases stay consistent. It is equivalent to
+// FailMachine/RestoreMachine on the fault overlay.
 func (l *Ledger) SetOffline(m topology.NodeID, offline bool) {
-	if !l.topo.Node(m).IsMachine() {
-		panic(fmt.Sprintf("core: SetOffline(%d) on a switch", m))
+	if offline {
+		l.faults.FailMachine(m)
+	} else {
+		l.faults.RestoreMachine(m)
 	}
-	l.offline[m] = offline
 }
 
-// Offline reports whether the machine is out of service.
-func (l *Ledger) Offline(m topology.NodeID) bool { return l.offline[m] }
+// Offline reports whether the machine itself is failed (link-induced
+// unreachability does not count; see Faults().Alive for the full check).
+func (l *Ledger) Offline(m topology.NodeID) bool { return l.faults.MachineDown(m) }
+
+// Faults exposes the ledger's fault overlay: runtime fail/restore of
+// machines and links. Mutations through it immediately affect FreeSlots,
+// LinkLive and every allocator decision on this ledger.
+func (l *Ledger) Faults() *topology.Faults { return l.faults }
+
+// LinkLive reports whether a link is usable: the link itself and every
+// link above it on the path to the root are in service.
+func (l *Ledger) LinkLive(id topology.LinkID) bool { return l.faults.Reachable(id) }
 
 // UseSlots marks k slots on the machine as occupied. It panics if the
 // machine lacks capacity, which would indicate an allocator bug.

@@ -34,6 +34,10 @@ type Allocation struct {
 	Placement Placement
 
 	contribs []linkDemand
+	// The admitted request, kept so failure repair can re-run the
+	// allocation DP for the same demand profile. Exactly one is set.
+	homog  *Homogeneous
+	hetero *Heterogeneous
 }
 
 // Manager is the paper's network manager: it admits tenant requests by
@@ -56,6 +60,12 @@ type Manager struct {
 	jobs    map[JobID]*Allocation
 	nextID  JobID
 	version uint64 // bumped on every ledger mutation (guarded by mu)
+
+	// Failure/repair state (guarded by mu): jobs running with a weakened
+	// effective eps after a degraded repair, and the fault/repair counters
+	// FailureStats exposes.
+	degraded map[JobID]float64
+	fstats   failureCounters
 
 	// Cached read snapshot, rebuilt lazily when version moves. snapMu
 	// only serializes snapshot rebuilds, never the DP work on top.
@@ -93,10 +103,11 @@ func NewManager(topo *topology.Topology, eps float64, opts ...ManagerOption) (*M
 		return nil, err
 	}
 	m := &Manager{
-		led:    led,
-		policy: MinMaxOccupancy,
-		hetero: HeteroSubstring,
-		jobs:   make(map[JobID]*Allocation),
+		led:      led,
+		policy:   MinMaxOccupancy,
+		hetero:   HeteroSubstring,
+		jobs:     make(map[JobID]*Allocation),
+		degraded: make(map[JobID]float64),
 	}
 	for _, o := range opts {
 		o.apply(m)
@@ -114,7 +125,9 @@ func (m *Manager) AllocateHomog(req Homogeneous) (*Allocation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.admit(p, contribs), nil
+	a := m.admit(p, contribs)
+	a.homog = &req
+	return a, nil
 }
 
 // AllocateHetero admits a heterogeneous SVC request using the configured
@@ -138,7 +151,9 @@ func (m *Manager) AllocateHetero(req Heterogeneous) (*Allocation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.admit(p, contribs), nil
+	a := m.admit(p, contribs)
+	a.hetero = &req
+	return a, nil
 }
 
 func (m *Manager) admit(p Placement, contribs []linkDemand) *Allocation {
@@ -206,6 +221,7 @@ func (m *Manager) Release(id JobID) error {
 	}
 	rollback(m.led, &a.Placement, a.contribs)
 	delete(m.jobs, id)
+	delete(m.degraded, id)
 	m.version++
 	return nil
 }

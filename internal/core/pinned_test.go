@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// smallRandomTopology returns a random tree with at most maxSlots total VM
+// slots, so exhaustive placement enumeration stays cheap.
+func smallRandomTopology(r *stats.Rand, maxSlots int) *topology.Topology {
+	for {
+		tp := randomTopology(r)
+		if tp.TotalSlots() <= maxSlots {
+			return tp
+		}
+	}
+}
+
+// bruteForcePinned enumerates every slot-respecting distribution of the
+// request's VMs that keeps at least pinned[m] VMs on each pinned machine,
+// and returns the lexicographic best (enclosing-subtree level, max
+// in-subtree occupancy) — the reference the pinned DP must match. With an
+// empty pinned map it reduces to bruteForceHomog.
+func bruteForcePinned(led *Ledger, req Homogeneous, pinned map[topology.NodeID]int) (level int, value float64, found bool) {
+	tp := led.Topology()
+	machines := tp.Machines()
+	best := struct {
+		level int
+		value float64
+		found bool
+	}{}
+	counts := make([]int, len(machines))
+	var recurse func(i, left int)
+	recurse = func(i, left int) {
+		if i == len(machines) {
+			if left != 0 {
+				return
+			}
+			var p Placement
+			for j, c := range counts {
+				if c > 0 {
+					p.Entries = append(p.Entries, PlacementEntry{Machine: machines[j], Count: c})
+				}
+			}
+			if p.TotalVMs() == 0 {
+				return
+			}
+			contribs := homogContributions(tp, req, &p)
+			if ValidatePlacement(led, contribs, &p, req.N) != nil {
+				return
+			}
+			sub := enclosingSubtree(tp, &p)
+			lv := tp.Node(sub).Level
+			val := maxOccInSubtree(led, sub, contribs)
+			if !best.found || lv < best.level || (lv == best.level && val < best.value-1e-12) {
+				best.level, best.value, best.found = lv, val, true
+			}
+			return
+		}
+		lo := pinned[machines[i]]
+		maxHere := min(left, led.FreeSlots(machines[i]))
+		if lo > maxHere {
+			return
+		}
+		for c := lo; c <= maxHere; c++ {
+			counts[i] = c
+			recurse(i+1, left-c)
+		}
+		counts[i] = 0
+	}
+	recurse(0, req.N)
+	return best.level, best.value, best.found
+}
+
+// TestHomogDifferentialRandomTrees cross-checks the homogeneous min-max DP
+// against exhaustive placement enumeration on seeded random trees capped at
+// 12 slots: exactly the same feasibility, subtree level and optimal value.
+// Table-driven over independent seeds so a regression pins the failing
+// stream.
+func TestHomogDifferentialRandomTrees(t *testing.T) {
+	cases := []struct {
+		name   string
+		seed   uint64
+		trials int
+		eps    float64
+	}{
+		{"eps05-streamA", 1001, 40, 0.05},
+		{"eps05-streamB", 2002, 40, 0.05},
+		{"eps10-streamC", 3003, 40, 0.10},
+		{"eps01-tight", 4004, 30, 0.01},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r := stats.NewRand(tc.seed)
+			checked := 0
+			for trial := 0; trial < tc.trials; trial++ {
+				tp := smallRandomTopology(r, 12)
+				led, err := NewLedger(tp, tc.eps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, link := range tp.Links() {
+					if r.Float64() < 0.4 {
+						led.AddDet(link, r.UniformRange(0, 0.5*tp.LinkCap(link)))
+					}
+					if r.Float64() < 0.3 {
+						led.AddStochastic(link, stats.Normal{
+							Mu:    r.UniformRange(0, 6),
+							Sigma: r.UniformRange(0, 3),
+						})
+					}
+				}
+				n := r.UniformInt(1, min(8, tp.TotalSlots()))
+				req := Homogeneous{N: n, Demand: stats.Normal{
+					Mu:    r.UniformRange(1, 15),
+					Sigma: r.UniformRange(0, 6),
+				}}
+
+				wantLevel, wantVal, wantFound := bruteForceHomog(led, req)
+				p, contribs, err := AllocateHomog(led, req, MinMaxOccupancy)
+				if (err == nil) != wantFound {
+					t.Fatalf("trial %d: DP err=%v, brute force found=%v (req %v on %d slots)",
+						trial, err, wantFound, req, tp.TotalSlots())
+				}
+				if err != nil {
+					continue
+				}
+				checked++
+				sub := enclosingSubtree(tp, &p)
+				gotLevel := tp.Node(sub).Level
+				gotVal := maxOccInSubtree(led, sub, contribs)
+				if gotLevel != wantLevel {
+					t.Fatalf("trial %d: DP level %d, brute force %d", trial, gotLevel, wantLevel)
+				}
+				if math.Abs(gotVal-wantVal) > 1e-9 {
+					t.Fatalf("trial %d: DP value %v, brute force %v", trial, gotVal, wantVal)
+				}
+			}
+			if checked == 0 {
+				t.Fatal("no trial admitted; generator too hostile to mean anything")
+			}
+		})
+	}
+}
+
+// TestPinnedDifferentialRandomTrees does the same cross-check for the
+// partial-placement (repair) DP: allocate, fail one machine of the
+// placement, pin the survivors, and compare the strict pinned DP against
+// brute force with the matching lower bounds.
+func TestPinnedDifferentialRandomTrees(t *testing.T) {
+	cases := []struct {
+		name   string
+		seed   uint64
+		trials int
+		eps    float64
+	}{
+		{"eps05-streamA", 5005, 50, 0.05},
+		{"eps10-streamB", 6006, 50, 0.10},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r := stats.NewRand(tc.seed)
+			checked := 0
+			for trial := 0; trial < tc.trials; trial++ {
+				tp := smallRandomTopology(r, 12)
+				led, err := NewLedger(tp, tc.eps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, link := range tp.Links() {
+					if r.Float64() < 0.3 {
+						led.AddDet(link, r.UniformRange(0, 0.4*tp.LinkCap(link)))
+					}
+				}
+				n := r.UniformInt(2, min(8, tp.TotalSlots()))
+				req := Homogeneous{N: n, Demand: stats.Normal{
+					Mu:    r.UniformRange(1, 12),
+					Sigma: r.UniformRange(0, 5),
+				}}
+				p, _, err := AllocateHomog(led, req, MinMaxOccupancy)
+				if err != nil || len(p.Entries) < 2 {
+					continue // need a spread placement to have survivors
+				}
+				// Fail one machine of the placement; survivors are pinned.
+				victim := p.Entries[r.UniformInt(0, len(p.Entries)-1)].Machine
+				led.Faults().FailMachine(victim)
+				pinned := make(map[topology.NodeID]int)
+				for _, e := range p.Entries {
+					if e.Machine != victim {
+						pinned[e.Machine] = e.Count
+					}
+				}
+
+				wantLevel, wantVal, wantFound := bruteForcePinned(led, req, pinned)
+				rp, contribs, err := AllocateHomogPinned(led, req, MinMaxOccupancy, pinned, false)
+				if (err == nil) != wantFound {
+					t.Fatalf("trial %d: pinned DP err=%v, brute force found=%v (req %v, pinned %v)",
+						trial, err, wantFound, req, pinned)
+				}
+				led.Faults().RestoreMachine(victim)
+				if err != nil {
+					continue
+				}
+				checked++
+				counts := placementCounts(&rp)
+				for mc, c := range pinned {
+					if counts[mc] < c {
+						t.Fatalf("trial %d: pinned machine %d got %d VMs, want >= %d", trial, mc, counts[mc], c)
+					}
+				}
+				if counts[victim] != 0 {
+					t.Fatalf("trial %d: pinned DP used the failed machine", trial)
+				}
+				sub := enclosingSubtree(tp, &rp)
+				gotLevel := tp.Node(sub).Level
+				gotVal := maxOccInSubtree(led, sub, contribs)
+				if gotLevel != wantLevel {
+					t.Fatalf("trial %d: pinned DP level %d, brute force %d", trial, gotLevel, wantLevel)
+				}
+				if math.Abs(gotVal-wantVal) > 1e-9 {
+					t.Fatalf("trial %d: pinned DP value %v, brute force %v", trial, gotVal, wantVal)
+				}
+			}
+			if checked == 0 {
+				t.Fatal("no trial produced a repairable instance")
+			}
+		})
+	}
+}
+
+// TestPinnedEmptyMatchesPlainDP: with nothing pinned the partial-placement
+// DP must be exactly AllocateHomog.
+func TestPinnedEmptyMatchesPlainDP(t *testing.T) {
+	r := stats.NewRand(7007)
+	for trial := 0; trial < 40; trial++ {
+		tp := smallRandomTopology(r, 12)
+		led, err := NewLedger(tp, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := r.UniformInt(1, min(8, tp.TotalSlots()))
+		req := Homogeneous{N: n, Demand: stats.Normal{Mu: r.UniformRange(1, 10), Sigma: r.UniformRange(0, 4)}}
+		p1, _, err1 := AllocateHomog(led, req, MinMaxOccupancy)
+		p2, _, err2 := AllocateHomogPinned(led, req, MinMaxOccupancy, nil, false)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: feasibility differs: %v vs %v", trial, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if p1.String() != p2.String() {
+			t.Fatalf("trial %d: placements differ:\n plain  %v\n pinned %v", trial, &p1, &p2)
+		}
+	}
+}
+
+// TestPinnedRejectsBadPins: structural validation of the pinned map.
+func TestPinnedRejectsBadPins(t *testing.T) {
+	tp := mustTopo(smallThreeTier())
+	req := Homogeneous{N: 2, Demand: stats.Normal{Mu: 5, Sigma: 1}}
+	mc := tp.Machines()[0]
+
+	cases := []struct {
+		name   string
+		pinned map[topology.NodeID]int
+		setup  func(led *Ledger)
+	}{
+		{"negative count", map[topology.NodeID]int{mc: -1}, nil},
+		{"non-machine", map[topology.NodeID]int{tp.Root(): 1}, nil},
+		{"exceeds request", map[topology.NodeID]int{mc: 3}, nil},
+		{"exceeds slots", map[topology.NodeID]int{mc: 2}, func(led *Ledger) { led.UseSlots(mc, 2) }},
+		{"dead machine", map[topology.NodeID]int{mc: 1}, func(led *Ledger) { led.Faults().FailMachine(mc) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			led := newTestLedger(t, tp, 0.05)
+			if tc.setup != nil {
+				tc.setup(led)
+			}
+			if _, _, err := AllocateHomogPinned(led, req, MinMaxOccupancy, tc.pinned, false); err == nil {
+				t.Fatal("expected an error")
+			}
+		})
+	}
+}

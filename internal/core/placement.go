@@ -43,6 +43,20 @@ func (p *Placement) Machines() []topology.NodeID {
 	return ms
 }
 
+// Clone returns an independent deep copy of the placement.
+func (p *Placement) Clone() Placement {
+	entries := make([]PlacementEntry, len(p.Entries))
+	copy(entries, p.Entries)
+	for i := range entries {
+		if entries[i].VMs != nil {
+			vms := make([]int, len(entries[i].VMs))
+			copy(vms, entries[i].VMs)
+			entries[i].VMs = vms
+		}
+	}
+	return Placement{Entries: entries}
+}
+
 // String implements fmt.Stringer.
 func (p *Placement) String() string {
 	s := fmt.Sprintf("placement of %d VMs on %d machines:", p.TotalVMs(), len(p.Entries))

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// This file is the manager's failure-handling layer: injecting machine and
+// link faults into the live ledger, detecting which admitted jobs lost VMs,
+// and repairing them by re-running the allocation DP with the surviving
+// placement pinned (the partial-placement variant of Algorithm 1 in
+// pinned.go). When no guarantee-preserving repair exists the manager falls
+// back to a documented graceful-degradation path: the job is re-placed with
+// the admission condition relaxed and its honest, weakened effective eps is
+// recorded instead of silently violating Eq. 4.
+
+// RepairOutcome classifies what RepairJob did to one job.
+type RepairOutcome int
+
+const (
+	// RepairNoop: the job lost no VMs; its placement is untouched.
+	RepairNoop RepairOutcome = iota
+	// RepairMoved: displaced VMs were re-placed and the original
+	// guarantee (risk factor eps) still holds on every link.
+	RepairMoved
+	// RepairDegraded: the job was re-placed only by relaxing the
+	// admission condition; it now runs with a weakened effective eps
+	// (see RepairResult.EffectiveEps and Manager.EffectiveEps).
+	RepairDegraded
+	// RepairFailed: not even a relaxed placement fits (e.g. too few
+	// alive slots); the job was evicted and its reservations freed.
+	RepairFailed
+)
+
+// String implements fmt.Stringer.
+func (o RepairOutcome) String() string {
+	switch o {
+	case RepairNoop:
+		return "noop"
+	case RepairMoved:
+		return "moved"
+	case RepairDegraded:
+		return "degraded"
+	case RepairFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("RepairOutcome(%d)", int(o))
+	}
+}
+
+// RepairResult reports one RepairJob invocation.
+type RepairResult struct {
+	Job       JobID
+	Outcome   RepairOutcome
+	Placement Placement // final placement (empty when Outcome == RepairFailed)
+	// MovedVMs is the number of displaced VMs that had to be re-placed
+	// (0 for RepairNoop; the job's full size may move for heterogeneous
+	// repairs, see RepairJob).
+	MovedVMs int
+	// EffectiveEps is the risk factor the job actually gets after the
+	// repair: the manager's eps for Noop/Moved, the weakened per-job
+	// bound for Degraded, and 1 for Failed (the job is gone).
+	EffectiveEps float64
+	Elapsed      time.Duration
+}
+
+// failureCounters is the manager's internal fault/repair bookkeeping,
+// guarded by Manager.mu.
+type failureCounters struct {
+	machineFailures uint64
+	machineRestores uint64
+	linkFailures    uint64
+	linkRestores    uint64
+	noopRepairs     uint64
+	movedRepairs    uint64
+	degradedRepairs uint64
+	failedRepairs   uint64
+	repairLatency   metrics.LatencySummary
+}
+
+// FailureStats is a point-in-time snapshot of the manager's fault and
+// repair activity, for the HTTP API and metrics scrapes.
+type FailureStats struct {
+	MachineFailures uint64 `json:"machine_failures"`
+	MachineRestores uint64 `json:"machine_restores"`
+	LinkFailures    uint64 `json:"link_failures"`
+	LinkRestores    uint64 `json:"link_restores"`
+
+	NoopRepairs     uint64 `json:"noop_repairs"`
+	MovedRepairs    uint64 `json:"moved_repairs"`
+	DegradedRepairs uint64 `json:"degraded_repairs"`
+	FailedRepairs   uint64 `json:"failed_repairs"`
+
+	MachinesDown int `json:"machines_down"`
+	LinksDown    int `json:"links_down"`
+	DegradedJobs int `json:"degraded_jobs"`
+
+	RepairLatency metrics.LatencySummary `json:"repair_latency"`
+}
+
+// FailMachine takes a machine down at runtime. VMs on it keep their slot
+// and bandwidth bookkeeping (so repair can roll them back exactly), but the
+// machine reports zero free slots and its jobs are considered displaced.
+// It returns the IDs of the jobs that now have displaced VMs anywhere in
+// the datacenter, sorted.
+func (m *Manager) FailMachine(id topology.NodeID) []JobID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.led.Faults().FailMachine(id) {
+		m.fstats.machineFailures++
+		m.version++
+	}
+	return m.affectedLocked()
+}
+
+// RestoreMachine brings a failed machine back into service.
+func (m *Manager) RestoreMachine(id topology.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.led.Faults().RestoreMachine(id) {
+		m.fstats.machineRestores++
+		m.version++
+	}
+}
+
+// FailLink takes a link down at runtime, disconnecting the whole subtree
+// below it. It returns the IDs of the jobs that now have displaced VMs,
+// sorted.
+func (m *Manager) FailLink(id topology.LinkID) []JobID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.led.Faults().FailLink(id) {
+		m.fstats.linkFailures++
+		m.version++
+	}
+	return m.affectedLocked()
+}
+
+// RestoreLink brings a failed link back into service.
+func (m *Manager) RestoreLink(id topology.LinkID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.led.Faults().RestoreLink(id) {
+		m.fstats.linkRestores++
+		m.version++
+	}
+}
+
+// AffectedJobs returns the IDs of admitted jobs with at least one VM on a
+// machine that is failed or unreachable, sorted.
+func (m *Manager) AffectedJobs() []JobID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.affectedLocked()
+}
+
+func (m *Manager) affectedLocked() []JobID {
+	var out []JobID
+	for id, a := range m.jobs {
+		if m.displacedLocked(a) > 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// displacedLocked counts the job's VMs sitting on dead (failed or
+// unreachable) machines.
+func (m *Manager) displacedLocked(a *Allocation) int {
+	n := 0
+	for _, e := range a.Placement.Entries {
+		if !m.led.Faults().Alive(e.Machine) {
+			n += e.Count
+		}
+	}
+	return n
+}
+
+// EffectiveEps returns the risk factor the job actually gets: the
+// manager's eps normally, or the weakened per-job bound recorded by a
+// degraded repair.
+func (m *Manager) EffectiveEps(id JobID) (float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.jobs[id]; !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	if eps, ok := m.degraded[id]; ok {
+		return eps, nil
+	}
+	return m.led.Epsilon(), nil
+}
+
+// RepairJob restores the bandwidth guarantee of one job after failures.
+//
+// If the job lost no VMs it is a no-op (RepairNoop) and the returned
+// placement is identical to the job's current one. Otherwise the job's
+// reservations are rolled back and it is re-placed:
+//
+//   - Homogeneous jobs run the pinned DP (AllocateHomogPinned) so surviving
+//     VMs stay exactly where they are. A strict pass enforces the original
+//     admission condition (RepairMoved); if none exists, a relaxed pass
+//     minimizes — but no longer bounds — occupancy, and the job is marked
+//     degraded with its honest effective eps (RepairDegraded).
+//   - Heterogeneous jobs are fully re-allocated with the configured
+//     algorithm (the hetero DPs have no pinned variant, so surviving VMs
+//     may move; MovedVMs still reports only the displaced count). Only a
+//     strict pass is attempted.
+//
+// When not even the fallback fits, the job is evicted and its reservations
+// freed (RepairFailed).
+func (m *Manager) RepairJob(id JobID) (RepairResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a, ok := m.jobs[id]
+	if !ok {
+		return RepairResult{}, fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	start := time.Now()
+	res := m.repairLocked(a)
+	res.Elapsed = time.Since(start)
+	m.fstats.repairLatency.Observe(res.Elapsed)
+	return res, nil
+}
+
+// RepairAll repairs every affected job in ID order and returns one result
+// per job.
+func (m *Manager) RepairAll() []RepairResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []RepairResult
+	for _, id := range m.affectedLocked() {
+		start := time.Now()
+		res := m.repairLocked(m.jobs[id])
+		res.Elapsed = time.Since(start)
+		m.fstats.repairLatency.Observe(res.Elapsed)
+		out = append(out, res)
+	}
+	return out
+}
+
+func (m *Manager) repairLocked(a *Allocation) RepairResult {
+	displaced := m.displacedLocked(a)
+	if displaced == 0 {
+		m.fstats.noopRepairs++
+		eps := m.led.Epsilon()
+		if e, ok := m.degraded[a.ID]; ok {
+			eps = e
+		}
+		return RepairResult{Job: a.ID, Outcome: RepairNoop, Placement: a.Placement.Clone(), EffectiveEps: eps}
+	}
+
+	// Free the whole job first: pinned slots must be free for the pinned
+	// DP, and the relaxed pass must not double-count the job's own
+	// stranded reservations.
+	rollback(m.led, &a.Placement, a.contribs)
+	m.version++
+
+	if a.homog != nil {
+		pinned := make(map[topology.NodeID]int)
+		for _, e := range a.Placement.Entries {
+			if m.led.Faults().Alive(e.Machine) {
+				pinned[e.Machine] = e.Count
+			}
+		}
+		p, contribs, err := AllocateHomogPinned(m.led, *a.homog, m.policy, pinned, false)
+		if err == nil {
+			commit(m.led, &p, contribs)
+			a.Placement, a.contribs = p, contribs
+			delete(m.degraded, a.ID)
+			m.version++
+			m.fstats.movedRepairs++
+			return RepairResult{Job: a.ID, Outcome: RepairMoved, Placement: p.Clone(),
+				MovedVMs: displaced, EffectiveEps: m.led.Epsilon()}
+		}
+		p, contribs, err = AllocateHomogPinned(m.led, *a.homog, m.policy, pinned, true)
+		if err == nil {
+			commit(m.led, &p, contribs)
+			a.Placement, a.contribs = p, contribs
+			eff := m.effectiveEpsLocked(contribs)
+			m.degraded[a.ID] = eff
+			m.version++
+			m.fstats.degradedRepairs++
+			return RepairResult{Job: a.ID, Outcome: RepairDegraded, Placement: p.Clone(),
+				MovedVMs: displaced, EffectiveEps: eff}
+		}
+	} else if a.hetero != nil {
+		var (
+			p        Placement
+			contribs []linkDemand
+			err      error
+		)
+		switch m.hetero {
+		case HeteroExact:
+			p, contribs, err = AllocateHeteroExact(m.led, *a.hetero)
+		case HeteroFirstFit:
+			p, contribs, err = AllocateFirstFit(m.led, *a.hetero)
+		default:
+			p, contribs, err = AllocateHeteroSubstring(m.led, *a.hetero, m.policy)
+		}
+		if err == nil {
+			commit(m.led, &p, contribs)
+			a.Placement, a.contribs = p, contribs
+			delete(m.degraded, a.ID)
+			m.version++
+			m.fstats.movedRepairs++
+			return RepairResult{Job: a.ID, Outcome: RepairMoved, Placement: p.Clone(),
+				MovedVMs: displaced, EffectiveEps: m.led.Epsilon()}
+		}
+	}
+
+	// Eviction: nothing fits. The rollback above already freed the job.
+	delete(m.jobs, a.ID)
+	delete(m.degraded, a.ID)
+	m.version++
+	m.fstats.failedRepairs++
+	return RepairResult{Job: a.ID, Outcome: RepairFailed, MovedVMs: displaced, EffectiveEps: 1}
+}
+
+// effectiveEpsLocked computes the honest risk factor of a job whose
+// contributions are already committed: the worst per-link outage
+// probability over the links it touches, floored at the ledger's eps (a
+// degraded job is never reported as safer than the guarantee it bought).
+func (m *Manager) effectiveEpsLocked(contribs []linkDemand) float64 {
+	eff := m.led.Epsilon()
+	for _, c := range contribs {
+		if p := m.led.LinkOutageProb(c.link); p > eff {
+			eff = p
+		}
+	}
+	return eff
+}
+
+// FailureStats returns a snapshot of fault and repair activity.
+func (m *Manager) FailureStats() FailureStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.led.Faults()
+	return FailureStats{
+		MachineFailures: m.fstats.machineFailures,
+		MachineRestores: m.fstats.machineRestores,
+		LinkFailures:    m.fstats.linkFailures,
+		LinkRestores:    m.fstats.linkRestores,
+		NoopRepairs:     m.fstats.noopRepairs,
+		MovedRepairs:    m.fstats.movedRepairs,
+		DegradedRepairs: m.fstats.degradedRepairs,
+		FailedRepairs:   m.fstats.failedRepairs,
+		MachinesDown:    f.MachinesDown(),
+		LinksDown:       f.LinksDown(),
+		DegradedJobs:    len(m.degraded),
+		RepairLatency:   m.fstats.repairLatency,
+	}
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func mustManager(t *testing.T, spec topology.Spec, eps float64, opts ...ManagerOption) *Manager {
+	t.Helper()
+	m, err := NewManager(mustTopo(spec), eps, opts...)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	return m
+}
+
+func mustAllocHomog(t *testing.T, m *Manager, req Homogeneous) *Allocation {
+	t.Helper()
+	a, err := m.AllocateHomog(req)
+	if err != nil {
+		t.Fatalf("AllocateHomog(%v): %v", req, err)
+	}
+	return a
+}
+
+// machineWithCap finds the machine whose host link has the given capacity.
+func machineWithCap(tp *topology.Topology, cap float64) topology.NodeID {
+	for _, m := range tp.Machines() {
+		if tp.LinkCap(m) == cap {
+			return m
+		}
+	}
+	panic("no machine with that uplink capacity")
+}
+
+// TestRepairNoopOnUnaffectedJob is the acceptance criterion's identity
+// check: repairing a job that lost nothing returns the exact placement.
+func TestRepairNoopOnUnaffectedJob(t *testing.T) {
+	m := mustManager(t, smallThreeTier(), 0.05)
+	a := mustAllocHomog(t, m, Homogeneous{N: 3, Demand: stats.Normal{Mu: 5, Sigma: 2}})
+	before := a.Placement.String()
+
+	// Fail a machine the job does not use.
+	used := make(map[topology.NodeID]bool)
+	for _, e := range a.Placement.Entries {
+		used[e.Machine] = true
+	}
+	var victim topology.NodeID = topology.None
+	for _, mc := range m.Topology().Machines() {
+		if !used[mc] {
+			victim = mc
+			break
+		}
+	}
+	if victim == topology.None {
+		t.Fatal("test topology too small: no unused machine")
+	}
+	if affected := m.FailMachine(victim); len(affected) != 0 {
+		t.Fatalf("FailMachine of an unused machine displaced jobs %v", affected)
+	}
+
+	res, err := m.RepairJob(a.ID)
+	if err != nil {
+		t.Fatalf("RepairJob: %v", err)
+	}
+	if res.Outcome != RepairNoop || res.MovedVMs != 0 {
+		t.Fatalf("got outcome %v moved %d, want noop/0", res.Outcome, res.MovedVMs)
+	}
+	if got := res.Placement.String(); got != before {
+		t.Fatalf("noop repair changed placement:\n got %s\nwant %s", got, before)
+	}
+	if res.EffectiveEps != m.Epsilon() {
+		t.Fatalf("noop EffectiveEps = %v, want %v", res.EffectiveEps, m.Epsilon())
+	}
+	if st := m.FailureStats(); st.NoopRepairs != 1 || st.MachineFailures != 1 || st.MachinesDown != 1 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+// TestRepairMovedPreservesGuarantee: a machine failure displaces part of a
+// job; the pinned DP re-places only the displaced VMs, keeps survivors in
+// place, and the original admission condition holds on every live link.
+func TestRepairMovedPreservesGuarantee(t *testing.T) {
+	m := mustManager(t, smallThreeTier(), 0.05)
+	// 4 VMs over 3-slot machines: the placement must span two machines.
+	a := mustAllocHomog(t, m, Homogeneous{N: 4, Demand: stats.Normal{Mu: 4, Sigma: 2}})
+	if len(a.Placement.Entries) < 2 {
+		t.Fatalf("expected a spread placement, got %v", &a.Placement)
+	}
+	victim := a.Placement.Entries[0].Machine
+	survivors := make(map[topology.NodeID]int)
+	displaced := 0
+	for _, e := range a.Placement.Entries {
+		if e.Machine == victim {
+			displaced = e.Count
+		} else {
+			survivors[e.Machine] = e.Count
+		}
+	}
+
+	affected := m.FailMachine(victim)
+	if len(affected) != 1 || affected[0] != a.ID {
+		t.Fatalf("AffectedJobs = %v, want [%d]", affected, a.ID)
+	}
+	res, err := m.RepairJob(a.ID)
+	if err != nil {
+		t.Fatalf("RepairJob: %v", err)
+	}
+	if res.Outcome != RepairMoved {
+		t.Fatalf("outcome = %v, want moved", res.Outcome)
+	}
+	if res.MovedVMs != displaced {
+		t.Fatalf("MovedVMs = %d, want %d", res.MovedVMs, displaced)
+	}
+	if res.EffectiveEps != m.Epsilon() {
+		t.Fatalf("EffectiveEps = %v, want base eps %v", res.EffectiveEps, m.Epsilon())
+	}
+	counts := placementCounts(&res.Placement)
+	for mc, c := range survivors {
+		if counts[mc] < c {
+			t.Fatalf("survivor machine %d dropped from %d to %d VMs", mc, c, counts[mc])
+		}
+	}
+	if counts[victim] != 0 {
+		t.Fatalf("repair left %d VMs on the failed machine", counts[victim])
+	}
+	if res.Placement.TotalVMs() != 4 {
+		t.Fatalf("repaired placement has %d VMs, want 4", res.Placement.TotalVMs())
+	}
+	led := m.Ledger()
+	for _, link := range m.Topology().Links() {
+		if led.LinkLive(link) && led.Occupancy(link) >= 1 {
+			t.Fatalf("live link %d at occupancy %v >= 1 after strict repair", link, led.Occupancy(link))
+		}
+	}
+	if eps, err := m.EffectiveEps(a.ID); err != nil || eps != m.Epsilon() {
+		t.Fatalf("EffectiveEps(job) = %v, %v; want base eps", eps, err)
+	}
+	// Releasing the repaired job must restore a clean ledger.
+	if err := m.Release(a.ID); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	for _, link := range m.Topology().Links() {
+		if occ := led.Occupancy(link); occ != 0 {
+			t.Fatalf("link %d occupancy %v != 0 after release", link, occ)
+		}
+	}
+}
+
+// TestRepairLinkFailureMovesAcrossRacks: failing a rack uplink strands the
+// rack's machines; the displaced VMs must land in the other rack.
+func TestRepairLinkFailureMovesAcrossRacks(t *testing.T) {
+	m := mustManager(t, smallThreeTier(), 0.05)
+	a := mustAllocHomog(t, m, Homogeneous{N: 4, Demand: stats.Normal{Mu: 4, Sigma: 2}})
+	tp := m.Topology()
+	// The job sits inside one rack (4 VMs fit in 2x3 slots); fail that
+	// rack's uplink.
+	rack := enclosingSubtree(tp, &a.Placement)
+	if tp.Node(rack).Level != 1 {
+		t.Fatalf("expected a rack-level placement, got level %d", tp.Node(rack).Level)
+	}
+	affected := m.FailLink(rack)
+	if len(affected) != 1 || affected[0] != a.ID {
+		t.Fatalf("AffectedJobs after link failure = %v, want [%d]", affected, a.ID)
+	}
+	res, err := m.RepairJob(a.ID)
+	if err != nil {
+		t.Fatalf("RepairJob: %v", err)
+	}
+	if res.Outcome != RepairMoved || res.MovedVMs != 4 {
+		t.Fatalf("outcome %v moved %d, want moved/4", res.Outcome, res.MovedVMs)
+	}
+	for _, e := range res.Placement.Entries {
+		if isAncestor(tp, rack, e.Machine) {
+			t.Fatalf("repair placed VMs on machine %d behind the failed uplink", e.Machine)
+		}
+	}
+	if st := m.FailureStats(); st.LinkFailures != 1 || st.MovedRepairs != 1 || st.LinksDown != 1 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+// asymmetricSpec: three machines under the root with host link capacities
+// 50, 50 and 30 and two slots each — the 30-capacity machine cannot carry
+// a strict repair of the test job, forcing the degradation path.
+func asymmetricSpec() topology.Spec {
+	return topology.Spec{Children: []topology.Spec{
+		{UpCap: 50, Slots: 2},
+		{UpCap: 50, Slots: 2},
+		{UpCap: 30, Slots: 2},
+	}}
+}
+
+// TestRepairDegradedReportsWeakenedEps: when no guarantee-preserving
+// placement exists but slots do, the job is re-placed with the admission
+// condition relaxed and its honest effective eps (worst per-link outage
+// probability) is reported and recorded.
+func TestRepairDegradedReportsWeakenedEps(t *testing.T) {
+	const eps = 0.05
+	m := mustManager(t, asymmetricSpec(), eps)
+	tp := m.Topology()
+	weak := machineWithCap(tp, 30)
+
+	// CrossingHomog({20,5}, 2, 4) has effective bandwidth ~46: admissible
+	// on the 50-links, not on the 30-link.
+	a := mustAllocHomog(t, m, Homogeneous{N: 4, Demand: stats.Normal{Mu: 20, Sigma: 5}})
+	counts := placementCounts(&a.Placement)
+	if counts[weak] != 0 {
+		t.Fatalf("setup broken: initial placement %v uses the weak machine", &a.Placement)
+	}
+	victim := a.Placement.Entries[0].Machine
+	m.FailMachine(victim)
+
+	res, err := m.RepairJob(a.ID)
+	if err != nil {
+		t.Fatalf("RepairJob: %v", err)
+	}
+	if res.Outcome != RepairDegraded {
+		t.Fatalf("outcome = %v, want degraded", res.Outcome)
+	}
+	if res.Placement.TotalVMs() != 4 {
+		t.Fatalf("degraded placement has %d VMs, want 4", res.Placement.TotalVMs())
+	}
+	if got := placementCounts(&res.Placement)[weak]; got != 2 {
+		t.Fatalf("weak machine carries %d VMs, want 2", got)
+	}
+	if res.EffectiveEps <= eps {
+		t.Fatalf("EffectiveEps = %v, want > eps %v", res.EffectiveEps, eps)
+	}
+	// The weak link's occupancy really is over 1 now; the weakened eps
+	// must equal the worst per-link outage probability.
+	led := m.Ledger()
+	if occ := led.Occupancy(weak); occ < 1 {
+		t.Fatalf("weak link occupancy %v < 1; degradation did not engage", occ)
+	}
+	if p := led.LinkOutageProb(weak); math.Abs(p-res.EffectiveEps) > 1e-12 {
+		t.Fatalf("EffectiveEps %v != weak-link outage prob %v", res.EffectiveEps, p)
+	}
+	if got, err := m.EffectiveEps(a.ID); err != nil || got != res.EffectiveEps {
+		t.Fatalf("EffectiveEps(job) = %v, %v", got, err)
+	}
+	st := m.FailureStats()
+	if st.DegradedRepairs != 1 || st.DegradedJobs != 1 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+	// A follow-up repair with nothing newly displaced is a noop that keeps
+	// reporting the weakened eps.
+	res2, err := m.RepairJob(a.ID)
+	if err != nil {
+		t.Fatalf("second RepairJob: %v", err)
+	}
+	if res2.Outcome != RepairNoop || res2.EffectiveEps != res.EffectiveEps {
+		t.Fatalf("second repair: outcome %v eps %v, want noop with sticky eps %v",
+			res2.Outcome, res2.EffectiveEps, res.EffectiveEps)
+	}
+	// Releasing the degraded job clears its degraded mark.
+	if err := m.Release(a.ID); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if st := m.FailureStats(); st.DegradedJobs != 0 {
+		t.Fatalf("DegradedJobs = %d after release, want 0", st.DegradedJobs)
+	}
+}
+
+// TestRepairFailedEvictsJob: when not even a relaxed placement fits, the
+// job is evicted and every reservation freed.
+func TestRepairFailedEvictsJob(t *testing.T) {
+	spec := topology.Spec{Children: []topology.Spec{
+		{UpCap: 100, Slots: 2},
+		{UpCap: 100, Slots: 2},
+	}}
+	m := mustManager(t, spec, 0.05)
+	a := mustAllocHomog(t, m, Homogeneous{N: 4, Demand: stats.Normal{Mu: 10, Sigma: 3}})
+	victim := a.Placement.Entries[0].Machine
+	m.FailMachine(victim)
+
+	res, err := m.RepairJob(a.ID)
+	if err != nil {
+		t.Fatalf("RepairJob: %v", err)
+	}
+	if res.Outcome != RepairFailed || res.EffectiveEps != 1 {
+		t.Fatalf("got outcome %v eps %v, want failed/1", res.Outcome, res.EffectiveEps)
+	}
+	if m.Running() != 0 {
+		t.Fatalf("Running = %d after eviction, want 0", m.Running())
+	}
+	if _, err := m.EffectiveEps(a.ID); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("EffectiveEps after eviction: %v, want ErrUnknownJob", err)
+	}
+	if _, err := m.RepairJob(a.ID); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("RepairJob after eviction: %v, want ErrUnknownJob", err)
+	}
+	led := m.Ledger()
+	for _, link := range m.Topology().Links() {
+		if occ := led.Occupancy(link); occ != 0 {
+			t.Fatalf("link %d occupancy %v != 0 after eviction", link, occ)
+		}
+	}
+	m.RestoreMachine(victim)
+	if got, want := m.FreeSlots(), 4; got != want {
+		t.Fatalf("FreeSlots = %d after restore, want %d", got, want)
+	}
+	st := m.FailureStats()
+	if st.FailedRepairs != 1 || st.MachineRestores != 1 || st.MachinesDown != 0 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+// TestRepairHeteroFullReallocation: heterogeneous jobs have no pinned DP;
+// repair re-allocates the whole job strictly or evicts it.
+func TestRepairHeteroFullReallocation(t *testing.T) {
+	m := mustManager(t, smallThreeTier(), 0.05)
+	req, err := NewHeterogeneous([]stats.Normal{
+		{Mu: 4, Sigma: 2}, {Mu: 6, Sigma: 1}, {Mu: 3, Sigma: 3}, {Mu: 5, Sigma: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.AllocateHetero(req)
+	if err != nil {
+		t.Fatalf("AllocateHetero: %v", err)
+	}
+	victim := a.Placement.Entries[0].Machine
+	displaced := a.Placement.Entries[0].Count
+	m.FailMachine(victim)
+	res, err := m.RepairJob(a.ID)
+	if err != nil {
+		t.Fatalf("RepairJob: %v", err)
+	}
+	if res.Outcome != RepairMoved || res.MovedVMs != displaced {
+		t.Fatalf("outcome %v moved %d, want moved/%d", res.Outcome, res.MovedVMs, displaced)
+	}
+	if res.Placement.TotalVMs() != 4 {
+		t.Fatalf("repaired hetero placement has %d VMs, want 4", res.Placement.TotalVMs())
+	}
+	for _, e := range res.Placement.Entries {
+		if e.Machine == victim {
+			t.Fatal("repair placed VMs on the failed machine")
+		}
+		if len(e.VMs) != e.Count {
+			t.Fatalf("hetero entry on machine %d lists %d VMs for count %d", e.Machine, len(e.VMs), e.Count)
+		}
+	}
+}
+
+// TestRepairAllRepairsEveryAffectedJob exercises the batch path.
+func TestRepairAllRepairsEveryAffectedJob(t *testing.T) {
+	m := mustManager(t, smallThreeTier(), 0.05)
+	// Two 2-VM jobs on separate machines plus slack to repair into.
+	a1 := mustAllocHomog(t, m, Homogeneous{N: 2, Demand: stats.Normal{Mu: 4, Sigma: 2}})
+	a2 := mustAllocHomog(t, m, Homogeneous{N: 2, Demand: stats.Normal{Mu: 4, Sigma: 2}})
+	if a1.Placement.Entries[0].Machine == a2.Placement.Entries[0].Machine {
+		t.Fatalf("setup broken: both jobs on machine %d", a1.Placement.Entries[0].Machine)
+	}
+	m.FailMachine(a1.Placement.Entries[0].Machine)
+	m.FailMachine(a2.Placement.Entries[0].Machine)
+	results := m.RepairAll()
+	if len(results) != 2 {
+		t.Fatalf("RepairAll returned %d results, want 2", len(results))
+	}
+	for _, res := range results {
+		if res.Outcome != RepairMoved {
+			t.Fatalf("job %d outcome %v, want moved", res.Job, res.Outcome)
+		}
+	}
+	if got := m.AffectedJobs(); len(got) != 0 {
+		t.Fatalf("AffectedJobs = %v after RepairAll, want none", got)
+	}
+}

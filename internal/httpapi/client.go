@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"repro/internal/core"
 )
 
 // Client talks to a network manager served by Server.
@@ -87,6 +89,42 @@ func (c *Client) Links(ctx context.Context, limit int) ([]LinkStatus, error) {
 	}
 	var resp []LinkStatus
 	err := c.do(ctx, http.MethodGet, path, nil, &resp, http.StatusOK)
+	return resp, err
+}
+
+// Fault fails or restores a machine or link and returns the jobs the
+// current fault set displaces.
+func (c *Client) Fault(ctx context.Context, req FaultRequest) ([]int64, error) {
+	var resp FaultResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/faults", req, &resp, http.StatusOK); err != nil {
+		return nil, err
+	}
+	return resp.AffectedJobs, nil
+}
+
+// Repair re-places one displaced job.
+func (c *Client) Repair(ctx context.Context, job int64) (RepairResult, error) {
+	var resp []RepairResult
+	if err := c.do(ctx, http.MethodPost, "/v1/repairs", RepairRequest{Job: &job}, &resp, http.StatusOK); err != nil {
+		return RepairResult{}, err
+	}
+	if len(resp) != 1 {
+		return RepairResult{}, fmt.Errorf("httpapi: repair returned %d results, want 1", len(resp))
+	}
+	return resp[0], nil
+}
+
+// RepairAll re-places every displaced job.
+func (c *Client) RepairAll(ctx context.Context) ([]RepairResult, error) {
+	var resp []RepairResult
+	err := c.do(ctx, http.MethodPost, "/v1/repairs", RepairRequest{}, &resp, http.StatusOK)
+	return resp, err
+}
+
+// Failures fetches the fault and repair counters.
+func (c *Client) Failures(ctx context.Context) (core.FailureStats, error) {
+	var resp core.FailureStats
+	err := c.do(ctx, http.MethodGet, "/v1/failures", nil, &resp, http.StatusOK)
 	return resp, err
 }
 

@@ -12,18 +12,23 @@
 //	POST   /v1/headroom           how many copies of a request would fit
 //	GET    /v1/status             datacenter-wide counters
 //	GET    /v1/links              per-link reservation state, most loaded first
+//	POST   /v1/faults             fail or restore a machine or link
+//	POST   /v1/repairs            re-place displaced jobs (one or all)
+//	GET    /v1/failures           fault and repair counters
 package httpapi
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/topology"
 )
 
 // AllocationRequest is the wire form of a tenant request; exactly one of
@@ -68,6 +73,38 @@ type Status struct {
 	RunningJobs  int     `json:"runningJobs"`
 	MaxOccupancy float64 `json:"maxOccupancy"`
 	Epsilon      float64 `json:"epsilon"`
+	MachinesDown int     `json:"machinesDown,omitempty"`
+	LinksDown    int     `json:"linksDown,omitempty"`
+	DegradedJobs int     `json:"degradedJobs,omitempty"`
+}
+
+// FaultRequest fails or restores one machine or one link; exactly one of
+// Machine and Link must be set.
+type FaultRequest struct {
+	Machine *int `json:"machine,omitempty"`
+	Link    *int `json:"link,omitempty"`
+	Restore bool `json:"restore,omitempty"`
+}
+
+// FaultResponse lists the jobs displaced by the current fault set.
+type FaultResponse struct {
+	AffectedJobs []int64 `json:"affectedJobs"`
+}
+
+// RepairRequest names the job to repair; a null or absent job repairs
+// every displaced job.
+type RepairRequest struct {
+	Job *int64 `json:"job,omitempty"`
+}
+
+// RepairResult reports one repair attempt on the wire.
+type RepairResult struct {
+	Job          int64            `json:"job"`
+	Outcome      string           `json:"outcome"`
+	MovedVMs     int              `json:"movedVMs"`
+	EffectiveEps float64          `json:"effectiveEps"`
+	ElapsedMs    float64          `json:"elapsedMillis"`
+	Placement    []PlacementEntry `json:"placement,omitempty"`
 }
 
 // LinkStatus reports one link's reservation state.
@@ -117,6 +154,9 @@ func NewServer(mgr *core.Manager) *Server {
 	s.mux.HandleFunc("POST /v1/headroom", s.handleHeadroom)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/links", s.handleLinks)
+	s.mux.HandleFunc("POST /v1/faults", s.handleFault)
+	s.mux.HandleFunc("POST /v1/repairs", s.handleRepair)
+	s.mux.HandleFunc("GET /v1/failures", s.handleFailures)
 	return s
 }
 
@@ -247,6 +287,7 @@ func (s *Server) handleHeadroom(w http.ResponseWriter, req *http.Request) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	topo := s.mgr.Topology()
+	fstats := s.mgr.FailureStats()
 	writeJSON(w, http.StatusOK, Status{
 		Machines:     len(topo.Machines()),
 		TotalSlots:   topo.TotalSlots(),
@@ -254,7 +295,104 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		RunningJobs:  s.mgr.Running(),
 		MaxOccupancy: s.mgr.MaxOccupancy(),
 		Epsilon:      s.mgr.Epsilon(),
+		MachinesDown: fstats.MachinesDown,
+		LinksDown:    fstats.LinksDown,
+		DegradedJobs: fstats.DegradedJobs,
 	})
+}
+
+func (s *Server) handleFault(w http.ResponseWriter, req *http.Request) {
+	var wire FaultRequest
+	if err := decodeJSON(req, &wire); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if (wire.Machine == nil) == (wire.Link == nil) {
+		writeError(w, http.StatusBadRequest, errors.New("set exactly one of machine and link"))
+		return
+	}
+	topo := s.mgr.Topology()
+	var affected []core.JobID
+	switch {
+	case wire.Machine != nil:
+		id := topology.NodeID(*wire.Machine)
+		if id < 0 || int(id) >= topo.Len() || !topo.Node(id).IsMachine() {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("node %d is not a machine", id))
+			return
+		}
+		if wire.Restore {
+			s.mgr.RestoreMachine(id)
+		} else {
+			affected = s.mgr.FailMachine(id)
+		}
+	default:
+		id := topology.LinkID(*wire.Link)
+		if id < 0 || int(id) >= topo.Len() || topo.Node(topology.NodeID(id)).Parent == topology.None {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("node %d has no uplink", id))
+			return
+		}
+		if wire.Restore {
+			s.mgr.RestoreLink(id)
+		} else {
+			affected = s.mgr.FailLink(id)
+		}
+	}
+	if wire.Restore {
+		affected = s.mgr.AffectedJobs()
+	}
+	resp := FaultResponse{AffectedJobs: make([]int64, 0, len(affected))}
+	for _, id := range affected {
+		resp.AffectedJobs = append(resp.AffectedJobs, int64(id))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// wireRepair converts one repair outcome to its wire form.
+func wireRepair(res core.RepairResult) RepairResult {
+	out := RepairResult{
+		Job:          int64(res.Job),
+		Outcome:      res.Outcome.String(),
+		MovedVMs:     res.MovedVMs,
+		EffectiveEps: res.EffectiveEps,
+		ElapsedMs:    float64(res.Elapsed) / 1e6,
+	}
+	for _, e := range res.Placement.Entries {
+		out.Placement = append(out.Placement, PlacementEntry{
+			Machine: int(e.Machine), Count: e.Count, VMs: e.VMs,
+		})
+	}
+	return out
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, req *http.Request) {
+	var wire RepairRequest
+	if err := decodeJSON(req, &wire); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if wire.Job != nil {
+		res, err := s.mgr.RepairJob(core.JobID(*wire.Job))
+		if errors.Is(err, core.ErrUnknownJob) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, []RepairResult{wireRepair(res)})
+		return
+	}
+	results := s.mgr.RepairAll()
+	out := make([]RepairResult, 0, len(results))
+	for _, res := range results {
+		out = append(out, wireRepair(res))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleFailures(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.FailureStats())
 }
 
 func (s *Server) handleLinks(w http.ResponseWriter, req *http.Request) {

@@ -6,9 +6,53 @@ package metrics
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/stats"
 )
+
+// LatencySummary is a streaming summary of operation latencies (count,
+// total, min/max, last) — enough to expose a per-operation latency profile
+// over an API without retaining samples. The zero value is ready to use;
+// callers provide their own synchronization.
+type LatencySummary struct {
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+	Last  time.Duration `json:"last_ns"`
+}
+
+// Observe folds one measurement into the summary.
+func (s *LatencySummary) Observe(d time.Duration) {
+	if s.Count == 0 || d < s.Min {
+		s.Min = d
+	}
+	if d > s.Max {
+		s.Max = d
+	}
+	s.Count++
+	s.Total += d
+	s.Last = d
+}
+
+// Mean returns the average observed latency (0 with no observations).
+func (s *LatencySummary) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// String implements fmt.Stringer.
+func (s *LatencySummary) String() string {
+	if s.Count == 0 {
+		return "no observations"
+	}
+	return fmt.Sprintf("n=%d mean=%v min=%v max=%v last=%v",
+		s.Count, s.Mean().Round(time.Microsecond), s.Min.Round(time.Microsecond),
+		s.Max.Round(time.Microsecond), s.Last.Round(time.Microsecond))
+}
 
 // Table is a simple column-aligned text table.
 type Table struct {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ratelimit"
@@ -42,8 +43,17 @@ type Config struct {
 	MaxWaitSeconds int
 	// Failures injects machine failures: at each failure's second the
 	// machine goes offline (no further VMs are placed there) and every job
-	// with a VM on it is killed and counted in the result's FailedJobs.
+	// with a VM on it is killed — or repaired, with Repair set — and
+	// counted in the result's FailedJobs.
 	Failures []MachineFailure
+	// FailureModel, when non-nil, additionally injects seeded random
+	// machine failures and restores (exponential MTBF/MTTR per machine).
+	FailureModel *FailureModel
+	// Repair switches the response to failures from kill to repair: each
+	// displaced job is re-placed through the manager's pinned allocation
+	// DP (surviving VMs stay put) and keeps running; only jobs no
+	// placement can save are killed. See the result's Failures report.
+	Repair bool
 	// Recorder, when non-nil, receives a JSONL event stream of the run
 	// (admissions, completions, failures, periodic snapshots).
 	Recorder *trace.Recorder
@@ -86,7 +96,11 @@ type engine struct {
 	netBoundJobs   int       // completed jobs whose network finished after compute
 
 	pendingFailures []MachineFailure // sorted by At
+	injector        *failureInjector // nil without a FailureModel
 	failedJobs      int
+	frep            FailureReport
+	repairTotal     time.Duration
+	repairCount     int
 
 	// Congestion accounting: how often a directed link's offered demand
 	// exceeded its capacity — the realized counterpart of the outage
@@ -127,6 +141,13 @@ func newEngine(cfg Config) (*engine, error) {
 			return nil, fmt.Errorf("sim: failure targets node %d, which is not a machine", f.Machine)
 		}
 	}
+	var injector *failureInjector
+	if cfg.FailureModel != nil {
+		if err := cfg.FailureModel.validate(); err != nil {
+			return nil, err
+		}
+		injector = newFailureInjector(cfg.Topo, *cfg.FailureModel)
+	}
 	return &engine{
 		cfg:             cfg,
 		topo:            cfg.Topo,
@@ -136,6 +157,7 @@ func newEngine(cfg Config) (*engine, error) {
 		offered:         make([]float64, cfg.Topo.Len()*2),
 		active:          make([]bool, cfg.Topo.Len()*2),
 		pendingFailures: failures,
+		injector:        injector,
 	}, nil
 }
 
@@ -282,28 +304,61 @@ func (e *engine) buildFlows(spec JobSpec, vmMachine []topology.NodeID) []*jobFlo
 	return flows
 }
 
-// applyFailures takes machines whose failure time has arrived offline and
-// kills the jobs running on them.
+// applyFailures processes every failure and restore whose time has
+// arrived: scheduled failures from Config.Failures, plus random failures
+// and restores from the MTBF/MTTR model. The jobs a failure displaces are
+// killed, or — with Config.Repair — sent through the manager's repair path
+// and only killed when no placement can save them.
 func (e *engine) applyFailures() error {
+	var downed []topology.NodeID
 	for len(e.pendingFailures) > 0 && e.pendingFailures[0].At <= e.now {
-		m := e.pendingFailures[0].Machine
+		downed = append(downed, e.pendingFailures[0].Machine)
 		e.pendingFailures = e.pendingFailures[1:]
-		e.mgr.SetOffline(m, true)
-		e.cfg.Recorder.Record(trace.Event{Time: e.now, Kind: trace.KindMachineFail, Machines: int(m)})
-		kept := e.jobs[:0]
-		for _, j := range e.jobs {
-			if !j.machines[m] {
-				kept = append(kept, j)
-				continue
-			}
-			if err := e.mgr.Release(j.allocID); err != nil {
-				return fmt.Errorf("sim: fail job %d: %w", j.spec.ID, err)
-			}
-			e.failedJobs++
-			e.cfg.Recorder.Record(trace.Event{Time: e.now, Kind: trace.KindJobFail, Job: j.spec.ID})
-		}
-		e.jobs = kept
 	}
+	if e.injector != nil {
+		for _, m := range e.injector.restoresDue(e.now) {
+			e.mgr.RestoreMachine(m)
+			e.frep.MachineRestores++
+			e.cfg.Recorder.Record(trace.Event{Time: e.now, Kind: trace.KindMachineRestore, Machines: int(m)})
+		}
+		downed = append(downed, e.injector.failuresDue(e.now)...)
+	}
+	if len(downed) == 0 {
+		return nil
+	}
+	hit := make(map[topology.NodeID]bool, len(downed))
+	for _, m := range downed {
+		if hit[m] {
+			continue
+		}
+		hit[m] = true
+		e.mgr.FailMachine(m)
+		e.frep.MachineFailures++
+		e.cfg.Recorder.Record(trace.Event{Time: e.now, Kind: trace.KindMachineFail, Machines: int(m)})
+	}
+	if e.cfg.Repair {
+		return e.repairAffected()
+	}
+	kept := e.jobs[:0]
+	for _, j := range e.jobs {
+		lost := false
+		for m := range hit {
+			if j.machines[m] {
+				lost = true
+				break
+			}
+		}
+		if !lost {
+			kept = append(kept, j)
+			continue
+		}
+		if err := e.mgr.Release(j.allocID); err != nil {
+			return fmt.Errorf("sim: fail job %d: %w", j.spec.ID, err)
+		}
+		e.failedJobs++
+		e.cfg.Recorder.Record(trace.Event{Time: e.now, Kind: trace.KindJobFail, Job: j.spec.ID})
+	}
+	e.jobs = kept
 	return nil
 }
 

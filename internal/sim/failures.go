@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// FailureModel injects random machine failures: every machine runs an
+// independent alternating renewal process with exponentially distributed
+// up-times (mean MTBF seconds) and down-times (mean MTTR seconds). The
+// stream is seeded, so a scenario's failure schedule replays exactly.
+type FailureModel struct {
+	MTBF float64 // mean seconds between failures, per machine
+	MTTR float64 // mean seconds to repair a failed machine
+	Seed uint64
+}
+
+func (f *FailureModel) validate() error {
+	if f.MTBF <= 0 || f.MTTR <= 0 {
+		return errors.New("sim: failure model needs MTBF > 0 and MTTR > 0")
+	}
+	return nil
+}
+
+// failureInjector realizes a FailureModel over a topology's machines.
+type failureInjector struct {
+	rng       *stats.Rand
+	model     FailureModel
+	machines  []topology.NodeID
+	nextFail  map[topology.NodeID]float64 // machine up: next failure time
+	restoreAt map[topology.NodeID]float64 // machine down: restore time
+}
+
+func newFailureInjector(topo *topology.Topology, model FailureModel) *failureInjector {
+	inj := &failureInjector{
+		rng:       stats.NewRand(model.Seed),
+		model:     model,
+		machines:  topo.Machines(),
+		nextFail:  make(map[topology.NodeID]float64),
+		restoreAt: make(map[topology.NodeID]float64),
+	}
+	for _, m := range inj.machines {
+		inj.nextFail[m] = inj.rng.Exp(model.MTBF)
+	}
+	return inj
+}
+
+// failuresDue returns the machines whose failure time has arrived and
+// schedules their restores.
+func (inj *failureInjector) failuresDue(now int) []topology.NodeID {
+	var out []topology.NodeID
+	for _, m := range inj.machines {
+		at, up := inj.nextFail[m]
+		if !up || at > float64(now) {
+			continue
+		}
+		delete(inj.nextFail, m)
+		inj.restoreAt[m] = float64(now) + inj.rng.Exp(inj.model.MTTR)
+		out = append(out, m)
+	}
+	return out
+}
+
+// restoresDue returns the machines whose repair time has arrived and
+// schedules their next failures.
+func (inj *failureInjector) restoresDue(now int) []topology.NodeID {
+	var out []topology.NodeID
+	for _, m := range inj.machines {
+		at, down := inj.restoreAt[m]
+		if !down || at > float64(now) {
+			continue
+		}
+		delete(inj.restoreAt, m)
+		inj.nextFail[m] = float64(now) + inj.rng.Exp(inj.model.MTBF)
+		out = append(out, m)
+	}
+	return out
+}
+
+// FailureReport aggregates a run's failure and repair activity.
+type FailureReport struct {
+	MachineFailures int // machines taken down (scheduled + random)
+	MachineRestores int // machines brought back by the MTTR process
+	// RepairedJobs counts displaced jobs re-placed with the original
+	// guarantee intact (the manager's strict pinned-DP path).
+	RepairedJobs int
+	// DegradedJobs counts repairs that fell back to a relaxed placement
+	// with a weakened effective eps.
+	DegradedJobs int
+	// EvictedJobs counts displaced jobs no placement could save; they are
+	// also included in the result's FailedJobs.
+	EvictedJobs int
+	// MeanRepairMillis is the mean wall-clock latency of the repair DP
+	// over every repair attempt (0 when none ran).
+	MeanRepairMillis float64
+}
+
+// vmMachines recovers the VM index -> machine assignment of a placement:
+// heterogeneous entries carry explicit VM indices, homogeneous VMs are
+// interchangeable and expanded in entry order.
+func vmMachines(spec JobSpec, p *core.Placement) []topology.NodeID {
+	if spec.Hetero != nil {
+		vmm := make([]topology.NodeID, spec.N)
+		for _, entry := range p.Entries {
+			for _, vm := range entry.VMs {
+				vmm[vm] = entry.Machine
+			}
+		}
+		return vmm
+	}
+	vmm := make([]topology.NodeID, 0, spec.N)
+	for _, entry := range p.Entries {
+		for i := 0; i < entry.Count; i++ {
+			vmm = append(vmm, entry.Machine)
+		}
+	}
+	return vmm
+}
+
+// rebindJob re-lays a repaired job's flows over its new placement,
+// carrying over each flow's transfer progress and rate limiter — the
+// simulation counterpart of migrating the displaced VMs.
+func (e *engine) rebindJob(j *runningJob, p core.Placement) error {
+	vmm := vmMachines(j.spec, &p)
+	newFlows := e.buildFlows(j.spec, vmm)
+	if len(newFlows) != len(j.flows) {
+		return fmt.Errorf("sim: repair of job %d rebuilt %d flows, had %d", j.spec.ID, len(newFlows), len(j.flows))
+	}
+	live := 0
+	for i, nf := range newFlows {
+		old := j.flows[i]
+		nf.remaining, nf.done, nf.limiter = old.remaining, old.done, old.limiter
+		if !nf.done {
+			live++
+		}
+	}
+	j.flows = newFlows
+	j.live = live
+	j.machines = make(map[topology.NodeID]bool, len(p.Entries))
+	for _, entry := range p.Entries {
+		j.machines[entry.Machine] = true
+	}
+	return nil
+}
+
+// repairAffected runs the manager's repair pass over every displaced job
+// and applies the outcomes to the running simulation: repaired jobs keep
+// transferring over their new placement, evicted jobs are killed.
+func (e *engine) repairAffected() error {
+	results := e.mgr.RepairAll()
+	if len(results) == 0 {
+		return nil
+	}
+	byAlloc := make(map[core.JobID]*runningJob, len(e.jobs))
+	for _, j := range e.jobs {
+		byAlloc[j.allocID] = j
+	}
+	evicted := make(map[core.JobID]bool)
+	for _, res := range results {
+		j := byAlloc[res.Job]
+		if j == nil {
+			continue
+		}
+		e.repairTotal += res.Elapsed
+		e.repairCount++
+		switch res.Outcome {
+		case core.RepairMoved:
+			e.frep.RepairedJobs++
+			if err := e.rebindJob(j, res.Placement); err != nil {
+				return err
+			}
+		case core.RepairDegraded:
+			e.frep.DegradedJobs++
+			if err := e.rebindJob(j, res.Placement); err != nil {
+				return err
+			}
+		case core.RepairFailed:
+			evicted[res.Job] = true
+			e.frep.EvictedJobs++
+		}
+		e.cfg.Recorder.Record(trace.Event{
+			Time: e.now, Kind: trace.KindRepair,
+			Job: j.spec.ID, VMs: res.MovedVMs, Outcome: res.Outcome.String(),
+		})
+	}
+	if len(evicted) > 0 {
+		kept := e.jobs[:0]
+		for _, j := range e.jobs {
+			if !evicted[j.allocID] {
+				kept = append(kept, j)
+				continue
+			}
+			e.failedJobs++
+			e.cfg.Recorder.Record(trace.Event{Time: e.now, Kind: trace.KindJobFail, Job: j.spec.ID})
+		}
+		e.jobs = kept
+	}
+	return nil
+}
+
+// failureReport finalizes the run's failure counters.
+func (e *engine) failureReport() FailureReport {
+	rep := e.frep
+	if e.repairCount > 0 {
+		rep.MeanRepairMillis = float64(e.repairTotal) / float64(e.repairCount) / float64(time.Millisecond)
+	}
+	return rep
+}

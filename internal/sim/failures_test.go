@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// failureModelCfg builds a batch config whose MTBF is short enough that
+// several machines fail during the run.
+func failureModelCfg(t *testing.T, repair bool) Config {
+	t.Helper()
+	return Config{
+		Topo:         testTopo(t),
+		Eps:          0.05,
+		Abstraction:  SVC,
+		FailureModel: &FailureModel{MTBF: 2000, MTTR: 100, Seed: 42},
+		Repair:       repair,
+	}
+}
+
+func TestFailureModelValidation(t *testing.T) {
+	cfg := Config{Topo: testTopo(t), Eps: 0.05, FailureModel: &FailureModel{MTBF: 0, MTTR: 10}}
+	if _, err := RunBatch(cfg, testJobs(2, 1)); err == nil {
+		t.Fatal("RunBatch accepted a failure model with MTBF = 0")
+	}
+}
+
+func TestFailureModelInjectsAndRestores(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := failureModelCfg(t, false)
+	cfg.Recorder = trace.NewRecorder(&buf, 0)
+	res, err := RunBatch(cfg, testJobs(20, 3))
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if res.Failures.MachineFailures == 0 {
+		t.Fatal("MTBF=2000s over a long batch produced no machine failures")
+	}
+	if res.Failures.MachineRestores == 0 {
+		t.Error("MTTR=100s produced no restores")
+	}
+	if res.FailedJobs == 0 {
+		t.Error("kill-on-failure mode lost no jobs despite machine failures")
+	}
+	if res.Failures.RepairedJobs != 0 || res.Failures.DegradedJobs != 0 {
+		t.Errorf("repair disabled but report shows repaired=%d degraded=%d",
+			res.Failures.RepairedJobs, res.Failures.DegradedJobs)
+	}
+	events, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatalf("trace.Read: %v", err)
+	}
+	var fails, restores int
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindMachineFail:
+			fails++
+		case trace.KindMachineRestore:
+			restores++
+		}
+	}
+	if fails != res.Failures.MachineFailures || restores != res.Failures.MachineRestores {
+		t.Errorf("trace has %d fails / %d restores, report says %d / %d",
+			fails, restores, res.Failures.MachineFailures, res.Failures.MachineRestores)
+	}
+}
+
+func TestRepairSavesJobsFromFailures(t *testing.T) {
+	// Online arrivals every 30s leave free slots, so displaced jobs have
+	// somewhere to go — the batch scheduler would keep the datacenter
+	// packed and force evictions.
+	jobs := testJobs(20, 3)
+	arrivals := make([]int, len(jobs))
+	for i := range arrivals {
+		arrivals[i] = 30 * i
+	}
+	kill, err := RunOnline(failureModelCfg(t, false), jobs, arrivals)
+	if err != nil {
+		t.Fatalf("RunOnline(kill): %v", err)
+	}
+	rep, err := RunOnline(failureModelCfg(t, true), jobs, arrivals)
+	if err != nil {
+		t.Fatalf("RunOnline(repair): %v", err)
+	}
+	// Same seeded failure schedule, so failures happen in both runs.
+	if kill.FailedJobs == 0 {
+		t.Fatal("kill run lost no jobs; the failure schedule is too mild for this test")
+	}
+	saved := rep.Failures.RepairedJobs + rep.Failures.DegradedJobs
+	if saved == 0 {
+		t.Error("repair run saved no jobs")
+	}
+	if rep.FailedJobs != rep.Failures.EvictedJobs {
+		t.Errorf("repair run FailedJobs = %d, want the %d evicted jobs only",
+			rep.FailedJobs, rep.Failures.EvictedJobs)
+	}
+	if rep.FailedJobs > kill.FailedJobs {
+		t.Errorf("repair lost %d jobs, more than kill mode's %d", rep.FailedJobs, kill.FailedJobs)
+	}
+	// Saved jobs still complete: repaired transfers carry their progress.
+	if len(rep.JobTimes) < len(kill.JobTimes) {
+		t.Errorf("repair completed %d jobs, fewer than kill mode's %d",
+			len(rep.JobTimes), len(kill.JobTimes))
+	}
+	if rep.Failures.RepairedJobs > 0 && rep.Failures.MeanRepairMillis <= 0 {
+		t.Error("repairs ran but MeanRepairMillis = 0")
+	}
+}
+
+func TestRepairDeterministic(t *testing.T) {
+	a, err := RunBatch(failureModelCfg(t, true), testJobs(15, 9))
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	b, err := RunBatch(failureModelCfg(t, true), testJobs(15, 9))
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	// MeanRepairMillis is wall-clock, not simulated time; mask it out.
+	fa, fb := a.Failures, b.Failures
+	fa.MeanRepairMillis, fb.MeanRepairMillis = 0, 0
+	if a.Makespan != b.Makespan || fa != fb {
+		t.Errorf("same seeds, different results:\n%+v\n%+v", fa, fb)
+	}
+}
+
+func TestRepairTraceRecordsOutcomes(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := failureModelCfg(t, true)
+	cfg.Recorder = trace.NewRecorder(&buf, 0)
+	res, err := RunBatch(cfg, testJobs(20, 3))
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	events, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatalf("trace.Read: %v", err)
+	}
+	repairs := 0
+	for _, e := range events {
+		if e.Kind != trace.KindRepair {
+			continue
+		}
+		repairs++
+		switch e.Outcome {
+		case "noop", "moved", "degraded", "failed":
+		default:
+			t.Errorf("repair event with unknown outcome %q", e.Outcome)
+		}
+	}
+	want := res.Failures.RepairedJobs + res.Failures.DegradedJobs + res.Failures.EvictedJobs
+	if repairs < want {
+		t.Errorf("trace has %d repair events, report accounts for %d", repairs, want)
+	}
+}

@@ -23,6 +23,9 @@ type BatchResult struct {
 	CongestionRate float64
 	// FailedJobs counts jobs killed by injected machine failures.
 	FailedJobs int
+	// Failures aggregates the run's failure and repair activity (all
+	// zeros when the scenario injects no failures).
+	Failures FailureReport
 	// NetBoundJobs counts completed jobs whose network transfer outlived
 	// their compute phase — the jobs whose running time the bandwidth
 	// abstraction actually determined.
@@ -84,6 +87,7 @@ func RunBatch(cfg Config, jobs []JobSpec) (BatchResult, error) {
 	res.MeanJobTime = stats.Mean(e.completedTimes)
 	res.CongestionRate = e.congestionRate()
 	res.FailedJobs = e.failedJobs
+	res.Failures = e.failureReport()
 	res.NetBoundJobs = e.netBoundJobs
 	return res, nil
 }
@@ -119,6 +123,8 @@ type OnlineResult struct {
 	CongestionRate float64
 	// FailedJobs counts jobs killed by injected machine failures.
 	FailedJobs int
+	// Failures aggregates the run's failure and repair activity.
+	Failures FailureReport
 	// NetBoundJobs counts completed jobs whose network transfer outlived
 	// their compute phase.
 	NetBoundJobs int
@@ -241,6 +247,7 @@ func RunOnline(cfg Config, jobs []JobSpec, arrivals []int) (OnlineResult, error)
 	res.RejectionRate = float64(res.Rejected) / float64(max(1, res.Total))
 	res.CongestionRate = e.congestionRate()
 	res.FailedJobs = e.failedJobs
+	res.Failures = e.failureReport()
 	res.NetBoundJobs = e.netBoundJobs
 	res.JobTimes = e.completedTimes
 	res.MeanJobTime = stats.Mean(res.JobTimes)

@@ -1,0 +1,138 @@
+package topology
+
+import "testing"
+
+// faultTestTopo: root -> two racks (1, 4) -> two machines each.
+func faultTestTopo(t *testing.T) *Topology {
+	t.Helper()
+	tp, err := NewFromSpec(Spec{Children: []Spec{
+		{UpCap: 100, Children: []Spec{
+			{UpCap: 50, Slots: 2},
+			{UpCap: 50, Slots: 2},
+		}},
+		{UpCap: 100, Children: []Spec{
+			{UpCap: 50, Slots: 2},
+			{UpCap: 50, Slots: 2},
+		}},
+	}})
+	if err != nil {
+		t.Fatalf("NewFromSpec: %v", err)
+	}
+	return tp
+}
+
+func TestFaultsMachineFailRestore(t *testing.T) {
+	tp := faultTestTopo(t)
+	f := NewFaults(tp)
+	m := tp.Machines()[0]
+
+	if !f.Alive(m) || f.AnyDown() {
+		t.Fatal("fresh overlay must have everything alive")
+	}
+	if got, want := f.AliveSlots(), tp.TotalSlots(); got != want {
+		t.Fatalf("AliveSlots = %d, want %d", got, want)
+	}
+	e0 := f.Epoch()
+	if !f.FailMachine(m) {
+		t.Fatal("FailMachine reported no change")
+	}
+	if f.FailMachine(m) {
+		t.Fatal("second FailMachine must be a no-op")
+	}
+	if f.Epoch() == e0 {
+		t.Fatal("epoch did not move on failure")
+	}
+	if f.Alive(m) || !f.MachineDown(m) || f.MachinesDown() != 1 {
+		t.Fatal("machine not recorded as down")
+	}
+	if got, want := f.AliveSlots(), tp.TotalSlots()-tp.Node(m).Slots; got != want {
+		t.Fatalf("AliveSlots = %d, want %d", got, want)
+	}
+	// A failed machine is still reachable (the fault is the host, not the
+	// path).
+	if !f.Reachable(m) {
+		t.Fatal("failed machine must remain reachable")
+	}
+	if !f.RestoreMachine(m) {
+		t.Fatal("RestoreMachine reported no change")
+	}
+	if !f.Alive(m) || f.AnyDown() {
+		t.Fatal("machine not restored")
+	}
+}
+
+func TestFaultsLinkFailDisconnectsSubtree(t *testing.T) {
+	tp := faultTestTopo(t)
+	f := NewFaults(tp)
+	rack := tp.Node(tp.Root()).Children[0]
+	below := tp.SubtreeMachines(nil, rack)
+	if len(below) != 2 {
+		t.Fatalf("expected 2 machines under rack, got %d", len(below))
+	}
+
+	f.FailLink(rack)
+	for _, m := range below {
+		if f.Alive(m) || f.Reachable(m) {
+			t.Fatalf("machine %d should be unreachable behind failed link", m)
+		}
+		if f.MachineDown(m) {
+			t.Fatalf("machine %d is unreachable, not itself failed", m)
+		}
+	}
+	for _, m := range tp.SubtreeMachines(nil, tp.Node(tp.Root()).Children[1]) {
+		if !f.Alive(m) {
+			t.Fatalf("machine %d in the other rack must stay alive", m)
+		}
+	}
+	if got, want := f.AliveSlots(), tp.TotalSlots()-4; got != want {
+		t.Fatalf("AliveSlots = %d, want %d", got, want)
+	}
+	if f.LinksDown() != 1 {
+		t.Fatalf("LinksDown = %d, want 1", f.LinksDown())
+	}
+
+	f.RestoreLink(rack)
+	for _, m := range below {
+		if !f.Alive(m) {
+			t.Fatalf("machine %d not alive after link restore", m)
+		}
+	}
+}
+
+func TestFaultsCloneIsIndependent(t *testing.T) {
+	tp := faultTestTopo(t)
+	f := NewFaults(tp)
+	m := tp.Machines()[0]
+	f.FailMachine(m)
+
+	c := f.Clone()
+	if c.Alive(m) {
+		t.Fatal("clone lost fault state")
+	}
+	c.RestoreMachine(m)
+	if f.Alive(m) {
+		t.Fatal("restoring the clone mutated the original")
+	}
+	f.RestoreMachine(m)
+	if !f.Alive(m) || !c.Alive(m) {
+		t.Fatal("restore lost")
+	}
+}
+
+func TestFaultsPanicsOnBadTargets(t *testing.T) {
+	tp := faultTestTopo(t)
+	f := NewFaults(tp)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("FailMachine(root)", func() { f.FailMachine(tp.Root()) })
+	mustPanic("FailMachine(switch)", func() { f.FailMachine(tp.Node(tp.Root()).Children[0]) })
+	mustPanic("FailLink(root)", func() { f.FailLink(tp.Root()) })
+	mustPanic("FailLink(-1)", func() { f.FailLink(-1) })
+}

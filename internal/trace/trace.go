@@ -15,12 +15,14 @@ type Kind string
 
 // Event kinds.
 const (
-	KindAdmit       Kind = "admit"
-	KindReject      Kind = "reject"
-	KindComplete    Kind = "complete"
-	KindJobFail     Kind = "job_fail"
-	KindMachineFail Kind = "machine_fail"
-	KindSnapshot    Kind = "snapshot"
+	KindAdmit          Kind = "admit"
+	KindReject         Kind = "reject"
+	KindComplete       Kind = "complete"
+	KindJobFail        Kind = "job_fail"
+	KindMachineFail    Kind = "machine_fail"
+	KindMachineRestore Kind = "machine_restore"
+	KindRepair         Kind = "repair"
+	KindSnapshot       Kind = "snapshot"
 )
 
 // Event is one trace record. Unused fields are omitted from the JSON.
@@ -34,6 +36,7 @@ type Event struct {
 	Took     int     `json:"tookSeconds,omitempty"`
 	Running  int     `json:"running,omitempty"` // concurrent jobs (snapshots)
 	MaxOcc   float64 `json:"maxOcc,omitempty"`  // max link occupancy (snapshots)
+	Outcome  string  `json:"outcome,omitempty"` // repair outcome (repair events)
 }
 
 // Recorder writes events as JSON lines. A nil *Recorder is valid and

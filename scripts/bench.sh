@@ -1,22 +1,30 @@
 #!/usr/bin/env bash
 # bench.sh — run the benchmark suite and write the results as JSON, the
-# start of the perf trajectory across PRs.
+# perf trajectory across PRs (one BENCH_pr<N>.json per PR).
 #
-#   scripts/bench.sh                 # -> BENCH_pr1.json
-#   OUT=BENCH_pr2.json scripts/bench.sh
+#   scripts/bench.sh                 # -> BENCH_pr<N>.json, N from git
+#   PR=7 scripts/bench.sh            # -> BENCH_pr7.json
+#   OUT=custom.json scripts/bench.sh
 #   BENCH='AllocateHomog' BENCHTIME=50x scripts/bench.sh
 #
 # BENCH      benchmark regexp           (default: the full suite, -bench=.)
 # BENCHTIME  go -benchtime value        (default: 100ms — keeps the
 #            experiment-replay benchmarks to a couple of iterations while
 #            still giving the micro benchmarks thousands)
-# OUT        output file                (default: BENCH_pr1.json)
+# PR         PR number for the default output name (default: the number of
+#            "PR N:" merge commits on the current branch, so each landed PR
+#            gets the next file automatically)
+# OUT        output file                (default: BENCH_pr${PR}.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH="${BENCH:-.}"
 BENCHTIME="${BENCHTIME:-100ms}"
-OUT="${OUT:-BENCH_pr1.json}"
+if [ -z "${PR:-}" ]; then
+    PR=$(git log --oneline 2>/dev/null | grep -c '^[0-9a-f]* PR [0-9]*:' || true)
+    [ "$PR" -gt 0 ] 2>/dev/null || PR=0
+fi
+OUT="${OUT:-BENCH_pr${PR}.json}"
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT

@@ -16,6 +16,10 @@
 //     deterministic Oktopus-style derivations MeanVC / PercentileVC;
 //   - topology: tree datacenters built from ThreeTierConfig or Spec;
 //   - Manager: online admission control, allocation and release;
+//   - fault tolerance: runtime machine and link failures
+//     (Manager.FailMachine, FailLink), guarantee-preserving repair of
+//     displaced jobs (Manager.RepairJob, RepairAll) and the FailureStats
+//     counters;
 //   - simulation: the flow-level evaluation substrate (sim.RunBatch,
 //     sim.RunOnline) and workload generators used to reproduce the paper's
 //     experiments (internal/experiments).
@@ -70,6 +74,28 @@ type (
 	HeteroAlgorithm = core.HeteroAlgorithm
 	// Ledger exposes per-link reservation state for inspection.
 	Ledger = core.Ledger
+	// RepairResult reports one repair attempt on a job displaced by a
+	// machine or link failure (Manager.FailMachine / FailLink, then
+	// Manager.RepairJob / RepairAll).
+	RepairResult = core.RepairResult
+	// RepairOutcome classifies a repair attempt.
+	RepairOutcome = core.RepairOutcome
+	// FailureStats is a snapshot of a Manager's fault and repair counters.
+	FailureStats = core.FailureStats
+)
+
+// Repair outcomes.
+const (
+	// RepairNoop: the job was not displaced; its placement is unchanged.
+	RepairNoop = core.RepairNoop
+	// RepairMoved: displaced VMs were re-placed with the original
+	// guarantee intact.
+	RepairMoved = core.RepairMoved
+	// RepairDegraded: the job was re-placed, but only under a weakened
+	// effective risk factor (RepairResult.EffectiveEps).
+	RepairDegraded = core.RepairDegraded
+	// RepairFailed: no placement could save the job; it was evicted.
+	RepairFailed = core.RepairFailed
 )
 
 // Topology types.

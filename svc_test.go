@@ -176,3 +176,43 @@ func ExamplePercentileVC() {
 	fmt.Printf("mean demand 300 Mbps -> percentile-VC reserves %.0f Mbps per VM\n", pct.Demand.Mu)
 	// Output: mean demand 300 Mbps -> percentile-VC reserves 547 Mbps per VM
 }
+
+func TestPublicAPIFailRepair(t *testing.T) {
+	mgr, err := svc.NewManager(smallTopology(t), 0.05)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	req, err := svc.NewHomogeneous(6, svc.Normal{Mu: 200, Sigma: 100})
+	if err != nil {
+		t.Fatalf("NewHomogeneous: %v", err)
+	}
+	alloc, err := mgr.AllocateHomog(req)
+	if err != nil {
+		t.Fatalf("AllocateHomog: %v", err)
+	}
+	victim := alloc.Placement.Entries[0].Machine
+	affected := mgr.FailMachine(victim)
+	if len(affected) != 1 || affected[0] != alloc.ID {
+		t.Fatalf("FailMachine affected %v, want [%d]", affected, alloc.ID)
+	}
+	res, err := mgr.RepairJob(alloc.ID)
+	if err != nil {
+		t.Fatalf("RepairJob: %v", err)
+	}
+	if res.Outcome != svc.RepairMoved {
+		t.Errorf("outcome = %v, want %v", res.Outcome, svc.RepairMoved)
+	}
+	for _, e := range res.Placement.Entries {
+		if e.Machine == victim {
+			t.Errorf("repaired placement still uses failed machine %d", victim)
+		}
+	}
+	mgr.RestoreMachine(victim)
+	stats := mgr.FailureStats()
+	if stats.MachineFailures != 1 || stats.MachineRestores != 1 || stats.MovedRepairs != 1 {
+		t.Errorf("FailureStats = %+v", stats)
+	}
+	if err := mgr.Release(alloc.ID); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+}
