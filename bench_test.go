@@ -421,7 +421,8 @@ func BenchmarkFailRepair(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m := machines[i%len(machines)]
 		mgr.FailMachine(m)
-		for _, res := range mgr.RepairAll() {
+		results, _ := mgr.RepairAll()
+		for _, res := range results {
 			if res.Outcome == core.RepairFailed {
 				b.Fatalf("repair evicted job %d on a lightly loaded datacenter", res.Job)
 			}

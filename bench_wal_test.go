@@ -1,0 +1,108 @@
+// Durability benchmarks: the write-ahead log's append path (the extra
+// latency every admission pays under -state-dir) and full crash recovery
+// (snapshot restore plus log replay), at a few log sizes.
+package svc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/wal"
+)
+
+func benchWALTopology(b *testing.B) *topology.Topology {
+	b.Helper()
+	cfg := topology.PaperConfig()
+	cfg.Aggs = 2
+	cfg.ToRsPerAgg = 4
+	topo, err := topology.NewThreeTier(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return topo
+}
+
+// BenchmarkWALAppend measures one journaled allocate/release pair — two
+// log records — against the same pair on an unjournaled manager, so the
+// delta is the journal's cost. WithNoSync isolates the encode+write path
+// from the device's fsync latency, which would otherwise dominate.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, sync := range []bool{false, true} {
+		name := "nosync"
+		if sync {
+			name = "fsync"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := []wal.Option{wal.WithSnapshotEvery(1 << 30)}
+			if !sync {
+				opts = append(opts, wal.WithNoSync())
+			}
+			mgr, j, err := wal.Recover(b.TempDir(), benchWALTopology(b), 0.05, nil, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			req := core.Homogeneous{N: 4, Demand: stats.Normal{Mu: 100, Sigma: 40}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := mgr.AllocateHomog(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := mgr.Release(a.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecover measures a cold start from a state directory holding
+// one snapshot-free log of the given record count: scan, decode, and
+// validated replay into a fresh manager.
+func BenchmarkRecover(b *testing.B) {
+	for _, records := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			dir := b.TempDir()
+			topo := benchWALTopology(b)
+			mgr, j, err := wal.Recover(dir, topo, 0.05, nil,
+				wal.WithNoSync(), wal.WithSnapshotEvery(1<<30))
+			if err != nil {
+				b.Fatal(err)
+			}
+			req := core.Homogeneous{N: 4, Demand: stats.Normal{Mu: 100, Sigma: 40}}
+			for i := 0; i < records/2; i++ {
+				a, err := mgr.AllocateHomog(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := mgr.Release(a.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := j.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m2, j2, err := wal.Recover(dir, topo, 0.05, nil, wal.WithNoSync())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m2.Running() != 0 {
+					b.Fatal("unexpected surviving jobs")
+				}
+				b.StopTimer()
+				if err := j2.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/httpapi"
+)
+
+// startTestDaemon builds and starts an in-process svcd on a random port.
+func startTestDaemon(t *testing.T, stateDir string) *daemon {
+	t.Helper()
+	d, err := newDaemon(config{
+		addr:            "127.0.0.1:0",
+		eps:             0.05,
+		policy:          "minmax",
+		stateDir:        stateDir,
+		checkpointEvery: 4096,
+		noSync:          true,
+	})
+	if err != nil {
+		t.Fatalf("newDaemon: %v", err)
+	}
+	d.start()
+	return d
+}
+
+func testClient(d *daemon) *httpapi.Client {
+	return httpapi.NewClient("http://"+d.listener.Addr().String(), nil,
+		httpapi.WithRetries(2), httpapi.WithBackoff(5*time.Millisecond, 50*time.Millisecond))
+}
+
+// TestDaemonSurvivesCrashRestart is the end-to-end acceptance check: jobs
+// admitted and faults injected before an abrupt kill are all visible
+// after a restart from the same -state-dir, and a duplicate allocate with
+// the original idempotency key replays the placement without
+// double-reserving.
+func TestDaemonSurvivesCrashRestart(t *testing.T) {
+	stateDir := t.TempDir()
+	ctx := context.Background()
+
+	d1 := startTestDaemon(t, stateDir)
+	c1 := testClient(d1)
+	keyedReq := httpapi.AllocationRequest{N: 4, Mu: 120, Sigma: 40}
+	keyed, err := c1.Allocate(ctx, keyedReq, httpapi.WithIdempotencyKey("boot-1"))
+	if err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	if _, err := c1.Allocate(ctx, httpapi.AllocationRequest{N: 2, Mu: 60}); err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	mc := int(d1.mgr.Topology().Machines()[0])
+	if _, err := c1.Fault(ctx, httpapi.FaultRequest{Machine: &mc}); err != nil {
+		t.Fatalf("fault: %v", err)
+	}
+	before, err := c1.Status(ctx)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+
+	// Crash: stop serving without drain, checkpoint, or journal close.
+	d1.server.Close()
+	close(d1.stopTick)
+
+	d2 := startTestDaemon(t, stateDir)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := d2.shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	c2 := testClient(d2)
+	after, err := c2.Status(ctx)
+	if err != nil {
+		t.Fatalf("status after restart: %v", err)
+	}
+	if after.RunningJobs != before.RunningJobs || after.FreeSlots != before.FreeSlots ||
+		after.MachinesDown != before.MachinesDown {
+		t.Fatalf("restarted status %+v != pre-crash %+v", after, before)
+	}
+	fstats, err := c2.Failures(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fstats.MachineFailures != 1 {
+		t.Errorf("machine failures after restart = %d, want 1", fstats.MachineFailures)
+	}
+
+	// The duplicate keyed allocate must replay, not re-reserve.
+	replay, err := c2.Allocate(ctx, keyedReq, httpapi.WithIdempotencyKey("boot-1"))
+	if err != nil {
+		t.Fatalf("replayed allocate: %v", err)
+	}
+	if replay.ID != keyed.ID {
+		t.Errorf("replay returned job %d, want %d", replay.ID, keyed.ID)
+	}
+	final, err := c2.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.FreeSlots != after.FreeSlots || final.RunningJobs != after.RunningJobs {
+		t.Errorf("replayed allocate reserved again: %+v -> %+v", after, final)
+	}
+}
+
+// TestDaemonGracefulShutdownSealsState: SIGTERM-style shutdown drains,
+// checkpoints, and the next boot recovers from the snapshot alone.
+func TestDaemonGracefulShutdownSealsState(t *testing.T) {
+	stateDir := t.TempDir()
+	ctx := context.Background()
+
+	d1 := startTestDaemon(t, stateDir)
+	c1 := testClient(d1)
+	if _, err := c1.Allocate(ctx, httpapi.AllocationRequest{N: 3, Mu: 80, Sigma: 20}); err != nil {
+		t.Fatal(err)
+	}
+	gen := d1.journal.Gen()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d1.shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Draining servers refuse mutations before the listener closes; after
+	// shutdown the port is gone entirely.
+	if _, err := c1.Status(ctx); err == nil {
+		t.Error("status still served after shutdown")
+	}
+
+	d2 := startTestDaemon(t, stateDir)
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		d2.shutdown(sctx)
+	}()
+	if d2.journal.Gen() <= gen {
+		t.Errorf("shutdown did not checkpoint: gen %d -> %d", gen, d2.journal.Gen())
+	}
+	st, err := testClient(d2).Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RunningJobs != 1 {
+		t.Errorf("running jobs after graceful restart = %d, want 1", st.RunningJobs)
+	}
+}
+
+// TestDaemonDrainRefusesWritesDuringShutdown: while shutdown drains, a
+// mutating request racing it gets 503, never a hang or a lost write.
+func TestDaemonDrainRefusesWritesDuringShutdown(t *testing.T) {
+	d := startTestDaemon(t, t.TempDir())
+	d.api.SetDraining(true)
+	resp, err := http.Post("http://"+d.listener.Addr().String()+"/v1/allocations",
+		"application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining daemon returned %d, want 503", resp.StatusCode)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

@@ -3,6 +3,12 @@
 //
 //	svcd -addr :8080                          # builtin paper topology
 //	svcd -topo dc.json -eps 0.02              # custom datacenter, stricter SLA
+//	svcd -state-dir /var/lib/svcd             # durable: journal + crash recovery
+//
+// With -state-dir every state-changing operation is committed to a
+// write-ahead log before it is applied, and a restart replays the log
+// (plus the latest snapshot) into a bit-identical manager: admitted jobs,
+// fault state, and idempotency keys all survive a crash or SIGKILL.
 //
 // API (see internal/httpapi):
 //
@@ -14,6 +20,10 @@
 //	POST   /v1/faults             {"machine":3} / {"link":7,"restore":true}
 //	POST   /v1/repairs            {"job":1} or {} for all displaced jobs
 //	GET    /v1/failures
+//
+// Mutating requests may carry an Idempotency-Key header; a repeated key
+// replays the original outcome instead of re-executing, which makes
+// client retries safe.
 //
 // Example session:
 //
@@ -41,6 +51,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/httpapi"
 	"repro/internal/topology"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -50,24 +61,37 @@ func main() {
 	}
 }
 
-func run(args []string) error {
-	fs := flag.NewFlagSet("svcd", flag.ContinueOnError)
-	var (
-		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
-		topoPath = fs.String("topo", "", "topology spec JSON (default: builtin paper topology)")
-		eps      = fs.Float64("eps", 0.05, "risk factor for the probabilistic guarantee")
-		policy   = fs.String("policy", "minmax", "placement policy: minmax|first-feasible|greedy-pack")
-	)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
+// config collects everything a daemon needs, parsed from flags in run and
+// built directly in tests.
+type config struct {
+	addr            string
+	topoPath        string
+	eps             float64
+	policy          string
+	stateDir        string
+	checkpointEvery int
+	noSync          bool
+}
 
-	topo, err := loadTopology(*topoPath)
+// daemon is one running svcd instance: manager, optional journal, HTTP
+// server. Split from run so tests can start and stop instances in-process.
+type daemon struct {
+	mgr      *core.Manager
+	api      *httpapi.Server
+	journal  *wal.Journal // nil without -state-dir
+	server   *http.Server
+	listener net.Listener
+	serveErr chan error
+	stopTick chan struct{}
+}
+
+func newDaemon(cfg config) (*daemon, error) {
+	topo, err := loadTopology(cfg.topoPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var policyOpt core.ManagerOption
-	switch *policy {
+	switch cfg.policy {
 	case "minmax":
 		policyOpt = core.WithPolicy(core.MinMaxOccupancy)
 	case "first-feasible":
@@ -75,44 +99,130 @@ func run(args []string) error {
 	case "greedy-pack":
 		policyOpt = core.WithPolicy(core.GreedyPack)
 	default:
-		return fmt.Errorf("unknown policy %q", *policy)
-	}
-	mgr, err := core.NewManager(topo, *eps, policyOpt)
-	if err != nil {
-		return err
+		return nil, fmt.Errorf("unknown policy %q", cfg.policy)
 	}
 
-	server := &http.Server{
-		Addr:              *addr,
-		Handler:           httpapi.NewServer(mgr).Handler(),
+	d := &daemon{serveErr: make(chan error, 1), stopTick: make(chan struct{})}
+	if cfg.stateDir != "" {
+		walOpts := []wal.Option{wal.WithSnapshotEvery(cfg.checkpointEvery)}
+		if cfg.noSync {
+			walOpts = append(walOpts, wal.WithNoSync())
+		}
+		d.mgr, d.journal, err = wal.Recover(cfg.stateDir, topo, cfg.eps,
+			[]core.ManagerOption{policyOpt}, walOpts...)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if d.mgr, err = core.NewManager(topo, cfg.eps, policyOpt); err != nil {
+			return nil, err
+		}
+	}
+
+	d.api = httpapi.NewServer(d.mgr)
+	d.server = &http.Server{
+		Handler:           d.api.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
-	listener, err := net.Listen("tcp", *addr)
+	if d.listener, err = net.Listen("tcp", cfg.addr); err != nil {
+		if d.journal != nil {
+			d.journal.Close()
+		}
+		return nil, err
+	}
+	return d, nil
+}
+
+// start begins serving and, when journaled, compacting the log in the
+// background.
+func (d *daemon) start() {
+	go func() { d.serveErr <- d.server.Serve(d.listener) }()
+	if d.journal != nil {
+		go d.checkpointLoop()
+	}
+}
+
+// checkpointLoop snapshots the manager whenever the journal has
+// accumulated enough records to make compaction worthwhile.
+func (d *daemon) checkpointLoop() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stopTick:
+			return
+		case <-t.C:
+			if d.journal.NeedsCheckpoint() {
+				if err := d.mgr.Checkpoint(); err != nil {
+					log.Printf("svcd: checkpoint: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// shutdown drains in-flight requests, then makes the final state durable:
+// refuse new mutations, stop the listener, checkpoint, close the journal.
+func (d *daemon) shutdown(ctx context.Context) error {
+	d.api.SetDraining(true)
+	err := d.server.Shutdown(ctx)
+	close(d.stopTick)
+	if serr := <-d.serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	if d.journal != nil {
+		if cerr := d.mgr.Checkpoint(); cerr != nil && err == nil {
+			err = cerr
+		}
+		d.mgr.SetJournal(nil)
+		if cerr := d.journal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("svcd", flag.ContinueOnError)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "listen address")
+	fs.StringVar(&cfg.topoPath, "topo", "", "topology spec JSON (default: builtin paper topology)")
+	fs.Float64Var(&cfg.eps, "eps", 0.05, "risk factor for the probabilistic guarantee")
+	fs.StringVar(&cfg.policy, "policy", "minmax", "placement policy: minmax|first-feasible|greedy-pack")
+	fs.StringVar(&cfg.stateDir, "state-dir", "", "directory for the write-ahead log and snapshots (empty: in-memory only)")
+	fs.IntVar(&cfg.checkpointEvery, "checkpoint-every", 4096, "journal records between snapshots")
+	fs.BoolVar(&cfg.noSync, "no-sync", false, "skip fsync on journal appends (faster, loses tail on power failure)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d, err := newDaemon(cfg)
 	if err != nil {
 		return err
 	}
-	log.Printf("svcd: serving %d machines (%d slots) at eps=%v on %s",
-		len(topo.Machines()), topo.TotalSlots(), *eps, listener.Addr())
+	durable := "in-memory"
+	if cfg.stateDir != "" {
+		durable = "journaled to " + cfg.stateDir
+	}
+	log.Printf("svcd: serving %d machines (%d slots, %d jobs recovered) at eps=%v on %s, %s",
+		len(d.mgr.Topology().Machines()), d.mgr.Topology().TotalSlots(),
+		d.mgr.Running(), cfg.eps, d.listener.Addr(), durable)
+	d.start()
 
-	// Serve until interrupted, then drain connections.
-	errCh := make(chan error, 1)
-	go func() { errCh <- server.Serve(listener) }()
+	// Serve until interrupted, then drain connections and seal the journal.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
-	case err := <-errCh:
+	case err := <-d.serveErr:
 		return err
 	case sig := <-stop:
-		log.Printf("svcd: %v, shutting down", sig)
+		log.Printf("svcd: %v, draining", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		if err := server.Shutdown(ctx); err != nil {
-			return err
-		}
-		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			return err
-		}
-		return nil
+		return d.shutdown(ctx)
 	}
 }
 

@@ -1,0 +1,466 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// This file is the manager's durability seam. Every state-changing
+// operation — allocation, release, fault injection, repair — is described
+// by a Mutation and flows through one commit path: the operation is
+// planned without touching live state (the DP runs on the live ledger for
+// admissions and on a scratch clone for repairs), the resulting Mutation
+// is offered to the attached Journal, and only then does applyLocked
+// execute it against the ledger. Crash recovery replays journaled
+// Mutations through the very same applyLocked, so a recovered manager is
+// bit-identical to one that executed the operations live.
+
+// ErrJournal reports that the attached journal rejected a mutation; the
+// operation was NOT applied, so in-memory state still matches the log.
+var ErrJournal = errors.New("core: journal write failed")
+
+// ErrIdemConflict reports that an idempotency key was reused for a
+// different operation than the one it originally committed.
+var ErrIdemConflict = errors.New("core: idempotency key conflict")
+
+// MutationOp enumerates the manager's state-changing operations.
+type MutationOp uint8
+
+const (
+	// OpAlloc admits a job with a concrete placement.
+	OpAlloc MutationOp = iota + 1
+	// OpRelease frees an admitted job.
+	OpRelease
+	// OpFailMachine / OpRestoreMachine / OpFailLink / OpRestoreLink
+	// mutate the fault overlay.
+	OpFailMachine
+	OpRestoreMachine
+	OpFailLink
+	OpRestoreLink
+	// OpSetOffline administratively takes a machine in or out of service.
+	OpSetOffline
+	// OpRepair applies one repair outcome (noop/moved/degraded/failed).
+	OpRepair
+)
+
+// String implements fmt.Stringer.
+func (op MutationOp) String() string {
+	switch op {
+	case OpAlloc:
+		return "alloc"
+	case OpRelease:
+		return "release"
+	case OpFailMachine:
+		return "fail_machine"
+	case OpRestoreMachine:
+		return "restore_machine"
+	case OpFailLink:
+		return "fail_link"
+	case OpRestoreLink:
+		return "restore_link"
+	case OpSetOffline:
+		return "set_offline"
+	case OpRepair:
+		return "repair"
+	default:
+		return fmt.Sprintf("MutationOp(%d)", int(op))
+	}
+}
+
+// Contribution is the exported form of one per-link crossing-demand
+// contribution, exactly as committed to the ledger. Journaling the
+// committed values (rather than recomputing them on replay) is what makes
+// recovery bit-identical.
+type Contribution struct {
+	Link  topology.LinkID `json:"link"`
+	Mu    float64         `json:"mu,omitempty"`
+	Sigma float64         `json:"sigma,omitempty"`
+	Det   bool            `json:"det,omitempty"`
+}
+
+func exportContribs(cs []linkDemand) []Contribution {
+	// nil for empty keeps exports canonical: a zero-contribution job (one
+	// placed entirely inside a single machine) compares equal before and
+	// after a JSON round trip, where omitempty drops the field.
+	if len(cs) == 0 {
+		return nil
+	}
+	out := make([]Contribution, len(cs))
+	for i, c := range cs {
+		out[i] = Contribution{Link: c.link, Mu: c.demand.Mu, Sigma: c.demand.Sigma, Det: c.det}
+	}
+	return out
+}
+
+func importContribs(cs []Contribution) []linkDemand {
+	out := make([]linkDemand, len(cs))
+	for i, c := range cs {
+		out[i] = linkDemand{link: c.Link, demand: stats.Normal{Mu: c.Mu, Sigma: c.Sigma}, det: c.Det}
+	}
+	return out
+}
+
+// Mutation describes one state-changing commit. Which fields are
+// meaningful depends on Op; see the field comments.
+type Mutation struct {
+	Op  MutationOp
+	Job JobID // alloc, release, repair
+
+	// Alloc: the admitted request (exactly one of Homog/Hetero set), the
+	// committed placement and its per-link contributions.
+	Homog     *Homogeneous
+	Hetero    *Heterogeneous
+	Placement *Placement
+	Contribs  []Contribution
+
+	Node    topology.NodeID // machine ops (fail/restore/offline)
+	Link    topology.LinkID // link ops
+	Offline bool            // OpSetOffline
+
+	// Repair: the outcome, the new placement/contribs for moved and
+	// degraded outcomes, and the honest post-repair risk factor.
+	Outcome      RepairOutcome
+	EffectiveEps float64
+
+	// IdemKey, when non-empty, durably binds this mutation to an
+	// idempotency key so retries replay instead of re-executing.
+	IdemKey string
+}
+
+// Journal observes every state-changing commit. Both methods are invoked
+// with the manager's write lock held, so the journal sees mutations in
+// exactly the total order they are applied, and a checkpoint is always
+// consistent with the log position. Commit is called BEFORE the mutation
+// is applied; returning an error vetoes the operation.
+type Journal interface {
+	Commit(Mutation) error
+	Checkpoint(*ManagerState) error
+}
+
+// SetJournal attaches (or detaches, with nil) the journal observing the
+// manager's commits. Attach only a journal whose log already reflects the
+// manager's current state — typically the one returned by recovery, or a
+// fresh journal on a fresh manager.
+func (m *Manager) SetJournal(j Journal) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journal = j
+}
+
+// Checkpoint hands the manager's full current state to the attached
+// journal so it can snapshot and compact its log. It is a no-op without a
+// journal.
+func (m *Manager) Checkpoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.journal == nil {
+		return nil
+	}
+	return m.journal.Checkpoint(m.exportStateLocked())
+}
+
+// CallOption modifies one manager call (allocate, release, fault).
+type CallOption interface{ applyCall(*callOpts) }
+
+type callOpts struct{ idemKey string }
+
+type idemKeyOption string
+
+func (o idemKeyOption) applyCall(c *callOpts) { c.idemKey = string(o) }
+
+// WithIdemKey makes the call idempotent under the given key: the first
+// commit durably binds the key to its outcome, and any later call with
+// the same key replays that outcome instead of re-executing. An empty key
+// is ignored.
+func WithIdemKey(key string) CallOption { return idemKeyOption(key) }
+
+func evalCallOpts(opts []CallOption) callOpts {
+	var co callOpts
+	for _, o := range opts {
+		o.applyCall(&co)
+	}
+	return co
+}
+
+// idemEntry is the durable outcome bound to an idempotency key.
+type idemEntry struct {
+	op        MutationOp
+	job       JobID
+	placement Placement // alloc only
+}
+
+// journalLocked offers the mutation to the attached journal; a veto means
+// the operation must not be applied.
+func (m *Manager) journalLocked(mut Mutation) error {
+	if m.journal == nil {
+		return nil
+	}
+	if err := m.journal.Commit(mut); err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	return nil
+}
+
+// commitLocked is the single commit path: journal first (write-ahead),
+// then apply. Every live mutation and every replayed one funnels through
+// applyLocked, so the journal's total order is exactly the apply order.
+func (m *Manager) commitLocked(mut Mutation) error {
+	if err := m.journalLocked(mut); err != nil {
+		return err
+	}
+	return m.applyLocked(mut)
+}
+
+// applyLocked executes one mutation against the ledger and bookkeeping.
+// Live callers have already validated their mutation (the DP produced
+// it); replay callers validate with validateMutationLocked first.
+func (m *Manager) applyLocked(mut Mutation) error {
+	switch mut.Op {
+	case OpAlloc:
+		a := &Allocation{
+			ID:        mut.Job,
+			Placement: mut.Placement.Clone(),
+			contribs:  importContribs(mut.Contribs),
+		}
+		if mut.Homog != nil {
+			h := *mut.Homog
+			a.homog = &h
+		}
+		if mut.Hetero != nil {
+			ds := make([]stats.Normal, len(mut.Hetero.Demands))
+			copy(ds, mut.Hetero.Demands)
+			a.hetero = &Heterogeneous{Demands: ds}
+		}
+		commit(m.led, &a.Placement, a.contribs)
+		m.jobs[a.ID] = a
+		if a.ID > m.nextID {
+			m.nextID = a.ID
+		}
+		m.version++
+
+	case OpRelease:
+		a, ok := m.jobs[mut.Job]
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownJob, mut.Job)
+		}
+		rollback(m.led, &a.Placement, a.contribs)
+		delete(m.jobs, mut.Job)
+		delete(m.degraded, mut.Job)
+		m.version++
+
+	case OpFailMachine:
+		if m.led.Faults().FailMachine(mut.Node) {
+			m.fstats.machineFailures++
+			m.version++
+		}
+	case OpRestoreMachine:
+		if m.led.Faults().RestoreMachine(mut.Node) {
+			m.fstats.machineRestores++
+			m.version++
+		}
+	case OpFailLink:
+		if m.led.Faults().FailLink(mut.Link) {
+			m.fstats.linkFailures++
+			m.version++
+		}
+	case OpRestoreLink:
+		if m.led.Faults().RestoreLink(mut.Link) {
+			m.fstats.linkRestores++
+			m.version++
+		}
+	case OpSetOffline:
+		m.led.SetOffline(mut.Node, mut.Offline)
+		m.version++
+
+	case OpRepair:
+		a, ok := m.jobs[mut.Job]
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownJob, mut.Job)
+		}
+		switch mut.Outcome {
+		case RepairNoop:
+			m.fstats.noopRepairs++
+		case RepairMoved, RepairDegraded:
+			rollback(m.led, &a.Placement, a.contribs)
+			p := mut.Placement.Clone()
+			contribs := importContribs(mut.Contribs)
+			commit(m.led, &p, contribs)
+			a.Placement, a.contribs = p, contribs
+			if mut.Outcome == RepairDegraded {
+				m.degraded[a.ID] = mut.EffectiveEps
+				m.fstats.degradedRepairs++
+			} else {
+				delete(m.degraded, a.ID)
+				m.fstats.movedRepairs++
+			}
+			m.version += 2
+		case RepairFailed:
+			rollback(m.led, &a.Placement, a.contribs)
+			delete(m.jobs, a.ID)
+			delete(m.degraded, a.ID)
+			m.fstats.failedRepairs++
+			m.version += 2
+		default:
+			return fmt.Errorf("core: unknown repair outcome %d", int(mut.Outcome))
+		}
+
+	default:
+		return fmt.Errorf("core: unknown mutation op %d", int(mut.Op))
+	}
+
+	if mut.IdemKey != "" {
+		e := idemEntry{op: mut.Op, job: mut.Job}
+		if mut.Op == OpAlloc {
+			e.placement = mut.Placement.Clone()
+		}
+		m.idem[mut.IdemKey] = e
+	}
+	return nil
+}
+
+// Replay validates and applies one journaled mutation without journaling
+// it again — the recovery path. Mutations must be replayed in their
+// original log order onto a manager whose state matches the log position.
+func (m *Manager) Replay(mut Mutation) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.validateMutationLocked(mut); err != nil {
+		return err
+	}
+	return m.applyLocked(mut)
+}
+
+// validateMutationLocked rejects mutations that would corrupt or panic
+// the ledger. Live paths never produce such mutations; this guards the
+// replay path against a journal that passed its checksums but is
+// semantically inconsistent with the manager's state.
+func (m *Manager) validateMutationLocked(mut Mutation) error {
+	topo := m.led.Topology()
+	validMachine := func(id topology.NodeID) error {
+		if id < 0 || int(id) >= topo.Len() || !topo.Node(id).IsMachine() {
+			return fmt.Errorf("core: node %d is not a machine", id)
+		}
+		return nil
+	}
+	validLink := func(id topology.LinkID) error {
+		if id < 0 || int(id) >= topo.Len() || topo.Node(topology.NodeID(id)).Parent == topology.None {
+			return fmt.Errorf("core: node %d has no uplink", id)
+		}
+		return nil
+	}
+	validContribs := func(cs []Contribution) error {
+		for _, c := range cs {
+			if err := validLink(c.Link); err != nil {
+				return err
+			}
+			if c.Sigma < 0 || math.IsNaN(c.Mu) || math.IsInf(c.Mu, 0) ||
+				math.IsNaN(c.Sigma) || math.IsInf(c.Sigma, 0) {
+				return fmt.Errorf("core: invalid contribution %+v", c)
+			}
+		}
+		return nil
+	}
+	// validPlacement checks slot feasibility exactly as commit's UseSlots
+	// will see it: fault-aware free slots, with the freed counts per
+	// machine (the job's old placement, rolled back first) credited back.
+	validPlacement := func(p *Placement, freed map[topology.NodeID]int) error {
+		if p == nil {
+			return errors.New("core: mutation has no placement")
+		}
+		seen := make(map[topology.NodeID]bool, len(p.Entries))
+		for _, e := range p.Entries {
+			if err := validMachine(e.Machine); err != nil {
+				return err
+			}
+			if e.Count <= 0 || seen[e.Machine] {
+				return fmt.Errorf("core: bad placement entry on machine %d", e.Machine)
+			}
+			if e.VMs != nil && len(e.VMs) != e.Count {
+				return fmt.Errorf("core: machine %d lists %d VMs for count %d", e.Machine, len(e.VMs), e.Count)
+			}
+			seen[e.Machine] = true
+			free := 0
+			if m.led.Faults().Alive(e.Machine) {
+				free = topo.Node(e.Machine).Slots - m.led.used[e.Machine] + freed[e.Machine]
+			}
+			if e.Count > free {
+				return fmt.Errorf("core: machine %d needs %d slots, has %d free", e.Machine, e.Count, free)
+			}
+		}
+		return nil
+	}
+
+	switch mut.Op {
+	case OpAlloc:
+		if mut.Job <= 0 {
+			return fmt.Errorf("core: bad job id %d", mut.Job)
+		}
+		if _, ok := m.jobs[mut.Job]; ok {
+			return fmt.Errorf("core: duplicate job id %d", mut.Job)
+		}
+		if (mut.Homog == nil) == (mut.Hetero == nil) {
+			return errors.New("core: alloc must carry exactly one request kind")
+		}
+		want := 0
+		if mut.Homog != nil {
+			if err := mut.Homog.Validate(); err != nil {
+				return err
+			}
+			want = mut.Homog.N
+		} else {
+			if err := mut.Hetero.Validate(); err != nil {
+				return err
+			}
+			want = mut.Hetero.N()
+		}
+		if err := validPlacement(mut.Placement, nil); err != nil {
+			return err
+		}
+		if got := mut.Placement.TotalVMs(); got != want {
+			return fmt.Errorf("core: placement has %d VMs, want %d", got, want)
+		}
+		return validContribs(mut.Contribs)
+
+	case OpRelease:
+		if _, ok := m.jobs[mut.Job]; !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownJob, mut.Job)
+		}
+		return nil
+
+	case OpFailMachine, OpRestoreMachine, OpSetOffline:
+		return validMachine(mut.Node)
+	case OpFailLink, OpRestoreLink:
+		return validLink(mut.Link)
+
+	case OpRepair:
+		a, ok := m.jobs[mut.Job]
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownJob, mut.Job)
+		}
+		switch mut.Outcome {
+		case RepairNoop, RepairFailed:
+			return nil
+		case RepairMoved, RepairDegraded:
+			if math.IsNaN(mut.EffectiveEps) || mut.EffectiveEps < 0 || mut.EffectiveEps > 1 {
+				return fmt.Errorf("core: bad effective eps %v", mut.EffectiveEps)
+			}
+			freed := make(map[topology.NodeID]int, len(a.Placement.Entries))
+			for _, e := range a.Placement.Entries {
+				freed[e.Machine] += e.Count
+			}
+			if err := validPlacement(mut.Placement, freed); err != nil {
+				return err
+			}
+			return validContribs(mut.Contribs)
+		default:
+			return fmt.Errorf("core: unknown repair outcome %d", int(mut.Outcome))
+		}
+
+	default:
+		return fmt.Errorf("core: unknown mutation op %d", int(mut.Op))
+	}
+}

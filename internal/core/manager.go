@@ -61,6 +61,12 @@ type Manager struct {
 	nextID  JobID
 	version uint64 // bumped on every ledger mutation (guarded by mu)
 
+	// Durability: the optional write-ahead journal observing every
+	// mutation, and the idempotency-key table (guarded by mu). Both are
+	// rebuilt by crash recovery (see internal/wal).
+	journal Journal
+	idem    map[string]idemEntry
+
 	// Failure/repair state (guarded by mu): jobs running with a weakened
 	// effective eps after a degraded repair, and the fault/repair counters
 	// FailureStats exposes.
@@ -108,6 +114,7 @@ func NewManager(topo *topology.Topology, eps float64, opts ...ManagerOption) (*M
 		hetero:   HeteroSubstring,
 		jobs:     make(map[JobID]*Allocation),
 		degraded: make(map[JobID]float64),
+		idem:     make(map[string]idemEntry),
 	}
 	for _, o := range opts {
 		o.apply(m)
@@ -117,24 +124,36 @@ func NewManager(topo *topology.Topology, eps float64, opts ...ManagerOption) (*M
 
 // AllocateHomog admits a homogeneous request (stochastic SVC or
 // deterministic VC), committing its reservations. It returns
-// ErrNoCapacity-wrapped errors when the request must be rejected.
-func (m *Manager) AllocateHomog(req Homogeneous) (*Allocation, error) {
+// ErrNoCapacity-wrapped errors when the request must be rejected. With
+// WithIdemKey, a key already committed replays the original placement
+// instead of allocating again.
+func (m *Manager) AllocateHomog(req Homogeneous, opts ...CallOption) (*Allocation, error) {
+	co := evalCallOpts(opts)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if a, done, err := m.idemAllocLocked(co.idemKey); done {
+		return a, err
+	}
 	p, contribs, err := AllocateHomog(m.led, req, m.policy)
 	if err != nil {
 		return nil, err
 	}
-	a := m.admit(p, contribs)
-	a.homog = &req
-	return a, nil
+	r := req
+	return m.admitLocked(Mutation{
+		Op: OpAlloc, Homog: &r, Placement: &p,
+		Contribs: exportContribs(contribs), IdemKey: co.idemKey,
+	})
 }
 
 // AllocateHetero admits a heterogeneous SVC request using the configured
 // algorithm, committing its reservations.
-func (m *Manager) AllocateHetero(req Heterogeneous) (*Allocation, error) {
+func (m *Manager) AllocateHetero(req Heterogeneous, opts ...CallOption) (*Allocation, error) {
+	co := evalCallOpts(opts)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if a, done, err := m.idemAllocLocked(co.idemKey); done {
+		return a, err
+	}
 	var (
 		p        Placement
 		contribs []linkDemand
@@ -151,18 +170,40 @@ func (m *Manager) AllocateHetero(req Heterogeneous) (*Allocation, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := m.admit(p, contribs)
-	a.hetero = &req
-	return a, nil
+	r := req
+	return m.admitLocked(Mutation{
+		Op: OpAlloc, Hetero: &r, Placement: &p,
+		Contribs: exportContribs(contribs), IdemKey: co.idemKey,
+	})
 }
 
-func (m *Manager) admit(p Placement, contribs []linkDemand) *Allocation {
-	m.nextID++
-	a := &Allocation{ID: m.nextID, Placement: p, contribs: contribs}
-	commit(m.led, &p, contribs)
-	m.jobs[a.ID] = a
-	m.version++
-	return a
+// idemAllocLocked resolves an allocate call's idempotency key: done is
+// true when the key already committed and the stored outcome (or a
+// conflict error) must be returned without allocating.
+func (m *Manager) idemAllocLocked(key string) (*Allocation, bool, error) {
+	if key == "" {
+		return nil, false, nil
+	}
+	e, ok := m.idem[key]
+	if !ok {
+		return nil, false, nil
+	}
+	if e.op != OpAlloc {
+		return nil, true, fmt.Errorf("%w: key committed by %v", ErrIdemConflict, e.op)
+	}
+	// The replayed Allocation carries the original ID and placement only;
+	// it is a response stub, not the manager's live record.
+	return &Allocation{ID: e.job, Placement: e.placement.Clone()}, true, nil
+}
+
+// admitLocked journals and applies one admission through the shared
+// commit path.
+func (m *Manager) admitLocked(mut Mutation) (*Allocation, error) {
+	mut.Job = m.nextID + 1
+	if err := m.commitLocked(mut); err != nil {
+		return nil, err
+	}
+	return m.jobs[mut.Job], nil
 }
 
 // snapshot returns a read-only clone of the ledger reflecting every
@@ -211,19 +252,25 @@ func (m *Manager) CanAllocateHetero(req Heterogeneous) bool {
 	return err == nil
 }
 
-// Release frees the slots and reservations of an admitted job.
-func (m *Manager) Release(id JobID) error {
+// Release frees the slots and reservations of an admitted job. With
+// WithIdemKey, a key already committed for this release replays success
+// instead of failing with ErrUnknownJob.
+func (m *Manager) Release(id JobID, opts ...CallOption) error {
+	co := evalCallOpts(opts)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	a, ok := m.jobs[id]
-	if !ok {
+	if co.idemKey != "" {
+		if e, ok := m.idem[co.idemKey]; ok {
+			if e.op != OpRelease || e.job != id {
+				return fmt.Errorf("%w: key committed by %v of job %d", ErrIdemConflict, e.op, e.job)
+			}
+			return nil
+		}
+	}
+	if _, ok := m.jobs[id]; !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownJob, id)
 	}
-	rollback(m.led, &a.Placement, a.contribs)
-	delete(m.jobs, id)
-	delete(m.degraded, id)
-	m.version++
-	return nil
+	return m.commitLocked(Mutation{Op: OpRelease, Job: id, IdemKey: co.idemKey})
 }
 
 // Running returns the number of admitted, unreleased jobs.
@@ -242,12 +289,12 @@ func (m *Manager) FreeSlots() int {
 
 // SetOffline takes a machine out of (or back into) service. Offline
 // machines receive no new VMs; running jobs are unaffected until their
-// owner releases or fails them.
-func (m *Manager) SetOffline(machine topology.NodeID, offline bool) {
+// owner releases or fails them. It fails only when the attached journal
+// rejects the mutation.
+func (m *Manager) SetOffline(machine topology.NodeID, offline bool) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.led.SetOffline(machine, offline)
-	m.version++
+	return m.commitLocked(Mutation{Op: OpSetOffline, Node: machine, Offline: offline})
 }
 
 // MaxOccupancy returns the maximum bandwidth occupancy ratio over all

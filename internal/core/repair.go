@@ -102,52 +102,62 @@ type FailureStats struct {
 	RepairLatency metrics.LatencySummary `json:"repair_latency"`
 }
 
+// faultLocked journals and applies one fault-overlay mutation. A key
+// that already committed skips the mutation entirely (fault ops are
+// idempotent; the stored binding just marks the request as applied).
+func (m *Manager) faultLocked(mut Mutation, key string) error {
+	if key != "" {
+		if _, ok := m.idem[key]; ok {
+			return nil
+		}
+		mut.IdemKey = key
+	}
+	return m.commitLocked(mut)
+}
+
 // FailMachine takes a machine down at runtime. VMs on it keep their slot
 // and bandwidth bookkeeping (so repair can roll them back exactly), but the
 // machine reports zero free slots and its jobs are considered displaced.
 // It returns the IDs of the jobs that now have displaced VMs anywhere in
-// the datacenter, sorted.
-func (m *Manager) FailMachine(id topology.NodeID) []JobID {
+// the datacenter, sorted. It fails only when the attached journal rejects
+// the mutation.
+func (m *Manager) FailMachine(id topology.NodeID, opts ...CallOption) ([]JobID, error) {
+	co := evalCallOpts(opts)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.led.Faults().FailMachine(id) {
-		m.fstats.machineFailures++
-		m.version++
+	if err := m.faultLocked(Mutation{Op: OpFailMachine, Node: id}, co.idemKey); err != nil {
+		return nil, err
 	}
-	return m.affectedLocked()
+	return m.affectedLocked(), nil
 }
 
 // RestoreMachine brings a failed machine back into service.
-func (m *Manager) RestoreMachine(id topology.NodeID) {
+func (m *Manager) RestoreMachine(id topology.NodeID, opts ...CallOption) error {
+	co := evalCallOpts(opts)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.led.Faults().RestoreMachine(id) {
-		m.fstats.machineRestores++
-		m.version++
-	}
+	return m.faultLocked(Mutation{Op: OpRestoreMachine, Node: id}, co.idemKey)
 }
 
 // FailLink takes a link down at runtime, disconnecting the whole subtree
 // below it. It returns the IDs of the jobs that now have displaced VMs,
 // sorted.
-func (m *Manager) FailLink(id topology.LinkID) []JobID {
+func (m *Manager) FailLink(id topology.LinkID, opts ...CallOption) ([]JobID, error) {
+	co := evalCallOpts(opts)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.led.Faults().FailLink(id) {
-		m.fstats.linkFailures++
-		m.version++
+	if err := m.faultLocked(Mutation{Op: OpFailLink, Link: id}, co.idemKey); err != nil {
+		return nil, err
 	}
-	return m.affectedLocked()
+	return m.affectedLocked(), nil
 }
 
 // RestoreLink brings a failed link back into service.
-func (m *Manager) RestoreLink(id topology.LinkID) {
+func (m *Manager) RestoreLink(id topology.LinkID, opts ...CallOption) error {
+	co := evalCallOpts(opts)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.led.Faults().RestoreLink(id) {
-		m.fstats.linkRestores++
-		m.version++
-	}
+	return m.faultLocked(Mutation{Op: OpRestoreLink, Link: id}, co.idemKey)
 }
 
 // AffectedJobs returns the IDs of admitted jobs with at least one VM on a
@@ -222,72 +232,76 @@ func (m *Manager) RepairJob(id JobID) (RepairResult, error) {
 		return RepairResult{}, fmt.Errorf("%w: %d", ErrUnknownJob, id)
 	}
 	start := time.Now()
-	res := m.repairLocked(a)
+	res, err := m.repairLocked(a)
+	if err != nil {
+		return RepairResult{}, err
+	}
 	res.Elapsed = time.Since(start)
 	m.fstats.repairLatency.Observe(res.Elapsed)
 	return res, nil
 }
 
 // RepairAll repairs every affected job in ID order and returns one result
-// per job.
-func (m *Manager) RepairAll() []RepairResult {
+// per job. On a journal failure it returns the repairs that committed
+// before the failure alongside the error.
+func (m *Manager) RepairAll() ([]RepairResult, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var out []RepairResult
 	for _, id := range m.affectedLocked() {
 		start := time.Now()
-		res := m.repairLocked(m.jobs[id])
+		res, err := m.repairLocked(m.jobs[id])
+		if err != nil {
+			return out, err
+		}
 		res.Elapsed = time.Since(start)
 		m.fstats.repairLatency.Observe(res.Elapsed)
 		out = append(out, res)
 	}
-	return out
+	return out, nil
 }
 
-func (m *Manager) repairLocked(a *Allocation) RepairResult {
+// repairLocked restores one job's guarantee. The repair is PLANNED on a
+// scratch clone of the ledger (freeing the job, running the pinned or
+// full DP, pricing the degraded fallback), then the chosen outcome is
+// journaled and executed against the live ledger through the shared
+// apply path — so the journal records the decision before any live state
+// moves, and replaying it is bit-identical.
+func (m *Manager) repairLocked(a *Allocation) (RepairResult, error) {
 	displaced := m.displacedLocked(a)
 	if displaced == 0 {
-		m.fstats.noopRepairs++
+		mut := Mutation{Op: OpRepair, Job: a.ID, Outcome: RepairNoop}
+		if err := m.commitLocked(mut); err != nil {
+			return RepairResult{}, err
+		}
 		eps := m.led.Epsilon()
 		if e, ok := m.degraded[a.ID]; ok {
 			eps = e
 		}
-		return RepairResult{Job: a.ID, Outcome: RepairNoop, Placement: a.Placement.Clone(), EffectiveEps: eps}
+		return RepairResult{Job: a.ID, Outcome: RepairNoop, Placement: a.Placement.Clone(), EffectiveEps: eps}, nil
 	}
 
-	// Free the whole job first: pinned slots must be free for the pinned
-	// DP, and the relaxed pass must not double-count the job's own
-	// stranded reservations.
-	rollback(m.led, &a.Placement, a.contribs)
-	m.version++
+	// Free the whole job on the scratch ledger first: pinned slots must
+	// be free for the pinned DP, and the relaxed pass must not
+	// double-count the job's own stranded reservations.
+	scratch := m.led.Clone()
+	rollback(scratch, &a.Placement, a.contribs)
 
+	var mut Mutation
 	if a.homog != nil {
 		pinned := make(map[topology.NodeID]int)
 		for _, e := range a.Placement.Entries {
-			if m.led.Faults().Alive(e.Machine) {
+			if scratch.Faults().Alive(e.Machine) {
 				pinned[e.Machine] = e.Count
 			}
 		}
-		p, contribs, err := AllocateHomogPinned(m.led, *a.homog, m.policy, pinned, false)
-		if err == nil {
-			commit(m.led, &p, contribs)
-			a.Placement, a.contribs = p, contribs
-			delete(m.degraded, a.ID)
-			m.version++
-			m.fstats.movedRepairs++
-			return RepairResult{Job: a.ID, Outcome: RepairMoved, Placement: p.Clone(),
-				MovedVMs: displaced, EffectiveEps: m.led.Epsilon()}
-		}
-		p, contribs, err = AllocateHomogPinned(m.led, *a.homog, m.policy, pinned, true)
-		if err == nil {
-			commit(m.led, &p, contribs)
-			a.Placement, a.contribs = p, contribs
-			eff := m.effectiveEpsLocked(contribs)
-			m.degraded[a.ID] = eff
-			m.version++
-			m.fstats.degradedRepairs++
-			return RepairResult{Job: a.ID, Outcome: RepairDegraded, Placement: p.Clone(),
-				MovedVMs: displaced, EffectiveEps: eff}
+		if p, contribs, err := AllocateHomogPinned(scratch, *a.homog, m.policy, pinned, false); err == nil {
+			mut = Mutation{Op: OpRepair, Job: a.ID, Outcome: RepairMoved,
+				Placement: &p, Contribs: exportContribs(contribs), EffectiveEps: m.led.Epsilon()}
+		} else if p, contribs, err := AllocateHomogPinned(scratch, *a.homog, m.policy, pinned, true); err == nil {
+			commit(scratch, &p, contribs)
+			mut = Mutation{Op: OpRepair, Job: a.ID, Outcome: RepairDegraded,
+				Placement: &p, Contribs: exportContribs(contribs), EffectiveEps: effectiveEps(scratch, contribs)}
 		}
 	} else if a.hetero != nil {
 		var (
@@ -297,39 +311,40 @@ func (m *Manager) repairLocked(a *Allocation) RepairResult {
 		)
 		switch m.hetero {
 		case HeteroExact:
-			p, contribs, err = AllocateHeteroExact(m.led, *a.hetero)
+			p, contribs, err = AllocateHeteroExact(scratch, *a.hetero)
 		case HeteroFirstFit:
-			p, contribs, err = AllocateFirstFit(m.led, *a.hetero)
+			p, contribs, err = AllocateFirstFit(scratch, *a.hetero)
 		default:
-			p, contribs, err = AllocateHeteroSubstring(m.led, *a.hetero, m.policy)
+			p, contribs, err = AllocateHeteroSubstring(scratch, *a.hetero, m.policy)
 		}
 		if err == nil {
-			commit(m.led, &p, contribs)
-			a.Placement, a.contribs = p, contribs
-			delete(m.degraded, a.ID)
-			m.version++
-			m.fstats.movedRepairs++
-			return RepairResult{Job: a.ID, Outcome: RepairMoved, Placement: p.Clone(),
-				MovedVMs: displaced, EffectiveEps: m.led.Epsilon()}
+			mut = Mutation{Op: OpRepair, Job: a.ID, Outcome: RepairMoved,
+				Placement: &p, Contribs: exportContribs(contribs), EffectiveEps: m.led.Epsilon()}
 		}
 	}
-
-	// Eviction: nothing fits. The rollback above already freed the job.
-	delete(m.jobs, a.ID)
-	delete(m.degraded, a.ID)
-	m.version++
-	m.fstats.failedRepairs++
-	return RepairResult{Job: a.ID, Outcome: RepairFailed, MovedVMs: displaced, EffectiveEps: 1}
+	if mut.Op == 0 {
+		// Eviction: not even the fallback fits.
+		mut = Mutation{Op: OpRepair, Job: a.ID, Outcome: RepairFailed, EffectiveEps: 1}
+	}
+	if err := m.commitLocked(mut); err != nil {
+		return RepairResult{}, err
+	}
+	res := RepairResult{Job: a.ID, Outcome: mut.Outcome, MovedVMs: displaced, EffectiveEps: mut.EffectiveEps}
+	if mut.Placement != nil {
+		res.Placement = mut.Placement.Clone()
+	}
+	return res, nil
 }
 
-// effectiveEpsLocked computes the honest risk factor of a job whose
-// contributions are already committed: the worst per-link outage
-// probability over the links it touches, floored at the ledger's eps (a
-// degraded job is never reported as safer than the guarantee it bought).
-func (m *Manager) effectiveEpsLocked(contribs []linkDemand) float64 {
-	eff := m.led.Epsilon()
+// effectiveEps computes the honest risk factor of a job whose
+// contributions are already committed to the given ledger: the worst
+// per-link outage probability over the links it touches, floored at the
+// ledger's eps (a degraded job is never reported as safer than the
+// guarantee it bought).
+func effectiveEps(led *Ledger, contribs []linkDemand) float64 {
+	eff := led.Epsilon()
 	for _, c := range contribs {
-		if p := m.led.LinkOutageProb(c.link); p > eff {
+		if p := led.LinkOutageProb(c.link); p > eff {
 			eff = p
 		}
 	}

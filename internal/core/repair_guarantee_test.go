@@ -81,7 +81,7 @@ func TestRepairGuaranteeMonteCarlo(t *testing.T) {
 
 	// Repair every affected job; with headroom available, every repair
 	// must preserve the original guarantee (no degradation, no eviction).
-	results := m.RepairAll()
+	results, _ := m.RepairAll()
 	if len(results) == 0 {
 		t.Fatal("failures displaced no job; scenario is vacuous")
 	}

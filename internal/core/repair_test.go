@@ -59,7 +59,7 @@ func TestRepairNoopOnUnaffectedJob(t *testing.T) {
 	if victim == topology.None {
 		t.Fatal("test topology too small: no unused machine")
 	}
-	if affected := m.FailMachine(victim); len(affected) != 0 {
+	if affected, _ := m.FailMachine(victim); len(affected) != 0 {
 		t.Fatalf("FailMachine of an unused machine displaced jobs %v", affected)
 	}
 
@@ -102,7 +102,7 @@ func TestRepairMovedPreservesGuarantee(t *testing.T) {
 		}
 	}
 
-	affected := m.FailMachine(victim)
+	affected, _ := m.FailMachine(victim)
 	if len(affected) != 1 || affected[0] != a.ID {
 		t.Fatalf("AffectedJobs = %v, want [%d]", affected, a.ID)
 	}
@@ -163,7 +163,7 @@ func TestRepairLinkFailureMovesAcrossRacks(t *testing.T) {
 	if tp.Node(rack).Level != 1 {
 		t.Fatalf("expected a rack-level placement, got level %d", tp.Node(rack).Level)
 	}
-	affected := m.FailLink(rack)
+	affected, _ := m.FailLink(rack)
 	if len(affected) != 1 || affected[0] != a.ID {
 		t.Fatalf("AffectedJobs after link failure = %v, want [%d]", affected, a.ID)
 	}
@@ -358,7 +358,7 @@ func TestRepairAllRepairsEveryAffectedJob(t *testing.T) {
 	}
 	m.FailMachine(a1.Placement.Entries[0].Machine)
 	m.FailMachine(a2.Placement.Entries[0].Machine)
-	results := m.RepairAll()
+	results, _ := m.RepairAll()
 	if len(results) != 2 {
 		t.Fatalf("RepairAll returned %d results, want 2", len(results))
 	}

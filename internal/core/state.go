@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// ManagerState is a complete, serializable snapshot of a Manager's
+// mutable state: the ledger's per-link reservations and slot usage, the
+// admitted jobs with their exact committed contributions, the fault
+// overlay, the fault/repair counters, and the idempotency table.
+//
+// Float64 fields round-trip bit-exactly through encoding/json (Go
+// marshals the shortest representation that parses back to the same
+// bits), so a snapshot restored with NewManagerFromState reproduces the
+// ledger bit-identically. Repair latency telemetry is deliberately not
+// part of the state — it is timing, not state, and resets on restart.
+type ManagerState struct {
+	NextID       int64                `json:"next_id"`
+	Links        []LinkRecord         `json:"links"`
+	Used         []int                `json:"used"`
+	Jobs         []JobState           `json:"jobs,omitempty"`
+	MachinesDown []int                `json:"machines_down,omitempty"`
+	LinksDown    []int                `json:"links_down,omitempty"`
+	Counters     CounterState         `json:"counters"`
+	Idem         map[string]IdemState `json:"idem,omitempty"`
+}
+
+// LinkRecord is one link's reservation bookkeeping (capacity comes from
+// the immutable topology, not the state).
+type LinkRecord struct {
+	Det        float64 `json:"det,omitempty"`
+	SumMu      float64 `json:"sum_mu,omitempty"`
+	SumVar     float64 `json:"sum_var,omitempty"`
+	Stochastic int     `json:"stochastic,omitempty"`
+}
+
+// JobState is one admitted job: its request, committed placement, the
+// exact per-link contributions, and the weakened risk factor if a
+// degraded repair applies.
+type JobState struct {
+	ID          int64          `json:"id"`
+	Homog       *HomogSpec     `json:"homog,omitempty"`
+	Hetero      []DemandSpec   `json:"hetero,omitempty"`
+	Placement   []EntryState   `json:"placement"`
+	Contribs    []Contribution `json:"contribs,omitempty"`
+	DegradedEps *float64       `json:"degraded_eps,omitempty"`
+}
+
+// HomogSpec is the wire form of a homogeneous request.
+type HomogSpec struct {
+	N     int     `json:"n"`
+	Mu    float64 `json:"mu,omitempty"`
+	Sigma float64 `json:"sigma,omitempty"`
+}
+
+// Request rebuilds the validated homogeneous request.
+func (h HomogSpec) Request() (Homogeneous, error) {
+	return NewHomogeneous(h.N, stats.Normal{Mu: h.Mu, Sigma: h.Sigma})
+}
+
+// HomogSpecOf converts a request to its wire form.
+func HomogSpecOf(r Homogeneous) HomogSpec {
+	return HomogSpec{N: r.N, Mu: r.Demand.Mu, Sigma: r.Demand.Sigma}
+}
+
+// DemandSpec is one VM's demand distribution on the wire.
+type DemandSpec struct {
+	Mu    float64 `json:"mu,omitempty"`
+	Sigma float64 `json:"sigma,omitempty"`
+}
+
+// HeteroRequest rebuilds a validated heterogeneous request from per-VM specs.
+func HeteroRequest(ds []DemandSpec) (Heterogeneous, error) {
+	demands := make([]stats.Normal, len(ds))
+	for i, d := range ds {
+		demands[i] = stats.Normal{Mu: d.Mu, Sigma: d.Sigma}
+	}
+	return NewHeterogeneous(demands)
+}
+
+// HeteroSpecOf converts a heterogeneous request to its wire form.
+func HeteroSpecOf(r Heterogeneous) []DemandSpec {
+	ds := make([]DemandSpec, len(r.Demands))
+	for i, d := range r.Demands {
+		ds[i] = DemandSpec{Mu: d.Mu, Sigma: d.Sigma}
+	}
+	return ds
+}
+
+// EntryState is one machine's share of a placement on the wire.
+type EntryState struct {
+	Machine int   `json:"machine"`
+	Count   int   `json:"count"`
+	VMs     []int `json:"vms,omitempty"`
+}
+
+// ExportPlacement converts a placement to its wire form.
+func ExportPlacement(p *Placement) []EntryState {
+	out := make([]EntryState, len(p.Entries))
+	for i, e := range p.Entries {
+		out[i] = EntryState{Machine: int(e.Machine), Count: e.Count}
+		if e.VMs != nil {
+			out[i].VMs = append([]int(nil), e.VMs...)
+		}
+	}
+	return out
+}
+
+// ImportPlacement converts a wire placement back to the core form.
+func ImportPlacement(es []EntryState) Placement {
+	p := Placement{Entries: make([]PlacementEntry, len(es))}
+	for i, e := range es {
+		p.Entries[i] = PlacementEntry{Machine: topology.NodeID(e.Machine), Count: e.Count}
+		if e.VMs != nil {
+			p.Entries[i].VMs = append([]int(nil), e.VMs...)
+		}
+	}
+	return p
+}
+
+// CounterState is the deterministic part of the fault/repair counters.
+type CounterState struct {
+	MachineFailures uint64 `json:"machine_failures,omitempty"`
+	MachineRestores uint64 `json:"machine_restores,omitempty"`
+	LinkFailures    uint64 `json:"link_failures,omitempty"`
+	LinkRestores    uint64 `json:"link_restores,omitempty"`
+	NoopRepairs     uint64 `json:"noop_repairs,omitempty"`
+	MovedRepairs    uint64 `json:"moved_repairs,omitempty"`
+	DegradedRepairs uint64 `json:"degraded_repairs,omitempty"`
+	FailedRepairs   uint64 `json:"failed_repairs,omitempty"`
+}
+
+// IdemState is one idempotency-key binding on the wire.
+type IdemState struct {
+	Op        MutationOp   `json:"op"`
+	Job       int64        `json:"job,omitempty"`
+	Placement []EntryState `json:"placement,omitempty"`
+}
+
+// ExportState returns a deep snapshot of the manager's full mutable
+// state, suitable for journal checkpoints and for differential
+// comparison in tests. Jobs are sorted by ID and contributions by link,
+// so two managers that executed the same operations export equal states.
+func (m *Manager) ExportState() *ManagerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.exportStateLocked()
+}
+
+func (m *Manager) exportStateLocked() *ManagerState {
+	topo := m.led.Topology()
+	st := &ManagerState{
+		NextID: int64(m.nextID),
+		Links:  make([]LinkRecord, len(m.led.links)),
+		Used:   append([]int(nil), m.led.used...),
+		Counters: CounterState{
+			MachineFailures: m.fstats.machineFailures,
+			MachineRestores: m.fstats.machineRestores,
+			LinkFailures:    m.fstats.linkFailures,
+			LinkRestores:    m.fstats.linkRestores,
+			NoopRepairs:     m.fstats.noopRepairs,
+			MovedRepairs:    m.fstats.movedRepairs,
+			DegradedRepairs: m.fstats.degradedRepairs,
+			FailedRepairs:   m.fstats.failedRepairs,
+		},
+	}
+	for i, s := range m.led.links {
+		st.Links[i] = LinkRecord{Det: s.det, SumMu: s.sumMu, SumVar: s.sumVar, Stochastic: s.stochastic}
+	}
+
+	ids := make([]JobID, 0, len(m.jobs))
+	for id := range m.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		a := m.jobs[id]
+		js := JobState{
+			ID:        int64(id),
+			Placement: ExportPlacement(&a.Placement),
+			Contribs:  exportContribs(a.contribs),
+		}
+		sortContribs(js.Contribs)
+		if a.homog != nil {
+			h := HomogSpecOf(*a.homog)
+			js.Homog = &h
+		}
+		if a.hetero != nil {
+			js.Hetero = HeteroSpecOf(*a.hetero)
+		}
+		if eps, ok := m.degraded[id]; ok {
+			e := eps
+			js.DegradedEps = &e
+		}
+		st.Jobs = append(st.Jobs, js)
+	}
+
+	f := m.led.Faults()
+	for _, mc := range topo.Machines() {
+		if f.MachineDown(mc) {
+			st.MachinesDown = append(st.MachinesDown, int(mc))
+		}
+	}
+	for _, l := range topo.Links() {
+		if f.LinkDown(l) {
+			st.LinksDown = append(st.LinksDown, int(l))
+		}
+	}
+
+	if len(m.idem) > 0 {
+		st.Idem = make(map[string]IdemState, len(m.idem))
+		for k, e := range m.idem {
+			is := IdemState{Op: e.op, Job: int64(e.job)}
+			if e.op == OpAlloc {
+				is.Placement = ExportPlacement(&e.placement)
+			}
+			st.Idem[k] = is
+		}
+	}
+	return st
+}
+
+// sortContribs orders contributions by link so exports compare
+// deterministically (each link appears at most once per job).
+func sortContribs(cs []Contribution) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Link < cs[j].Link })
+}
+
+// NewManagerFromState rebuilds a manager over the topology from a
+// state snapshot, restoring the ledger's reservation bookkeeping
+// bit-identically. The snapshot is validated structurally (index ranges,
+// slot bounds, job/slot consistency) so a corrupt snapshot yields an
+// error rather than a manager that panics later.
+func NewManagerFromState(topo *topology.Topology, eps float64, st *ManagerState, opts ...ManagerOption) (*Manager, error) {
+	m, err := NewManager(topo, eps, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if st == nil {
+		return m, nil
+	}
+	if len(st.Links) != topo.Len() || len(st.Used) != topo.Len() {
+		return nil, fmt.Errorf("core: state has %d links / %d used entries, topology has %d nodes",
+			len(st.Links), len(st.Used), topo.Len())
+	}
+	for i, s := range st.Links {
+		if s.Stochastic < 0 || s.Det < 0 || s.SumMu < 0 || s.SumVar < 0 ||
+			math.IsNaN(s.Det+s.SumMu+s.SumVar) || math.IsInf(s.Det+s.SumMu+s.SumVar, 0) {
+			return nil, fmt.Errorf("core: link %d has invalid reservation state %+v", i, s)
+		}
+		m.led.links[i].det = s.Det
+		m.led.links[i].sumMu = s.SumMu
+		m.led.links[i].sumVar = s.SumVar
+		m.led.links[i].stochastic = s.Stochastic
+	}
+	for i, u := range st.Used {
+		n := topo.Node(topology.NodeID(i))
+		if u < 0 || (!n.IsMachine() && u != 0) || u > n.Slots {
+			return nil, fmt.Errorf("core: node %d has invalid used slots %d", i, u)
+		}
+		m.led.used[i] = u
+	}
+
+	for _, mc := range st.MachinesDown {
+		id := topology.NodeID(mc)
+		if id < 0 || int(id) >= topo.Len() || !topo.Node(id).IsMachine() {
+			return nil, fmt.Errorf("core: failed node %d is not a machine", mc)
+		}
+		m.led.Faults().FailMachine(id)
+	}
+	for _, l := range st.LinksDown {
+		id := topology.LinkID(l)
+		if id < 0 || int(id) >= topo.Len() || topo.Node(topology.NodeID(id)).Parent == topology.None {
+			return nil, fmt.Errorf("core: failed node %d has no uplink", l)
+		}
+		m.led.Faults().FailLink(id)
+	}
+
+	perMachine := make([]int, topo.Len())
+	for _, js := range st.Jobs {
+		id := JobID(js.ID)
+		if id <= 0 || id > JobID(st.NextID) {
+			return nil, fmt.Errorf("core: job id %d outside (0, %d]", js.ID, st.NextID)
+		}
+		if _, ok := m.jobs[id]; ok {
+			return nil, fmt.Errorf("core: duplicate job id %d", js.ID)
+		}
+		a := &Allocation{ID: id, Placement: ImportPlacement(js.Placement), contribs: importContribs(js.Contribs)}
+		switch {
+		case js.Homog != nil && js.Hetero == nil:
+			req, err := js.Homog.Request()
+			if err != nil {
+				return nil, fmt.Errorf("core: job %d: %w", js.ID, err)
+			}
+			a.homog = &req
+		case js.Hetero != nil && js.Homog == nil:
+			req, err := HeteroRequest(js.Hetero)
+			if err != nil {
+				return nil, fmt.Errorf("core: job %d: %w", js.ID, err)
+			}
+			a.hetero = &req
+		default:
+			return nil, fmt.Errorf("core: job %d must carry exactly one request kind", js.ID)
+		}
+		for _, e := range a.Placement.Entries {
+			if e.Machine < 0 || int(e.Machine) >= topo.Len() || !topo.Node(e.Machine).IsMachine() || e.Count <= 0 {
+				return nil, fmt.Errorf("core: job %d has invalid placement entry on node %d", js.ID, e.Machine)
+			}
+			perMachine[e.Machine] += e.Count
+		}
+		for _, c := range a.contribs {
+			if c.link < 0 || int(c.link) >= topo.Len() {
+				return nil, fmt.Errorf("core: job %d contribution on invalid link %d", js.ID, c.link)
+			}
+		}
+		if js.DegradedEps != nil {
+			m.degraded[id] = *js.DegradedEps
+		}
+		m.jobs[id] = a
+	}
+	// Slot usage must equal the jobs' placements exactly, or a later
+	// release would underflow the ledger.
+	for i, want := range perMachine {
+		if st.Used[i] != want {
+			return nil, fmt.Errorf("core: machine %d uses %d slots but jobs place %d", i, st.Used[i], want)
+		}
+	}
+
+	m.nextID = JobID(st.NextID)
+	m.fstats.machineFailures = st.Counters.MachineFailures
+	m.fstats.machineRestores = st.Counters.MachineRestores
+	m.fstats.linkFailures = st.Counters.LinkFailures
+	m.fstats.linkRestores = st.Counters.LinkRestores
+	m.fstats.noopRepairs = st.Counters.NoopRepairs
+	m.fstats.movedRepairs = st.Counters.MovedRepairs
+	m.fstats.degradedRepairs = st.Counters.DegradedRepairs
+	m.fstats.failedRepairs = st.Counters.FailedRepairs
+
+	for k, is := range st.Idem {
+		e := idemEntry{op: is.Op, job: JobID(is.Job)}
+		if is.Op == OpAlloc {
+			e.placement = ImportPlacement(is.Placement)
+		}
+		m.idem[k] = e
+	}
+	return m, nil
+}

@@ -7,24 +7,100 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/core"
 )
 
 // Client talks to a network manager served by Server.
+//
+// Requests that are safe to repeat — every GET, and any mutating request
+// carrying an idempotency key — are retried with jittered exponential
+// backoff on connection errors and transient server statuses (500, 502,
+// 503, 504). Mutating requests without a key are never retried: a timed-out
+// allocate may have committed server-side, and repeating it would
+// double-reserve.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+	cap     time.Duration
+	timeout time.Duration
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRetries sets how many times a retryable request is re-attempted
+// after its first failure (default 3). Zero disables retries.
+func WithRetries(n int) ClientOption {
+	return func(c *Client) {
+		if n >= 0 {
+			c.retries = n
+		}
+	}
+}
+
+// WithBackoff sets the exponential backoff's base delay and cap
+// (defaults 100ms and 2s). Attempt k sleeps a jittered base*2^k, never
+// more than cap.
+func WithBackoff(base, cap time.Duration) ClientOption {
+	return func(c *Client) {
+		if base > 0 {
+			c.backoff = base
+		}
+		if cap > 0 {
+			c.cap = cap
+		}
+	}
+}
+
+// WithRequestTimeout bounds each individual attempt (not the whole retry
+// loop) with a deadline, layered under the caller's context. Zero (the
+// default) applies no per-attempt deadline.
+func WithRequestTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
 }
 
 // NewClient returns a client for the API at base (e.g.
 // "http://127.0.0.1:8080"). httpClient may be nil for http.DefaultClient.
-func NewClient(base string, httpClient *http.Client) *Client {
+func NewClient(base string, httpClient *http.Client, opts ...ClientOption) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: base, hc: httpClient}
+	c := &Client{
+		base:    base,
+		hc:      httpClient,
+		retries: 3,
+		backoff: 100 * time.Millisecond,
+		cap:     2 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// ReqOption configures one request.
+type ReqOption func(*reqConfig)
+
+type reqConfig struct {
+	idemKey string
+}
+
+// WithIdempotencyKey attaches an idempotency key to a mutating request.
+// The server replays the original outcome for a repeated key instead of
+// re-executing, which makes the request safe for the client to retry.
+func WithIdempotencyKey(key string) ReqOption {
+	return func(rc *reqConfig) { rc.idemKey = key }
 }
 
 // APIError is a non-2xx response from the service.
@@ -45,15 +121,15 @@ func IsNoCapacity(err error) bool {
 }
 
 // Allocate admits a request and returns its placement.
-func (c *Client) Allocate(ctx context.Context, req AllocationRequest) (AllocationResponse, error) {
+func (c *Client) Allocate(ctx context.Context, req AllocationRequest, opts ...ReqOption) (AllocationResponse, error) {
 	var resp AllocationResponse
-	err := c.do(ctx, http.MethodPost, "/v1/allocations", req, &resp, http.StatusCreated)
+	err := c.do(ctx, http.MethodPost, "/v1/allocations", req, &resp, http.StatusCreated, opts...)
 	return resp, err
 }
 
 // Release frees an admitted allocation.
-func (c *Client) Release(ctx context.Context, id int64) error {
-	return c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/allocations/%d", id), nil, nil, http.StatusNoContent)
+func (c *Client) Release(ctx context.Context, id int64, opts ...ReqOption) error {
+	return c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/allocations/%d", id), nil, nil, http.StatusNoContent, opts...)
 }
 
 // DryRun reports whether a request would currently be admitted.
@@ -94,9 +170,9 @@ func (c *Client) Links(ctx context.Context, limit int) ([]LinkStatus, error) {
 
 // Fault fails or restores a machine or link and returns the jobs the
 // current fault set displaces.
-func (c *Client) Fault(ctx context.Context, req FaultRequest) ([]int64, error) {
+func (c *Client) Fault(ctx context.Context, req FaultRequest, opts ...ReqOption) ([]int64, error) {
 	var resp FaultResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/faults", req, &resp, http.StatusOK); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/faults", req, &resp, http.StatusOK, opts...); err != nil {
 		return nil, err
 	}
 	return resp.AffectedJobs, nil
@@ -128,26 +204,82 @@ func (c *Client) Failures(ctx context.Context) (core.FailureStats, error) {
 	return resp, err
 }
 
-// do performs one request/response cycle with JSON bodies.
-func (c *Client) do(ctx context.Context, method, path string, in, out any, wantStatus int) error {
-	var body io.Reader
+// retryableStatus reports whether a response status indicates a transient
+// server-side failure worth retrying.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusInternalServerError, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do performs one request/response cycle with JSON bodies, retrying
+// transient failures when the request is idempotent.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, wantStatus int, opts ...ReqOption) error {
+	var rc reqConfig
+	for _, o := range opts {
+		o(&rc)
+	}
+	var buf []byte
 	if in != nil {
-		buf, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(in); err != nil {
 			return fmt.Errorf("httpapi: encode request: %w", err)
 		}
-		body = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	retryable := method == http.MethodGet || rc.idemKey != ""
+	attempts := 1
+	if retryable {
+		attempts += c.retries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		err, hint, transient := c.attempt(ctx, method, path, buf, in != nil, rc.idemKey, out, wantStatus)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !transient || attempt == attempts-1 {
+			return err
+		}
+		if err := c.sleep(ctx, attempt, hint); err != nil {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+// attempt runs one request. hint carries the server's Retry-After (0 when
+// absent); transient reports whether the failure is worth retrying.
+func (c *Client) attempt(parent context.Context, method, path string, body []byte, hasBody bool, idemKey string, out any, wantStatus int) (err error, hint time.Duration, transient bool) {
+	ctx := parent
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(parent, c.timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if hasBody {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return fmt.Errorf("httpapi: build request: %w", err)
+		return fmt.Errorf("httpapi: build request: %w", err), 0, false
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if idemKey != "" {
+		req.Header.Set(IdempotencyHeader, idemKey)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("httpapi: %s %s: %w", method, path, err)
+		// Connection-level failure. The parent context being done means the
+		// caller gave up; everything else (refused, reset, per-attempt
+		// deadline) is transient.
+		return fmt.Errorf("httpapi: %s %s: %w", method, path, err), 0, parent.Err() == nil
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != wantStatus {
@@ -156,12 +288,37 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, wantS
 		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
 			msg = eb.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			hint = time.Duration(secs) * time.Second
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}, hint, retryableStatus(resp.StatusCode)
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return fmt.Errorf("httpapi: decode response: %w", err)
+			return fmt.Errorf("httpapi: decode response: %w", err), 0, false
 		}
 	}
-	return nil
+	return nil, 0, false
+}
+
+// sleep blocks for the attempt's jittered exponential backoff — or the
+// server's Retry-After hint when longer — honoring context cancellation.
+func (c *Client) sleep(ctx context.Context, attempt int, hint time.Duration) error {
+	d := c.backoff << uint(attempt)
+	if d > c.cap || d <= 0 {
+		d = c.cap
+	}
+	// Full jitter in [d/2, d) decorrelates clients retrying in lockstep.
+	d = d/2 + rand.N(d/2+1)
+	if hint > d {
+		d = hint
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }

@@ -25,11 +25,22 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
+
+// maxBodyBytes caps request bodies; every endpoint's JSON fits well
+// within it, and anything larger is a client bug or abuse.
+const maxBodyBytes = 1 << 20
+
+// IdempotencyHeader carries the client's idempotency key. Mutating
+// requests (allocate, release, fault) that repeat a key replay the
+// original outcome instead of re-executing; the binding is journaled with
+// the mutation, so it survives a controller restart.
+const IdempotencyHeader = "Idempotency-Key"
 
 // AllocationRequest is the wire form of a tenant request; exactly one of
 // the three shapes must be set:
@@ -141,8 +152,9 @@ type errorBody struct {
 
 // Server wraps a network manager with the HTTP interface.
 type Server struct {
-	mgr *core.Manager
-	mux *http.ServeMux
+	mgr      *core.Manager
+	mux      *http.ServeMux
+	draining atomic.Bool
 }
 
 // NewServer returns a server over the manager.
@@ -160,8 +172,23 @@ func NewServer(mgr *core.Manager) *Server {
 	return s
 }
 
+// SetDraining switches the server in or out of drain mode. While
+// draining, every non-GET request is refused with 503 and a Retry-After
+// hint so clients fail over; reads keep working until shutdown.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
 // Handler returns the http.Handler serving the API.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() && r.Method != http.MethodGet {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // buildRequests converts the wire request into a core request, returning
 // exactly one of the two supported kinds.
@@ -195,7 +222,7 @@ func (r *AllocationRequest) build() (homog *core.Homogeneous, hetero *core.Heter
 func (s *Server) handleAllocate(w http.ResponseWriter, req *http.Request) {
 	var wire AllocationRequest
 	if err := decodeJSON(req, &wire); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	homog, hetero, err := wire.build()
@@ -203,11 +230,12 @@ func (s *Server) handleAllocate(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	key := req.Header.Get(IdempotencyHeader)
 	var alloc *core.Allocation
 	if homog != nil {
-		alloc, err = s.mgr.AllocateHomog(*homog)
+		alloc, err = s.mgr.AllocateHomog(*homog, core.WithIdemKey(key))
 	} else {
-		alloc, err = s.mgr.AllocateHetero(*hetero)
+		alloc, err = s.mgr.AllocateHetero(*hetero, core.WithIdemKey(key))
 	}
 	switch {
 	case errors.Is(err, core.ErrNoCapacity):
@@ -215,6 +243,12 @@ func (s *Server) handleAllocate(w http.ResponseWriter, req *http.Request) {
 		return
 	case errors.Is(err, core.ErrBadRequest):
 		writeError(w, http.StatusBadRequest, err)
+		return
+	case errors.Is(err, core.ErrIdemConflict):
+		writeError(w, http.StatusConflict, err)
+		return
+	case errors.Is(err, core.ErrJournal):
+		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, err)
@@ -235,12 +269,18 @@ func (s *Server) handleRelease(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad allocation id: %w", err))
 		return
 	}
-	if err := s.mgr.Release(core.JobID(id)); err != nil {
-		if errors.Is(err, core.ErrUnknownJob) {
+	key := req.Header.Get(IdempotencyHeader)
+	if err := s.mgr.Release(core.JobID(id), core.WithIdemKey(key)); err != nil {
+		switch {
+		case errors.Is(err, core.ErrUnknownJob):
 			writeError(w, http.StatusNotFound, err)
-			return
+		case errors.Is(err, core.ErrIdemConflict):
+			writeError(w, http.StatusConflict, err)
+		case errors.Is(err, core.ErrJournal):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
 		}
-		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -249,7 +289,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, req *http.Request) {
 func (s *Server) handleDryRun(w http.ResponseWriter, req *http.Request) {
 	var wire AllocationRequest
 	if err := decodeJSON(req, &wire); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	homog, hetero, err := wire.build()
@@ -269,7 +309,7 @@ func (s *Server) handleDryRun(w http.ResponseWriter, req *http.Request) {
 func (s *Server) handleHeadroom(w http.ResponseWriter, req *http.Request) {
 	var wire HeadroomRequest
 	if err := decodeJSON(req, &wire); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	hreq, err := core.NewHomogeneous(wire.N, stats.Normal{Mu: wire.Mu, Sigma: wire.Sigma})
@@ -304,7 +344,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleFault(w http.ResponseWriter, req *http.Request) {
 	var wire FaultRequest
 	if err := decodeJSON(req, &wire); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	if (wire.Machine == nil) == (wire.Link == nil) {
@@ -312,7 +352,11 @@ func (s *Server) handleFault(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	topo := s.mgr.Topology()
-	var affected []core.JobID
+	key := core.WithIdemKey(req.Header.Get(IdempotencyHeader))
+	var (
+		affected []core.JobID
+		err      error
+	)
 	switch {
 	case wire.Machine != nil:
 		id := topology.NodeID(*wire.Machine)
@@ -321,9 +365,9 @@ func (s *Server) handleFault(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 		if wire.Restore {
-			s.mgr.RestoreMachine(id)
+			err = s.mgr.RestoreMachine(id, key)
 		} else {
-			affected = s.mgr.FailMachine(id)
+			affected, err = s.mgr.FailMachine(id, key)
 		}
 	default:
 		id := topology.LinkID(*wire.Link)
@@ -332,10 +376,18 @@ func (s *Server) handleFault(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 		if wire.Restore {
-			s.mgr.RestoreLink(id)
+			err = s.mgr.RestoreLink(id, key)
 		} else {
-			affected = s.mgr.FailLink(id)
+			affected, err = s.mgr.FailLink(id, key)
 		}
+	}
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrJournal) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
 	}
 	if wire.Restore {
 		affected = s.mgr.AffectedJobs()
@@ -367,13 +419,17 @@ func wireRepair(res core.RepairResult) RepairResult {
 func (s *Server) handleRepair(w http.ResponseWriter, req *http.Request) {
 	var wire RepairRequest
 	if err := decodeJSON(req, &wire); err != nil && !errors.Is(err, io.EOF) {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	if wire.Job != nil {
 		res, err := s.mgr.RepairJob(core.JobID(*wire.Job))
 		if errors.Is(err, core.ErrUnknownJob) {
 			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		if errors.Is(err, core.ErrJournal) {
+			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}
 		if err != nil {
@@ -383,7 +439,15 @@ func (s *Server) handleRepair(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, []RepairResult{wireRepair(res)})
 		return
 	}
-	results := s.mgr.RepairAll()
+	results, err := s.mgr.RepairAll()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrJournal) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
 	out := make([]RepairResult, 0, len(results))
 	for _, res := range results {
 		out = append(out, wireRepair(res))
@@ -427,9 +491,25 @@ func decodeJSON(req *http.Request, v any) error {
 	dec := json.NewDecoder(req.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return errTooLarge
+		}
 		return fmt.Errorf("decode request: %w", err)
 	}
 	return nil
+}
+
+// errTooLarge marks a request body over maxBodyBytes; handlers surface it
+// as 413 rather than a generic 400.
+var errTooLarge = errors.New("request body too large")
+
+// decodeStatus maps a decodeJSON error to its HTTP status.
+func decodeStatus(err error) int {
+	if errors.Is(err, errTooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

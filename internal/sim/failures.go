@@ -153,7 +153,10 @@ func (e *engine) rebindJob(j *runningJob, p core.Placement) error {
 // and applies the outcomes to the running simulation: repaired jobs keep
 // transferring over their new placement, evicted jobs are killed.
 func (e *engine) repairAffected() error {
-	results := e.mgr.RepairAll()
+	results, err := e.mgr.RepairAll()
+	if err != nil {
+		return err
+	}
 	if len(results) == 0 {
 		return nil
 	}

@@ -1,0 +1,494 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// defaultSnapshotEvery is how many mutation records accumulate in the
+// current log before NeedsCheckpoint starts reporting true.
+const defaultSnapshotEvery = 4096
+
+// meta identifies a log generation and the datacenter it journals, so
+// recovery refuses a state directory that belongs to a different topology
+// or risk factor instead of replaying nonsense into it.
+type meta struct {
+	Gen   uint64  `json:"gen"`
+	Eps   float64 `json:"eps"`
+	Nodes int     `json:"nodes"`
+	Slots int     `json:"slots"`
+}
+
+// snapshotBody is the second frame of a snapshot file.
+type snapshotBody struct {
+	State *core.ManagerState `json:"state"`
+}
+
+// Journal is a crash-durable core.Journal backed by the generation files
+// described in the package comment. Its methods are invoked with the
+// manager's write lock held (see core.Journal), so appends happen in
+// exactly the mutation order.
+type Journal struct {
+	mu            sync.Mutex
+	dir           string
+	f             *os.File
+	meta          meta
+	appended      int // mutation records in the current log
+	snapshotEvery int
+	noSync        bool
+	err           error // sticky: first append failure poisons the journal
+}
+
+// Option configures a Journal.
+type Option func(*Journal)
+
+// WithNoSync disables the fsync after every commit (and after checkpoint
+// file writes). Appends still reach the OS on every commit, but a power
+// failure can lose the tail. Intended for tests and benchmarks.
+func WithNoSync() Option {
+	return func(j *Journal) { j.noSync = true }
+}
+
+// WithSnapshotEvery sets how many records accumulate before
+// NeedsCheckpoint reports true (default 4096).
+func WithSnapshotEvery(n int) Option {
+	return func(j *Journal) {
+		if n > 0 {
+			j.snapshotEvery = n
+		}
+	}
+}
+
+func walPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%d.log", gen))
+}
+
+func snapPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%d.snap", gen))
+}
+
+// Recover rebuilds a manager from the state directory and returns it with
+// the journal already attached, creating the directory and an empty
+// generation-1 log when nothing is on disk yet. The manager's state is
+// the latest snapshot plus every intact log record after it; a torn or
+// corrupt tail is truncated so appends continue from the last good
+// record. Recovery fails — rather than guessing — when the directory
+// belongs to a different topology or epsilon, or when a snapshot itself
+// is unreadable.
+func Recover(dir string, topo *topology.Topology, eps float64, mgrOpts []core.ManagerOption, opts ...Option) (*core.Manager, *Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: create state dir: %w", err)
+	}
+	j := &Journal{dir: dir, snapshotEvery: defaultSnapshotEvery}
+	for _, o := range opts {
+		o(j)
+	}
+	want := meta{Eps: eps, Nodes: topo.Len(), Slots: topo.TotalSlots()}
+
+	gen, err := scanDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if gen == 0 {
+		// Fresh directory: empty manager, first log generation.
+		m, err := core.NewManager(topo, eps, mgrOpts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		j.meta = want
+		j.meta.Gen = 1
+		if j.f, err = j.createWAL(j.meta); err != nil {
+			return nil, nil, err
+		}
+		m.SetJournal(j)
+		return m, j, nil
+	}
+
+	// Restore the snapshot base. Generation 1 legitimately has none; any
+	// later generation was created by a checkpoint, so its snapshot must
+	// exist and parse.
+	var m *core.Manager
+	st, err := readSnapshot(snapPath(dir, gen), want, gen)
+	switch {
+	case err == nil:
+		m, err = core.NewManagerFromState(topo, eps, st, mgrOpts...)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: restore snapshot: %w", err)
+		}
+	case errors.Is(err, os.ErrNotExist) && gen == 1:
+		if m, err = core.NewManager(topo, eps, mgrOpts...); err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, err
+	}
+
+	// Replay the generation's log tail onto the snapshot base.
+	path := walPath(dir, gen)
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("wal: read log: %w", err)
+	}
+	frames, clean, _ := scanFrames(data, walMagic)
+	j.meta = want
+	j.meta.Gen = gen
+	if len(frames) == 0 {
+		// The log is missing or torn before its meta frame: the crash hit
+		// between the snapshot rename and the log creation, so the
+		// snapshot alone is the state. Recreate the log from scratch.
+		if j.f, err = j.createWAL(j.meta); err != nil {
+			return nil, nil, err
+		}
+		m.SetJournal(j)
+		return m, j, nil
+	}
+	var got meta
+	if err := json.Unmarshal(frames[0].payload, &got); err != nil {
+		return nil, nil, fmt.Errorf("wal: log meta: %w", err)
+	}
+	if got != j.meta {
+		return nil, nil, fmt.Errorf("wal: log meta %+v does not match datacenter %+v", got, j.meta)
+	}
+	for _, fr := range frames[1:] {
+		mut, err := decodeMutation(fr.payload)
+		if err != nil {
+			// Checksummed but semantically unreadable: stop replay here
+			// and truncate, exactly as for a failed CRC.
+			clean = previousEnd(frames, fr)
+			break
+		}
+		if err := m.Replay(mut); err != nil {
+			clean = previousEnd(frames, fr)
+			break
+		}
+		j.appended++
+		clean = fr.end
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open log: %w", err)
+	}
+	if err := f.Truncate(int64(clean)); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: seek log end: %w", err)
+	}
+	j.f = f
+	removeStale(dir, gen)
+	m.SetJournal(j)
+	return m, j, nil
+}
+
+// previousEnd returns the end offset of the frame before fr.
+func previousEnd(frames []frameInfo, fr frameInfo) int {
+	end := magicLen
+	for _, other := range frames {
+		if other.end >= fr.end {
+			break
+		}
+		end = other.end
+	}
+	return end
+}
+
+// scanDir returns the highest generation present in dir (0 when none) and
+// removes leftover temporary files from an interrupted checkpoint.
+func scanDir(dir string) (uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("wal: read state dir: %w", err)
+	}
+	var gen uint64
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		var g uint64
+		if _, err := fmt.Sscanf(name, "wal-%d.log", &g); err == nil && name == fmt.Sprintf("wal-%d.log", g) {
+			if g > gen {
+				gen = g
+			}
+			continue
+		}
+		if _, err := fmt.Sscanf(name, "snap-%d.snap", &g); err == nil && name == fmt.Sprintf("snap-%d.snap", g) {
+			if g > gen {
+				gen = g
+			}
+		}
+	}
+	return gen, nil
+}
+
+// readSnapshot loads and validates one snapshot file.
+func readSnapshot(path string, want meta, gen uint64) (*core.ManagerState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	frames, _, scanErr := scanFrames(data, snapMagic)
+	if len(frames) < 2 {
+		if scanErr == nil {
+			scanErr = fmt.Errorf("%w: snapshot has %d frames, want 2", ErrCorrupt, len(frames))
+		}
+		return nil, fmt.Errorf("wal: snapshot %s: %w", filepath.Base(path), scanErr)
+	}
+	var got meta
+	if err := json.Unmarshal(frames[0].payload, &got); err != nil {
+		return nil, fmt.Errorf("wal: snapshot meta: %w", err)
+	}
+	want.Gen = gen
+	if got != want {
+		return nil, fmt.Errorf("wal: snapshot meta %+v does not match datacenter %+v", got, want)
+	}
+	var body snapshotBody
+	if err := json.Unmarshal(frames[1].payload, &body); err != nil {
+		return nil, fmt.Errorf("wal: snapshot state: %w", err)
+	}
+	if body.State == nil {
+		return nil, fmt.Errorf("wal: snapshot %s has no state", filepath.Base(path))
+	}
+	return body.State, nil
+}
+
+// removeStale deletes generation files older than keep; they are fully
+// superseded by keep's snapshot.
+func removeStale(dir string, keep uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		var g uint64
+		name := e.Name()
+		isWAL, _ := fmt.Sscanf(name, "wal-%d.log", &g)
+		if isWAL != 1 {
+			if n, _ := fmt.Sscanf(name, "snap-%d.snap", &g); n != 1 {
+				continue
+			}
+		}
+		if g < keep {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// createWAL writes a fresh log file for m.Gen: magic, meta frame, synced
+// to disk before use.
+func (j *Journal) createWAL(m meta) (*os.File, error) {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	buf := appendFrame([]byte(walMagic), payload)
+	path := walPath(j.dir, m.Gen)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create log: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: write log header: %w", err)
+	}
+	if err := j.sync(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.syncDir()
+	return f, nil
+}
+
+// Commit appends one mutation record, durably unless WithNoSync. An
+// append failure poisons the journal: every later Commit fails too, so
+// the manager stops accepting mutations instead of diverging from disk.
+// The torn bytes, if any, are discarded by the next recovery's
+// truncation.
+func (j *Journal) Commit(mut core.Mutation) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	payload, err := encodeMutation(mut)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(appendFrame(nil, payload)); err != nil {
+		j.err = fmt.Errorf("wal: append: %w", err)
+		return j.err
+	}
+	if err := j.sync(j.f); err != nil {
+		j.err = err
+		return j.err
+	}
+	j.appended++
+	return nil
+}
+
+// Checkpoint writes a snapshot of the state, starts the next log
+// generation, and deletes the superseded files. On failure the current
+// generation keeps working — a checkpoint is an optimization, not a
+// correctness requirement.
+func (j *Journal) Checkpoint(st *core.ManagerState) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	next := j.meta
+	next.Gen++
+
+	metaPayload, err := json.Marshal(next)
+	if err != nil {
+		return err
+	}
+	statePayload, err := json.Marshal(snapshotBody{State: st})
+	if err != nil {
+		return err
+	}
+	buf := appendFrame([]byte(snapMagic), metaPayload)
+	buf = appendFrame(buf, statePayload)
+
+	tmp := snapPath(j.dir, next.Gen) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := j.sync(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, snapPath(j.dir, next.Gen)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: publish snapshot: %w", err)
+	}
+	j.syncDir()
+
+	nf, err := j.createWAL(next)
+	if err != nil {
+		// The new snapshot is already durable; the old log keeps the
+		// journal usable, and the next recovery starts from the snapshot.
+		return err
+	}
+	old := j.f
+	j.f = nf
+	j.meta = next
+	j.appended = 0
+	old.Close()
+	os.Remove(walPath(j.dir, next.Gen-1))
+	os.Remove(snapPath(j.dir, next.Gen-1))
+	j.syncDir()
+	return nil
+}
+
+// NeedsCheckpoint reports whether enough records accumulated in the
+// current generation to make compaction worthwhile.
+func (j *Journal) NeedsCheckpoint() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended >= j.snapshotEvery
+}
+
+// Appended returns the number of mutation records in the current
+// generation's log.
+func (j *Journal) Appended() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended
+}
+
+// Gen returns the current log generation.
+func (j *Journal) Gen() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.meta.Gen
+}
+
+// Dir returns the state directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Close flushes and closes the log file. The journal must not be used
+// afterwards; detach it from the manager first.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.sync(j.f)
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	if j.err == nil {
+		j.err = errors.New("wal: journal closed")
+	}
+	return err
+}
+
+func (j *Journal) sync(f *os.File) error {
+	if j.noSync {
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs the state directory so renames and creates are durable.
+// Best-effort: not every platform supports directory fsync.
+func (j *Journal) syncDir() {
+	if j.noSync {
+		return
+	}
+	if d, err := os.Open(j.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// sortedGens is a test helper: the generations present in dir, ascending.
+func sortedGens(dir string) []uint64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	seen := map[uint64]bool{}
+	for _, e := range entries {
+		var g uint64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%d.log", &g); err == nil {
+			seen[g] = true
+		}
+	}
+	out := make([]uint64, 0, len(seen))
+	for g := range seen {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i] < out[k] })
+	return out
+}

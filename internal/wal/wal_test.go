@@ -1,0 +1,353 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// testTopo: 2 racks x 2 machines x 3 slots, the same shape the core
+// tests use.
+func testTopo(t testing.TB) *topology.Topology {
+	t.Helper()
+	rack := func() topology.Spec {
+		return topology.Spec{UpCap: 40, Children: []topology.Spec{
+			{UpCap: 30, Slots: 3},
+			{UpCap: 30, Slots: 3},
+		}}
+	}
+	topo, err := topology.NewFromSpec(topology.Spec{Children: []topology.Spec{rack(), rack()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+const testEps = 0.05
+
+func mustRecover(t testing.TB, dir string, opts ...Option) (*core.Manager, *Journal) {
+	t.Helper()
+	m, j, err := Recover(dir, testTopo(t), testEps, nil, append([]Option{WithNoSync()}, opts...)...)
+	if err != nil {
+		t.Fatalf("Recover(%s): %v", dir, err)
+	}
+	return m, j
+}
+
+func homog(n int, mu, sigma float64) core.Homogeneous {
+	return core.Homogeneous{N: n, Demand: stats.Normal{Mu: mu, Sigma: sigma}}
+}
+
+// TestFrameRoundTrip: framing survives encode -> scan for multiple frames.
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{[]byte(`{"a":1}`), []byte(`x`), make([]byte, 4096)}
+	buf := []byte(walMagic)
+	for _, p := range payloads {
+		buf = appendFrame(buf, p)
+	}
+	frames, clean, err := scanFrames(buf, walMagic)
+	if err != nil {
+		t.Fatalf("scanFrames: %v", err)
+	}
+	if clean != len(buf) {
+		t.Fatalf("clean = %d, want %d", clean, len(buf))
+	}
+	if len(frames) != len(payloads) {
+		t.Fatalf("got %d frames, want %d", len(frames), len(payloads))
+	}
+	for i, fr := range frames {
+		if string(fr.payload) != string(payloads[i]) {
+			t.Fatalf("frame %d payload mismatch", i)
+		}
+	}
+}
+
+// TestScanFramesStopsAtCorruption: torn tails and bit flips stop the scan
+// at the last intact frame instead of erroring the whole file away.
+func TestScanFramesStopsAtCorruption(t *testing.T) {
+	buf := appendFrame([]byte(walMagic), []byte(`{"op":"x"}`))
+	oneClean := len(buf)
+	buf = appendFrame(buf, []byte(`{"op":"y"}`))
+
+	for cut := oneClean + 1; cut < len(buf); cut++ {
+		frames, clean, err := scanFrames(buf[:cut], walMagic)
+		if err == nil {
+			t.Fatalf("cut at %d: no corruption reported", cut)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut at %d: err = %v, want ErrCorrupt", cut, err)
+		}
+		if len(frames) != 1 || clean != oneClean {
+			t.Fatalf("cut at %d: %d frames, clean %d; want 1 frame, clean %d", cut, len(frames), clean, oneClean)
+		}
+	}
+
+	// Flip one byte in the second payload: CRC must catch it.
+	flipped := append([]byte(nil), buf...)
+	flipped[len(flipped)-1] ^= 0x40
+	frames, clean, err := scanFrames(flipped, walMagic)
+	if !errors.Is(err, ErrCorrupt) || len(frames) != 1 || clean != oneClean {
+		t.Fatalf("bit flip: frames=%d clean=%d err=%v", len(frames), clean, err)
+	}
+
+	if _, _, err := scanFrames([]byte("NOTMAGIC"), walMagic); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestRecoverFreshThenRestart: the fundamental durability loop — run a
+// mixed workload journaled to disk, reopen the directory, and require the
+// recovered manager's full state to equal the live one's bit for bit.
+func TestRecoverFreshThenRestart(t *testing.T) {
+	dir := t.TempDir()
+	m, j := mustRecover(t, dir)
+
+	a1, err := m.AllocateHomog(homog(3, 5, 2), core.WithIdemKey("j1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AllocateHetero(core.Heterogeneous{Demands: []stats.Normal{{Mu: 3, Sigma: 1}, {Mu: 6, Sigma: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	victim := a1.Placement.Entries[0].Machine
+	if _, err := m.FailMachine(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RepairJob(a1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreMachine(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetOffline(victim, true); err != nil {
+		t.Fatal(err)
+	}
+	want := m.ExportState()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, j2 := mustRecover(t, dir)
+	defer j2.Close()
+	if got := m2.ExportState(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state differs:\n got %+v\nwant %+v", got, want)
+	}
+	// The recovered manager keeps honoring idempotency keys from before
+	// the crash.
+	a, err := m2.AllocateHomog(homog(3, 5, 2), core.WithIdemKey("j1"))
+	if err != nil || a.ID != a1.ID {
+		t.Fatalf("idem replay after recovery: id=%v err=%v, want id=%d", a, err, a1.ID)
+	}
+}
+
+// TestRecoverTruncatesTornTail: bytes past the last intact record are
+// discarded and the log stays appendable.
+func TestRecoverTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	m, j := mustRecover(t, dir)
+	if _, err := m.AllocateHomog(homog(2, 5, 2)); err != nil {
+		t.Fatal(err)
+	}
+	want := m.ExportState()
+	j.Close()
+
+	path := walPath(dir, 1)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x13, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m2, j2 := mustRecover(t, dir)
+	if got := m2.ExportState(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("torn tail leaked into state:\n got %+v\nwant %+v", got, want)
+	}
+	// The file must be clean again: appending works and survives another
+	// recovery.
+	if _, err := m2.AllocateHomog(homog(1, 5, 2)); err != nil {
+		t.Fatal(err)
+	}
+	want2 := m2.ExportState()
+	j2.Close()
+	m3, j3 := mustRecover(t, dir)
+	defer j3.Close()
+	if got := m3.ExportState(); !reflect.DeepEqual(got, want2) {
+		t.Fatalf("post-truncation append lost:\n got %+v\nwant %+v", got, want2)
+	}
+}
+
+// TestCheckpointCompacts: a checkpoint starts a new generation, deletes
+// the old one, and recovery from the compacted directory reproduces the
+// same state.
+func TestCheckpointCompacts(t *testing.T) {
+	dir := t.TempDir()
+	m, j := mustRecover(t, dir)
+	defer j.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := m.AllocateHomog(homog(1, 2, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Release(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if g := j.Gen(); g != 2 {
+		t.Fatalf("generation after checkpoint = %d, want 2", g)
+	}
+	if j.Appended() != 0 {
+		t.Fatalf("appended after checkpoint = %d, want 0", j.Appended())
+	}
+	if _, err := os.Stat(walPath(dir, 1)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("old generation log still present: %v", err)
+	}
+	if gens := sortedGens(dir); len(gens) != 1 || gens[0] != 2 {
+		t.Fatalf("generations on disk = %v, want [2]", gens)
+	}
+
+	// Post-checkpoint mutations land in the new log; recovery sees both.
+	if _, err := m.AllocateHomog(homog(2, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	want := m.ExportState()
+	m2, j2 := mustRecover(t, dir)
+	defer j2.Close()
+	if got := m2.ExportState(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-checkpoint recovery differs:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestNeedsCheckpointThreshold: the compaction signal trips exactly at
+// the configured record count.
+func TestNeedsCheckpointThreshold(t *testing.T) {
+	dir := t.TempDir()
+	m, j := mustRecover(t, dir, WithSnapshotEvery(3))
+	defer j.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := m.AllocateHomog(homog(1, 2, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.NeedsCheckpoint() {
+		t.Fatal("NeedsCheckpoint true below threshold")
+	}
+	if _, err := m.AllocateHomog(homog(1, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !j.NeedsCheckpoint() {
+		t.Fatal("NeedsCheckpoint false at threshold")
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if j.NeedsCheckpoint() {
+		t.Fatal("NeedsCheckpoint true right after checkpoint")
+	}
+}
+
+// TestRecoverRejectsForeignDirectory: a state directory journaled for a
+// different datacenter or risk factor must be refused.
+func TestRecoverRejectsForeignDirectory(t *testing.T) {
+	dir := t.TempDir()
+	_, j := mustRecover(t, dir)
+	j.Close()
+
+	if _, _, err := Recover(dir, testTopo(t), 0.01, nil, WithNoSync()); err == nil {
+		t.Fatal("Recover with different eps accepted the directory")
+	}
+	other, err := topology.NewFromSpec(topology.Spec{Children: []topology.Spec{
+		{UpCap: 10, Slots: 2}, {UpCap: 10, Slots: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recover(dir, other, testEps, nil, WithNoSync()); err == nil {
+		t.Fatal("Recover with different topology accepted the directory")
+	}
+}
+
+// TestRecoverSurvivesCheckpointCrashWindows: simulate the crash points of
+// the checkpoint sequence (snapshot renamed but no new log; leftover .tmp;
+// old generation not yet deleted) and require recovery to converge.
+func TestRecoverSurvivesCheckpointCrashWindows(t *testing.T) {
+	build := func(t *testing.T) (dir string, want *core.ManagerState) {
+		dir = t.TempDir()
+		m, j := mustRecover(t, dir)
+		for i := 0; i < 3; i++ {
+			if _, err := m.AllocateHomog(homog(1, 2, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		want = m.ExportState()
+		j.Close()
+		return dir, want
+	}
+
+	t.Run("snapshot without log", func(t *testing.T) {
+		dir, want := build(t)
+		// Crash between snapshot rename and log creation.
+		os.Remove(walPath(dir, 2))
+		m, j := mustRecover(t, dir)
+		defer j.Close()
+		if got := m.ExportState(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("state differs:\n got %+v\nwant %+v", got, want)
+		}
+	})
+	t.Run("stale previous generation", func(t *testing.T) {
+		dir, want := build(t)
+		// Crash before the old generation was deleted.
+		if err := os.WriteFile(walPath(dir, 1), []byte(walMagic), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, j := mustRecover(t, dir)
+		defer j.Close()
+		if got := m.ExportState(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("state differs:\n got %+v\nwant %+v", got, want)
+		}
+		if _, err := os.Stat(walPath(dir, 1)); !errors.Is(err, os.ErrNotExist) {
+			t.Fatal("stale generation not cleaned up")
+		}
+	})
+	t.Run("leftover tmp", func(t *testing.T) {
+		dir, want := build(t)
+		if err := os.WriteFile(filepath.Join(dir, "snap-3.snap.tmp"), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, j := mustRecover(t, dir)
+		defer j.Close()
+		if got := m.ExportState(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("state differs:\n got %+v\nwant %+v", got, want)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "snap-3.snap.tmp")); !errors.Is(err, os.ErrNotExist) {
+			t.Fatal("tmp file not cleaned up")
+		}
+	})
+}
+
+// TestClosedJournalVetoesMutations: after Close, the manager must refuse
+// state changes instead of silently diverging from disk.
+func TestClosedJournalVetoesMutations(t *testing.T) {
+	dir := t.TempDir()
+	m, j := mustRecover(t, dir)
+	if _, err := m.AllocateHomog(homog(1, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := m.AllocateHomog(homog(1, 2, 1)); !errors.Is(err, core.ErrJournal) {
+		t.Fatalf("allocate after Close = %v, want ErrJournal", err)
+	}
+}

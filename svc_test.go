@@ -191,7 +191,7 @@ func TestPublicAPIFailRepair(t *testing.T) {
 		t.Fatalf("AllocateHomog: %v", err)
 	}
 	victim := alloc.Placement.Entries[0].Machine
-	affected := mgr.FailMachine(victim)
+	affected, _ := mgr.FailMachine(victim)
 	if len(affected) != 1 || affected[0] != alloc.ID {
 		t.Fatalf("FailMachine affected %v, want [%d]", affected, alloc.ID)
 	}
