@@ -71,6 +71,7 @@ type config struct {
 	stateDir        string
 	checkpointEvery int
 	noSync          bool
+	admission       string
 }
 
 // daemon is one running svcd instance: manager, optional journal, HTTP
@@ -101,6 +102,14 @@ func newDaemon(cfg config) (*daemon, error) {
 	default:
 		return nil, fmt.Errorf("unknown policy %q", cfg.policy)
 	}
+	mgrOpts := []core.ManagerOption{policyOpt}
+	switch cfg.admission {
+	case "", "optimistic": // plan outside the lock, revalidate, commit
+	case "locked":
+		mgrOpts = append(mgrOpts, core.WithLockedAdmission())
+	default:
+		return nil, fmt.Errorf("unknown admission mode %q", cfg.admission)
+	}
 
 	d := &daemon{serveErr: make(chan error, 1), stopTick: make(chan struct{})}
 	if cfg.stateDir != "" {
@@ -108,18 +117,31 @@ func newDaemon(cfg config) (*daemon, error) {
 		if cfg.noSync {
 			walOpts = append(walOpts, wal.WithNoSync())
 		}
-		d.mgr, d.journal, err = wal.Recover(cfg.stateDir, topo, cfg.eps,
-			[]core.ManagerOption{policyOpt}, walOpts...)
+		d.mgr, d.journal, err = wal.Recover(cfg.stateDir, topo, cfg.eps, mgrOpts, walOpts...)
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		if d.mgr, err = core.NewManager(topo, cfg.eps, policyOpt); err != nil {
+		if d.mgr, err = core.NewManager(topo, cfg.eps, mgrOpts...); err != nil {
 			return nil, err
 		}
 	}
 
 	d.api = httpapi.NewServer(d.mgr)
+	if d.journal != nil {
+		j := d.journal
+		d.api.SetWALStatus(func() httpapi.WALStatus {
+			gs := j.GroupCommitStats()
+			return httpapi.WALStatus{
+				Gen:       j.Gen(),
+				Appended:  j.Appended(),
+				Batches:   gs.Batches,
+				Records:   gs.Records,
+				MaxBatch:  gs.MaxBatch,
+				MeanBatch: gs.MeanBatch,
+			}
+		})
+	}
 	d.server = &http.Server{
 		Handler:           d.api.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -195,6 +217,7 @@ func run(args []string) error {
 	fs.StringVar(&cfg.stateDir, "state-dir", "", "directory for the write-ahead log and snapshots (empty: in-memory only)")
 	fs.IntVar(&cfg.checkpointEvery, "checkpoint-every", 4096, "journal records between snapshots")
 	fs.BoolVar(&cfg.noSync, "no-sync", false, "skip fsync on journal appends (faster, loses tail on power failure)")
+	fs.StringVar(&cfg.admission, "admission", "optimistic", "admission pipeline: optimistic (plan outside the lock) | locked (serialized)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -92,7 +92,14 @@ func AllocateHomogWorkers(led *Ledger, req Homogeneous, policy Policy, workers i
 
 	for level := 0; level <= topo.Height(); level++ {
 		verts := topo.AtLevel(level)
-		forEachVertex(verts, w, func(slot int, v topology.NodeID) {
+		// Fan a level out only when its records carry enough DP work to
+		// amortize the goroutine handoff; small levels (and whole small
+		// trees) run sequentially regardless of the worker count.
+		lw := w
+		if lw > 1 && homogLevelWork(topo, verts, records, req.N) < parallelMinLevelWork {
+			lw = 1
+		}
+		forEachVertex(verts, lw, func(slot int, v topology.NodeID) {
 			homogCompute(led, topo, v, req.N, crossing, records, policy, scr.arenas[slot])
 		})
 		// The selection scan stays sequential in topology order so
@@ -122,6 +129,33 @@ func AllocateHomogWorkers(led *Ledger, req Homogeneous, policy Policy, workers i
 		}
 	}
 	return Placement{}, nil, fmt.Errorf("%w: %v", ErrNoCapacity, req)
+}
+
+// homogLevelWork estimates the inner DP iterations homogCompute will
+// spend on one level's vertices: the machine base cases cost their slot
+// scan, and an internal vertex costs the (h, e) pair loops of its child
+// combine — Σ over children of (child cap + 1) × (vertex cap + 1). The
+// children's records are already finalized when a level is visited, so
+// the estimate uses the exact caps the loops will see. The walk itself is
+// O(edges at this level), negligible against the DP it gates.
+func homogLevelWork(topo *topology.Topology, verts []topology.NodeID, records []homogRecord, n int) int {
+	work := 0
+	for _, v := range verts {
+		node := topo.Node(v)
+		if node.IsMachine() {
+			work += min(n, node.Slots) + 1
+			continue
+		}
+		capV := 0
+		for _, c := range node.Children {
+			capV += records[c].cap
+		}
+		capV = min(n, capV)
+		for _, c := range node.Children {
+			work += (min(records[c].cap, capV) + 1) * (capV + 1)
+		}
+	}
+	return work
 }
 
 // homogCompute fills the DP record for vertex v from its children's

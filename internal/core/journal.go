@@ -141,6 +141,19 @@ type Journal interface {
 	Checkpoint(*ManagerState) error
 }
 
+// AsyncJournal is an optional Journal extension for group commit.
+// StageCommit appends the mutation to the journal's write queue —
+// reserving its position in the log's total order — and returns a wait
+// function that blocks until the record is durable. Staging happens under
+// the manager's write lock, exactly like Commit, so the log order still
+// equals the apply order; the wait runs after the lock is released, which
+// lets concurrent commits share a single write+fsync. A staging error
+// vetoes the mutation like a Commit error would.
+type AsyncJournal interface {
+	Journal
+	StageCommit(Mutation) (wait func() error, err error)
+}
+
 // SetJournal attaches (or detaches, with nil) the journal observing the
 // manager's commits. Attach only a journal whose log already reflects the
 // manager's current state — typically the one returned by recovery, or a
@@ -205,14 +218,53 @@ func (m *Manager) journalLocked(mut Mutation) error {
 	return nil
 }
 
-// commitLocked is the single commit path: journal first (write-ahead),
-// then apply. Every live mutation and every replayed one funnels through
-// applyLocked, so the journal's total order is exactly the apply order.
+// commitLocked is the synchronous commit path: journal first
+// (write-ahead), then apply, all under the write lock. Every live
+// mutation and every replayed one funnels through applyLocked, so the
+// journal's total order is exactly the apply order. Hot paths that can
+// afford to wait for durability after unlocking use stageLocked instead.
 func (m *Manager) commitLocked(mut Mutation) error {
 	if err := m.journalLocked(mut); err != nil {
 		return err
 	}
 	return m.applyLocked(mut)
+}
+
+// noWait is the durability wait of an unjournaled (or synchronously
+// journaled) commit.
+func noWait() error { return nil }
+
+// stageLocked offers the mutation to the journal without waiting for
+// durability: the returned wait function must be invoked after m.mu is
+// released and reports the durability outcome. With no AsyncJournal
+// attached it degenerates to a synchronous journalLocked and a no-op
+// wait. A staging error vetoes the mutation (nothing was applied); a
+// wait error means the mutation IS applied in memory but its record may
+// not have reached disk — the journal is poisoned at that point, so the
+// manager refuses all further mutations, and a restart recovers the
+// state the log actually holds (exactly as if the process had crashed
+// before the fsync).
+func (m *Manager) stageLocked(mut Mutation) (func() error, error) {
+	if m.journal == nil {
+		return noWait, nil
+	}
+	aj, ok := m.journal.(AsyncJournal)
+	if !ok {
+		if err := m.journalLocked(mut); err != nil {
+			return nil, err
+		}
+		return noWait, nil
+	}
+	wait, err := aj.StageCommit(mut)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	return func() error {
+		if werr := wait(); werr != nil {
+			return fmt.Errorf("%w: %v", ErrJournal, werr)
+		}
+		return nil
+	}, nil
 }
 
 // applyLocked executes one mutation against the ledger and bookkeeping.

@@ -45,9 +45,13 @@ type Allocation struct {
 // resulting reservations, and releases them when jobs finish. It is safe
 // for concurrent use.
 //
-// Admissions and releases serialize on the write lock, but read-only work
+// Admission is optimistic by default: the allocation DP plans on a
+// lock-free ledger snapshot and the write lock is taken only to
+// revalidate the links and machines the chosen placement touches and to
+// commit (plan → validate → commit; see optimistic.go, AdmissionStats,
+// and WithLockedAdmission for the serialized mode). Read-only work
 // (CanAllocate* dry runs, MaxOccupancy* metrics, Headroom probes) runs
-// against a versioned ledger snapshot instead: the lock is held only for
+// against the same versioned ledger snapshot: the lock is held only for
 // the O(links) clone, not the full dynamic program, so dry runs and
 // metrics reads proceed concurrently with admissions. Snapshot reads are
 // point-in-time consistent; under concurrent mutation they may lag the
@@ -72,6 +76,13 @@ type Manager struct {
 	// FailureStats exposes.
 	degraded map[JobID]float64
 	fstats   failureCounters
+
+	// Admission pipeline: lockedAdmission (immutable after construction)
+	// forces planning under the write lock; adm counts how admissions
+	// traveled through the optimistic pipeline (guarded by mu). See
+	// optimistic.go.
+	lockedAdmission bool
+	adm             admissionCounters
 
 	// Cached read snapshot, rebuilt lazily when version moves. snapMu
 	// only serializes snapshot rebuilds, never the DP work on top.
@@ -101,6 +112,18 @@ func (o heteroOption) apply(m *Manager) { m.hetero = HeteroAlgorithm(o) }
 // HeteroSubstring).
 func WithHeteroAlgorithm(a HeteroAlgorithm) ManagerOption { return heteroOption(a) }
 
+type lockedAdmissionOption struct{}
+
+func (lockedAdmissionOption) apply(m *Manager) { m.lockedAdmission = true }
+
+// WithLockedAdmission makes every allocation plan on the live ledger with
+// the write lock held, serializing admissions — the pre-optimistic
+// behavior. By default the manager plans on a lock-free snapshot and only
+// revalidates and commits under the lock (see AdmissionStats). Placements
+// and rejections are identical either way; locked mode remains as the
+// differential baseline and as an operational escape hatch.
+func WithLockedAdmission() ManagerOption { return lockedAdmissionOption{} }
+
 // NewManager returns a manager over an empty datacenter with bandwidth
 // outage risk factor eps.
 func NewManager(topo *topology.Topology, eps float64, opts ...ManagerOption) (*Manager, error) {
@@ -129,52 +152,29 @@ func NewManager(topo *topology.Topology, eps float64, opts ...ManagerOption) (*M
 // instead of allocating again.
 func (m *Manager) AllocateHomog(req Homogeneous, opts ...CallOption) (*Allocation, error) {
 	co := evalCallOpts(opts)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if a, done, err := m.idemAllocLocked(co.idemKey); done {
-		return a, err
-	}
-	p, contribs, err := AllocateHomog(m.led, req, m.policy)
-	if err != nil {
-		return nil, err
-	}
 	r := req
-	return m.admitLocked(Mutation{
-		Op: OpAlloc, Homog: &r, Placement: &p,
-		Contribs: exportContribs(contribs), IdemKey: co.idemKey,
-	})
+	plan := func(led *Ledger) (Placement, []linkDemand, error) {
+		return AllocateHomog(led, req, m.policy)
+	}
+	return m.allocate(co, plan, Mutation{Op: OpAlloc, Homog: &r, IdemKey: co.idemKey}, req.N)
 }
 
 // AllocateHetero admits a heterogeneous SVC request using the configured
 // algorithm, committing its reservations.
 func (m *Manager) AllocateHetero(req Heterogeneous, opts ...CallOption) (*Allocation, error) {
 	co := evalCallOpts(opts)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if a, done, err := m.idemAllocLocked(co.idemKey); done {
-		return a, err
-	}
-	var (
-		p        Placement
-		contribs []linkDemand
-		err      error
-	)
-	switch m.hetero {
-	case HeteroExact:
-		p, contribs, err = AllocateHeteroExact(m.led, req)
-	case HeteroFirstFit:
-		p, contribs, err = AllocateFirstFit(m.led, req)
-	default:
-		p, contribs, err = AllocateHeteroSubstring(m.led, req, m.policy)
-	}
-	if err != nil {
-		return nil, err
-	}
 	r := req
-	return m.admitLocked(Mutation{
-		Op: OpAlloc, Hetero: &r, Placement: &p,
-		Contribs: exportContribs(contribs), IdemKey: co.idemKey,
-	})
+	plan := func(led *Ledger) (Placement, []linkDemand, error) {
+		switch m.hetero {
+		case HeteroExact:
+			return AllocateHeteroExact(led, req)
+		case HeteroFirstFit:
+			return AllocateFirstFit(led, req)
+		default:
+			return AllocateHeteroSubstring(led, req, m.policy)
+		}
+	}
+	return m.allocate(co, plan, Mutation{Op: OpAlloc, Hetero: &r, IdemKey: co.idemKey}, req.N())
 }
 
 // idemAllocLocked resolves an allocate call's idempotency key: done is
@@ -213,18 +213,27 @@ func (m *Manager) admitLocked(mut Mutation) (*Allocation, error) {
 // for that copy — never for the DP that runs on top of it. Callers must
 // not mutate the returned ledger; mutating probes clone it again.
 func (m *Manager) snapshot() *Ledger {
+	led, _ := m.snapshotVer()
+	return led
+}
+
+// snapshotVer is snapshot plus the ledger version the clone reflects —
+// the optimistic admission pipeline plans on the clone and uses the
+// version to detect concurrent commits at validation time.
+func (m *Manager) snapshotVer() (*Ledger, uint64) {
 	m.snapMu.Lock()
 	defer m.snapMu.Unlock()
 	m.mu.Lock()
 	if m.snap != nil && m.snapVer == m.version {
+		ver := m.snapVer
 		m.mu.Unlock()
-		return m.snap
+		return m.snap, ver
 	}
 	ver := m.version
 	snap := m.led.Clone()
 	m.mu.Unlock()
 	m.snap, m.snapVer = snap, ver
-	return snap
+	return snap, ver
 }
 
 // CanAllocateHomog reports whether a homogeneous request would currently
@@ -258,9 +267,9 @@ func (m *Manager) CanAllocateHetero(req Heterogeneous) bool {
 func (m *Manager) Release(id JobID, opts ...CallOption) error {
 	co := evalCallOpts(opts)
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if co.idemKey != "" {
 		if e, ok := m.idem[co.idemKey]; ok {
+			m.mu.Unlock()
 			if e.op != OpRelease || e.job != id {
 				return fmt.Errorf("%w: key committed by %v of job %d", ErrIdemConflict, e.op, e.job)
 			}
@@ -268,9 +277,29 @@ func (m *Manager) Release(id JobID, opts ...CallOption) error {
 		}
 	}
 	if _, ok := m.jobs[id]; !ok {
+		m.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownJob, id)
 	}
-	return m.commitLocked(Mutation{Op: OpRelease, Job: id, IdemKey: co.idemKey})
+	mut := Mutation{Op: OpRelease, Job: id, IdemKey: co.idemKey}
+	if m.lockedAdmission {
+		err := m.commitLocked(mut)
+		m.mu.Unlock()
+		return err
+	}
+	// Stage the journal record and apply under the lock; wait for
+	// durability outside it so concurrent releases and admissions share
+	// one fsync (see stageLocked for the failure contract).
+	wait, err := m.stageLocked(mut)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	err = m.applyLocked(mut)
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return wait()
 }
 
 // Running returns the number of admitted, unreleased jobs.

@@ -21,6 +21,12 @@ const (
 	// parallelMinVMs gates auto-parallelism on request size: tiny
 	// requests make each vertex record trivially cheap.
 	parallelMinVMs = 4
+	// parallelMinLevelWork gates fan-out per tree level, measured in
+	// estimated inner DP iterations (see homogLevelWork). The paper-scale
+	// topology peaks around 250k iterations per level, where measured
+	// fan-out overhead still exceeds the win, so levels below this bound
+	// always run sequentially — even with an explicit worker count.
+	parallelMinLevelWork = 1 << 19
 )
 
 // resolveWorkers turns the caller's worker request into an effective

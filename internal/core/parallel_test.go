@@ -1,8 +1,10 @@
 package core
 
 import (
+	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -281,5 +283,115 @@ func TestManagerSnapshotFreshness(t *testing.T) {
 	}
 	if !m.CanAllocateHomog(req) {
 		t.Fatal("drained datacenter should admit again (stale snapshot?)")
+	}
+}
+
+// homogLevelWorks replays the level loop of AllocateHomogWorkers
+// sequentially and returns the per-level work estimates the fan-out gate
+// will see — the records passed to homogLevelWork are in exactly the
+// state the gate inspects them in.
+func homogLevelWorks(t testing.TB, led *Ledger, req Homogeneous) []int {
+	t.Helper()
+	topo := led.Topology()
+	crossing := crossingTableHomog(req.Demand, req.N)
+	scr := getHomogScratch(1, topo.Len())
+	defer putHomogScratch(scr)
+	works := make([]int, 0, topo.Height()+1)
+	for level := 0; level <= topo.Height(); level++ {
+		verts := topo.AtLevel(level)
+		works = append(works, homogLevelWork(topo, verts, scr.records, req.N))
+		forEachVertex(verts, 1, func(slot int, v topology.NodeID) {
+			homogCompute(led, topo, v, req.N, crossing, scr.records, MinMaxOccupancy, scr.arenas[0])
+		})
+	}
+	return works
+}
+
+// TestHomogLevelWorkGate pins the fan-out threshold's behavior at the two
+// scales that matter: every level of the paper's default 1,000-machine
+// datacenter must fall below parallelMinLevelWork (the measured regression
+// showed fan-out losing there), while a datacenter a few times larger must
+// cross it so big deployments still parallelize.
+func TestHomogLevelWorkGate(t *testing.T) {
+	paper, err := topology.NewThreeTier(topology.PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	led, err := NewLedger(paper, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Homogeneous{N: 49, Demand: stats.Normal{Mu: 300, Sigma: 120}}
+	for level, work := range homogLevelWorks(t, led, req) {
+		if work >= parallelMinLevelWork {
+			t.Errorf("paper topology level %d: estimated work %d >= threshold %d; default scale would fan out",
+				level, work, parallelMinLevelWork)
+		}
+	}
+
+	big, err := topology.NewThreeTier(topology.ThreeTierConfig{
+		Aggs: 10, ToRsPerAgg: 20, MachinesPerRack: 20, SlotsPerMachine: 4,
+		HostCap: 1000, Oversub: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigLed, err := NewLedger(big, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossed := false
+	for _, work := range homogLevelWorks(t, bigLed, Homogeneous{N: 200, Demand: stats.Normal{Mu: 300, Sigma: 120}}) {
+		if work >= parallelMinLevelWork {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Errorf("4,000-machine topology never crosses the fan-out threshold %d; gate too conservative", parallelMinLevelWork)
+	}
+}
+
+// TestParallelHomogNotSlowerAtPaperScale is the bench guard for the
+// fan-out gate: with the gate in place, an explicit worker count at the
+// default tree size must cost no more than the sequential path (it runs
+// the same per-level code once every level falls below the threshold).
+// The generous bound only catches a regression to unconditional fan-out.
+func TestParallelHomogNotSlowerAtPaperScale(t *testing.T) {
+	topo, err := topology.NewThreeTier(topology.PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	led, err := NewLedger(topo, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRand(1)
+	for _, link := range topo.AtLevel(1) {
+		led.AddStochastic(link, stats.Normal{Mu: r.UniformRange(500, 3000), Sigma: r.UniformRange(100, 800)})
+	}
+	for _, m := range topo.Machines() {
+		led.UseSlots(m, r.IntN(3))
+	}
+	req := Homogeneous{N: 49, Demand: stats.Normal{Mu: 300, Sigma: 120}}
+
+	best := func(workers int) time.Duration {
+		bestD := time.Duration(math.MaxInt64)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if _, _, err := AllocateHomogWorkers(led, req, MinMaxOccupancy, workers); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	best(1) // warm the crossing-table memo and scratch pools for both paths
+	seq := best(1)
+	par := best(8)
+	t.Logf("seq=%v par(8)=%v", seq, par)
+	if par > seq*3/2 {
+		t.Errorf("workers=8 took %v vs sequential %v at paper scale; fan-out gate not effective", par, seq)
 	}
 }

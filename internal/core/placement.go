@@ -154,14 +154,26 @@ func homogContributions(topo *topology.Topology, req Homogeneous, p *Placement) 
 		}
 		contribs = append(contribs, linkDemand{link: link, demand: d, det: det})
 	}
+	sortLinkDemands(contribs)
 	return contribs
+}
+
+// sortLinkDemands orders contributions by link ID. The maps the builders
+// aggregate over iterate in random order; sorting makes the committed
+// mutation — and therefore the journal bytes and every exported state —
+// deterministic for a given placement.
+func sortLinkDemands(cs []linkDemand) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].link < cs[j].link })
 }
 
 // heteroContributions computes the per-link crossing-demand contributions
 // of a heterogeneous placement.
 func heteroContributions(topo *topology.Topology, req Heterogeneous, p *Placement) []linkDemand {
 	// Aggregate the inside-group demand per link.
-	type agg struct{ mu, vr float64 }
+	type agg struct {
+		mu, vr float64
+		n      int
+	}
 	inside := make(map[topology.LinkID]agg)
 	var totalMu, totalVar float64
 	for _, d := range req.Demands {
@@ -178,19 +190,36 @@ func heteroContributions(topo *topology.Topology, req Heterogeneous, p *Placemen
 			a := inside[link]
 			a.mu += mu
 			a.vr += vr
+			a.n += e.Count
 			inside[link] = a
 		}
 	}
 	var contribs []linkDemand
 	for link, a := range inside {
+		// Count the split exactly, like CrossingHomog does: a link with
+		// every VM of the group below it carries no crossing traffic.
+		// Deciding this from the float sums instead (totalMu - a.mu)
+		// leaves a summation-order residue, and the moment-matched min
+		// against that near-degenerate "outside" can even dip below zero.
+		if a.n >= len(req.Demands) {
+			continue
+		}
 		in := stats.Normal{Mu: a.mu, Sigma: sqrtNonNeg(a.vr)}
 		out := stats.Normal{Mu: totalMu - a.mu, Sigma: sqrtNonNeg(totalVar - a.vr)}
 		d := CrossingSets(in, out)
 		if isZero(d) {
 			continue
 		}
+		// min(inside, outside) is a nonnegative bandwidth; clamp the rare
+		// slightly-negative mean the normal approximation of min yields
+		// when one side's mass sits far below the other, so the ledger's
+		// per-link sums (validated nonnegative on restore) stay sound.
+		if d.Mu < 0 {
+			d.Mu = 0
+		}
 		contribs = append(contribs, linkDemand{link: link, demand: d})
 	}
+	sortLinkDemands(contribs)
 	return contribs
 }
 

@@ -282,3 +282,54 @@ func TestHeadroomEndpoint(t *testing.T) {
 		t.Errorf("capped = %d, %v; want 3", capped, err)
 	}
 }
+
+// TestStatusReportsAdmissionAndWAL: /v1/status must surface the optimistic
+// admission pipeline counters, and the WAL section when a provider is
+// installed (absent otherwise, so in-memory daemons don't show a fake log).
+func TestStatusReportsAdmissionAndWAL(t *testing.T) {
+	client, mgr := newTestService(t)
+	ctx := context.Background()
+
+	st, err := client.Status(ctx)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.WAL != nil {
+		t.Errorf("WAL section present without a provider: %+v", st.WAL)
+	}
+	if st.Admission == nil {
+		t.Fatal("status has no admission section")
+	}
+	if st.Admission.FastPath != 0 || st.Admission.Plans != 0 {
+		t.Errorf("fresh manager reports admissions: %+v", st.Admission)
+	}
+
+	if _, err := client.Allocate(ctx, AllocationRequest{N: 4, Mu: 100, Sigma: 40}); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if st, err = client.Status(ctx); err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	adm := st.Admission
+	if adm == nil || adm.FastPath+adm.Revalidated+adm.Locked != 1 {
+		t.Errorf("admission counters after one admission = %+v", adm)
+	}
+	if adm != nil && (adm.Plans < 1 || adm.MeanPlanMs <= 0) {
+		t.Errorf("plan latency not recorded: %+v", adm)
+	}
+
+	// A second server over the same manager with a WAL provider installed.
+	api := NewServer(mgr)
+	api.SetWALStatus(func() WALStatus {
+		return WALStatus{Gen: 3, Appended: 7, Batches: 4, Records: 7, MaxBatch: 3, MeanBatch: 1.75}
+	})
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+	st, err = NewClient(srv.URL, srv.Client()).Status(ctx)
+	if err != nil {
+		t.Fatalf("Status (wal): %v", err)
+	}
+	if st.WAL == nil || st.WAL.Gen != 3 || st.WAL.MaxBatch != 3 || st.WAL.MeanBatch != 1.75 {
+		t.Errorf("WAL section = %+v, want the injected values", st.WAL)
+	}
+}

@@ -78,15 +78,41 @@ type PlacementEntry struct {
 
 // Status reports datacenter-wide state.
 type Status struct {
-	Machines     int     `json:"machines"`
-	TotalSlots   int     `json:"totalSlots"`
-	FreeSlots    int     `json:"freeSlots"`
-	RunningJobs  int     `json:"runningJobs"`
-	MaxOccupancy float64 `json:"maxOccupancy"`
-	Epsilon      float64 `json:"epsilon"`
-	MachinesDown int     `json:"machinesDown,omitempty"`
-	LinksDown    int     `json:"linksDown,omitempty"`
-	DegradedJobs int     `json:"degradedJobs,omitempty"`
+	Machines     int              `json:"machines"`
+	TotalSlots   int              `json:"totalSlots"`
+	FreeSlots    int              `json:"freeSlots"`
+	RunningJobs  int              `json:"runningJobs"`
+	MaxOccupancy float64          `json:"maxOccupancy"`
+	Epsilon      float64          `json:"epsilon"`
+	MachinesDown int              `json:"machinesDown,omitempty"`
+	LinksDown    int              `json:"linksDown,omitempty"`
+	DegradedJobs int              `json:"degradedJobs,omitempty"`
+	Admission    *AdmissionStatus `json:"admission,omitempty"`
+	WAL          *WALStatus       `json:"wal,omitempty"`
+}
+
+// AdmissionStatus reports how admissions traveled through the optimistic
+// plan/validate/commit pipeline (see core.AdmissionStats).
+type AdmissionStatus struct {
+	FastPath    int64   `json:"fastPath"`
+	Revalidated int64   `json:"revalidated"`
+	Conflicts   int64   `json:"conflicts"`
+	Retries     int64   `json:"retries"`
+	Fallbacks   int64   `json:"fallbacks"`
+	Locked      int64   `json:"locked"`
+	Plans       int64   `json:"plans"`
+	MeanPlanMs  float64 `json:"meanPlanMillis"`
+}
+
+// WALStatus reports write-ahead-log activity, including group-commit
+// batching. The daemon injects it via SetWALStatus when journaling is on.
+type WALStatus struct {
+	Gen       uint64  `json:"gen"`
+	Appended  int     `json:"appended"`
+	Batches   int64   `json:"batches"`
+	Records   int64   `json:"records"`
+	MaxBatch  int64   `json:"maxBatch"`
+	MeanBatch float64 `json:"meanBatch"`
 }
 
 // FaultRequest fails or restores one machine or one link; exactly one of
@@ -152,9 +178,10 @@ type errorBody struct {
 
 // Server wraps a network manager with the HTTP interface.
 type Server struct {
-	mgr      *core.Manager
-	mux      *http.ServeMux
-	draining atomic.Bool
+	mgr       *core.Manager
+	mux       *http.ServeMux
+	draining  atomic.Bool
+	walStatus func() WALStatus
 }
 
 // NewServer returns a server over the manager.
@@ -171,6 +198,11 @@ func NewServer(mgr *core.Manager) *Server {
 	s.mux.HandleFunc("GET /v1/failures", s.handleFailures)
 	return s
 }
+
+// SetWALStatus installs the journal-state provider surfaced under the
+// "wal" key of /v1/status. A closure keeps this package free of a wal
+// dependency; call before serving (the field is read without a lock).
+func (s *Server) SetWALStatus(fn func() WALStatus) { s.walStatus = fn }
 
 // SetDraining switches the server in or out of drain mode. While
 // draining, every non-GET request is refused with 503 and a Retry-After
@@ -328,7 +360,8 @@ func (s *Server) handleHeadroom(w http.ResponseWriter, req *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	topo := s.mgr.Topology()
 	fstats := s.mgr.FailureStats()
-	writeJSON(w, http.StatusOK, Status{
+	adm := s.mgr.AdmissionStats()
+	st := Status{
 		Machines:     len(topo.Machines()),
 		TotalSlots:   topo.TotalSlots(),
 		FreeSlots:    s.mgr.FreeSlots(),
@@ -338,7 +371,22 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		MachinesDown: fstats.MachinesDown,
 		LinksDown:    fstats.LinksDown,
 		DegradedJobs: fstats.DegradedJobs,
-	})
+		Admission: &AdmissionStatus{
+			FastPath:    adm.FastPath,
+			Revalidated: adm.Revalidated,
+			Conflicts:   adm.Conflicts,
+			Retries:     adm.Retries,
+			Fallbacks:   adm.Fallbacks,
+			Locked:      adm.Locked,
+			Plans:       adm.Plan.Count,
+			MeanPlanMs:  float64(adm.Plan.Mean()) / 1e6,
+		},
+	}
+	if s.walStatus != nil {
+		ws := s.walStatus()
+		st.WAL = &ws
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleFault(w http.ResponseWriter, req *http.Request) {

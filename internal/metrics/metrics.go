@@ -54,6 +54,48 @@ func (s *LatencySummary) String() string {
 		s.Max.Round(time.Microsecond), s.Last.Round(time.Microsecond))
 }
 
+// IntSummary is a streaming summary of integer-valued observations —
+// group-commit batch sizes, queue depths — mirroring LatencySummary for
+// counts instead of durations. The zero value is ready to use; callers
+// provide their own synchronization.
+type IntSummary struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	Last  int64 `json:"last"`
+}
+
+// Observe folds one measurement into the summary.
+func (s *IntSummary) Observe(v int64) {
+	if s.Count == 0 || v < s.Min {
+		s.Min = v
+	}
+	if v > s.Max {
+		s.Max = v
+	}
+	s.Count++
+	s.Sum += v
+	s.Last = v
+}
+
+// Mean returns the average observed value (0 with no observations).
+func (s *IntSummary) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// String implements fmt.Stringer.
+func (s *IntSummary) String() string {
+	if s.Count == 0 {
+		return "no observations"
+	}
+	return fmt.Sprintf("n=%d mean=%.2f min=%d max=%d last=%d",
+		s.Count, s.Mean(), s.Min, s.Max, s.Last)
+}
+
 // Table is a simple column-aligned text table.
 type Table struct {
 	Title   string

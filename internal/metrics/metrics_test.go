@@ -153,3 +153,22 @@ func TestCDFPlot(t *testing.T) {
 		t.Error("degenerate range should render nothing")
 	}
 }
+
+func TestIntSummary(t *testing.T) {
+	var s IntSummary
+	if s.Mean() != 0 {
+		t.Errorf("empty Mean = %v, want 0", s.Mean())
+	}
+	for _, v := range []int64{3, 1, 4, 1, 5} {
+		s.Observe(v)
+	}
+	if s.Count != 5 || s.Sum != 14 || s.Min != 1 || s.Max != 5 || s.Last != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if got, want := s.Mean(), 2.8; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got := s.String(); got != "n=5 mean=2.80 min=1 max=5 last=5" {
+		t.Errorf("String = %q", got)
+	}
+}

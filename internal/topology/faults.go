@@ -40,16 +40,28 @@ func NewFaults(t *Topology) *Faults {
 	}
 }
 
-// Clone returns an independent copy sharing the same topology.
+// Clone returns an independent copy sharing the same topology. The
+// derived reachability cache is rebuilt on the source and copied warm:
+// clones are handed out as shared read-only snapshots, and a cold cache
+// would make the first Alive/Reachable call a lazy write racing every
+// other reader of the same clone.
 func (f *Faults) Clone() *Faults {
+	f.rebuild()
 	c := &Faults{
 		topo:        f.topo,
 		machineDown: make([]bool, len(f.machineDown)),
 		linkDown:    make([]bool, len(f.linkDown)),
 		epoch:       f.epoch,
+		reachable:   make([]bool, len(f.reachable)),
+		alive:       make([]NodeID, len(f.alive)),
+		aliveSlots:  f.aliveSlots,
+		cached:      true,
+		cacheEpoch:  f.cacheEpoch,
 	}
 	copy(c.machineDown, f.machineDown)
 	copy(c.linkDown, f.linkDown)
+	copy(c.reachable, f.reachable)
+	copy(c.alive, f.alive)
 	return c
 }
 

@@ -6,17 +6,26 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/topology"
 )
 
 // defaultSnapshotEvery is how many mutation records accumulate in the
 // current log before NeedsCheckpoint starts reporting true.
 const defaultSnapshotEvery = 4096
+
+// maxBatchYields bounds how many scheduling rounds a batch leader grants
+// concurrent committers to join its batch before sealing it (see
+// flushBatch). The loop also stops the first round the batch does not
+// grow, so this cap only matters under sustained arrivals.
+const maxBatchYields = 8
 
 // meta identifies a log generation and the datacenter it journals, so
 // recovery refuses a state directory that belongs to a different topology
@@ -34,9 +43,11 @@ type snapshotBody struct {
 }
 
 // Journal is a crash-durable core.Journal backed by the generation files
-// described in the package comment. Its methods are invoked with the
-// manager's write lock held (see core.Journal), so appends happen in
-// exactly the mutation order.
+// described in the package comment. Staging methods (Commit, StageCommit,
+// Checkpoint) are invoked with the manager's write lock held (see
+// core.Journal), so frames enter the log in exactly the mutation order;
+// the write+fsync itself is group-committed — concurrent waiters share one
+// flush — and runs outside that lock for staged commits.
 type Journal struct {
 	mu            sync.Mutex
 	dir           string
@@ -46,6 +57,51 @@ type Journal struct {
 	snapshotEvery int
 	noSync        bool
 	err           error // sticky: first append failure poisons the journal
+
+	// Group commit: frames staged since the last flush accumulate in batch
+	// (guarded by mu); writeMu serializes the flushes themselves so batches
+	// reach the file in creation order. batchSizes records one observation
+	// per flushed batch (guarded by mu).
+	writeMu    sync.Mutex
+	batch      *groupBatch
+	batchSizes metrics.IntSummary
+}
+
+// groupBatch is one group-commit unit: the concatenated frames of every
+// commit staged since the previous flush. The first waiter claims led and
+// becomes the leader: it alone performs one write+fsync for all of them.
+// The rest block on done and never touch writeMu — a follower queued on a
+// mutex would sit through the NEXT batch's entire flush before it could
+// start its next mutation, halving the achievable batch size.
+type groupBatch struct {
+	buf  []byte
+	n    int
+	led  bool
+	done chan struct{}
+	err  error // set before done is closed
+}
+
+// GroupCommitStats reports the journal's group-commit behavior: how many
+// flushes happened and how many records each one made durable. With only
+// synchronous committers every batch has size 1; sizes above 1 measure how
+// many fsyncs the batching actually saved.
+type GroupCommitStats struct {
+	Batches   int64   `json:"batches"`
+	Records   int64   `json:"records"`
+	MaxBatch  int64   `json:"maxBatch"`
+	MeanBatch float64 `json:"meanBatch"`
+}
+
+// GroupCommitStats returns a snapshot of the batch counters.
+func (j *Journal) GroupCommitStats() GroupCommitStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return GroupCommitStats{
+		Batches:   j.batchSizes.Count,
+		Records:   j.batchSizes.Sum,
+		MaxBatch:  j.batchSizes.Max,
+		MeanBatch: j.batchSizes.Mean(),
+	}
 }
 
 // Option configures a Journal.
@@ -316,27 +372,140 @@ func (j *Journal) createWAL(m meta) (*os.File, error) {
 // append failure poisons the journal: every later Commit fails too, so
 // the manager stops accepting mutations instead of diverging from disk.
 // The torn bytes, if any, are discarded by the next recovery's
-// truncation.
+// truncation. Commit is StageCommit plus the durability wait; callers
+// that can release their lock before waiting should use StageCommit so
+// concurrent commits share one write+fsync.
 func (j *Journal) Commit(mut core.Mutation) error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.err != nil {
-		return j.err
-	}
-	payload, err := encodeMutation(mut)
+	wait, err := j.StageCommit(mut)
 	if err != nil {
 		return err
 	}
-	if _, err := j.f.Write(appendFrame(nil, payload)); err != nil {
-		j.err = fmt.Errorf("wal: append: %w", err)
-		return j.err
+	return wait()
+}
+
+// StageCommit implements core.AsyncJournal: it encodes the mutation and
+// appends its frame to the open group-commit batch, reserving the
+// record's position in the log's total order (staging order == the
+// manager's apply order, because staging happens under the manager's
+// write lock). The returned wait function blocks until the frame is
+// durable and returns the batch's outcome: the first waiter claims the
+// batch's leadership and performs a single write+fsync for every frame
+// staged so far; every later waiter parks on the batch's done channel
+// (never on a mutex queue, where it would sit out the next batch's
+// flush too — see groupBatch). A failed flush poisons the journal
+// exactly like a failed Commit.
+func (j *Journal) StageCommit(mut core.Mutation) (func() error, error) {
+	payload, err := encodeMutation(mut)
+	if err != nil {
+		return nil, err
 	}
-	if err := j.sync(j.f); err != nil {
-		j.err = err
-		return j.err
+	j.mu.Lock()
+	if j.err != nil {
+		err := j.err
+		j.mu.Unlock()
+		return nil, err
 	}
+	b := j.batch
+	if b == nil {
+		b = &groupBatch{done: make(chan struct{})}
+		j.batch = b
+	}
+	b.buf = appendFrame(b.buf, payload)
+	b.n++
 	j.appended++
-	return nil
+	j.mu.Unlock()
+	return func() error {
+		j.mu.Lock()
+		lead := !b.led
+		b.led = true
+		j.mu.Unlock()
+		if lead {
+			j.flushBatch(b)
+		}
+		<-b.done
+		return b.err
+	}, nil
+}
+
+// flushBatch makes batch b durable if no other leader has already done
+// so. writeMu gives batches the file in creation order: a new batch can
+// only open after its predecessor was detached (below, under writeMu),
+// so the predecessor's write always precedes it.
+func (j *Journal) flushBatch(b *groupBatch) {
+	j.writeMu.Lock()
+	defer j.writeMu.Unlock()
+	select {
+	case <-b.done:
+		return // an earlier leader flushed it
+	default:
+	}
+	// Nobody else can seal b now (flushBatch runs only in b's claimed
+	// leader, or in flushOpen callers holding the manager's write lock).
+	// Before sealing, yield while the batch is still growing: committers
+	// released by the previous flush are runnable right now, mid-plan, and
+	// a yield runs every one of them until it either stages into b and
+	// parks on b.done or blocks elsewhere. Sealing on first arrival
+	// instead degenerates to singleton batches (the classic group-commit
+	// pacing failure). A yield costs microseconds and burns no timer —
+	// timer-based windows stall for a millisecond whenever the machine
+	// goes idle — so an uncontended commit pays one no-op round.
+	j.mu.Lock()
+	n := b.n
+	j.mu.Unlock()
+	for i := 0; i < maxBatchYields; i++ {
+		runtime.Gosched()
+		j.mu.Lock()
+		grown := b.n > n
+		n = b.n
+		j.mu.Unlock()
+		if !grown {
+			break
+		}
+	}
+	j.mu.Lock()
+	if j.batch == b {
+		j.batch = nil // detach: no more frames may join
+	}
+	err := j.err
+	f := j.f
+	j.batchSizes.Observe(int64(b.n))
+	j.mu.Unlock()
+
+	switch {
+	case err != nil:
+		// A previous batch poisoned the journal; do not write over the
+		// hole it left.
+	case f == nil:
+		err = errors.New("wal: journal closed")
+	default:
+		if _, werr := f.Write(b.buf); werr != nil {
+			err = fmt.Errorf("wal: append: %w", werr)
+		} else {
+			err = j.sync(f)
+		}
+	}
+	if err != nil {
+		j.mu.Lock()
+		if j.err == nil {
+			j.err = err
+		}
+		j.mu.Unlock()
+	}
+	b.err = err
+	close(b.done)
+}
+
+// flushOpen flushes the open batch, if any. Callers that are about to
+// rotate or close the log file use it to drain staged frames into the
+// outgoing file first; no new frames can be staged concurrently because
+// staging requires the manager's write lock, which those callers hold.
+func (j *Journal) flushOpen() {
+	j.mu.Lock()
+	b := j.batch
+	j.mu.Unlock()
+	if b != nil {
+		j.flushBatch(b)
+	}
 }
 
 // Checkpoint writes a snapshot of the state, starts the next log
@@ -344,6 +513,12 @@ func (j *Journal) Commit(mut core.Mutation) error {
 // generation keeps working — a checkpoint is an optimization, not a
 // correctness requirement.
 func (j *Journal) Checkpoint(st *core.ManagerState) error {
+	// Drain staged frames into the outgoing generation and keep writeMu so
+	// no in-flight flush can interleave with the file swap. Checkpoint runs
+	// under the manager's write lock, so nothing stages concurrently.
+	j.flushOpen()
+	j.writeMu.Lock()
+	defer j.writeMu.Unlock()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.err != nil {
@@ -434,6 +609,9 @@ func (j *Journal) Dir() string { return j.dir }
 // Close flushes and closes the log file. The journal must not be used
 // afterwards; detach it from the manager first.
 func (j *Journal) Close() error {
+	j.flushOpen()
+	j.writeMu.Lock()
+	defer j.writeMu.Unlock()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
