@@ -1,13 +1,18 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet lint build test race bench
 
-## check: full gate — vet, build, race-enabled tests (what CI should run)
+## check: full gate — vet, lint, build, race-enabled tests (what CI runs)
 check:
 	bash scripts/check.sh
 
 vet:
 	$(GO) vet ./...
+
+## lint: project invariant analyzers (lockcheck, journalseam,
+## determinism, floatcmp, snapshotro) over the whole module
+lint:
+	$(GO) run ./cmd/svclint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,20 @@
+// Package all registers the full svclint analyzer suite.
+package all
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/journalseam"
+	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/snapshotro"
+)
+
+// Analyzers is the svclint suite in the order findings are reported.
+var Analyzers = []*analysis.Analyzer{
+	lockcheck.Analyzer,
+	journalseam.Analyzer,
+	determinism.Analyzer,
+	floatcmp.Analyzer,
+	snapshotro.Analyzer,
+}

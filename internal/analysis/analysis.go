@@ -1,0 +1,218 @@
+// Package analysis is a self-contained miniature of golang.org/x/tools'
+// go/analysis: just enough framework to write project-specific
+// analyzers over (ast.File, types.Package, types.Info) triples produced
+// by internal/analysis/loader. It exists because this module is
+// dependency-free; the API mirrors go/analysis closely enough that the
+// analyzers could be ported to real vet plugins mechanically.
+//
+// Suppression directives, all of which require a written justification:
+//
+//	//lint:ignore <analyzer[,analyzer...]> <reason>
+//	    suppresses findings from the named analyzers on the directive's
+//	    line and on the line below it (so it can ride above a statement).
+//	//lint:held <reason>
+//	    lockcheck only: asserts the enclosing function runs with the
+//	    relevant mutex held (used for callbacks invoked under a caller's
+//	    lock, per the documented contract).
+//	//lint:clone-skip <field[,field...]>: <reason>
+//	    snapshotro only: declares Clone deliberately does not copy the
+//	    listed fields.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in directives and output
+	Doc  string // one-line description of the enforced invariant
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	directives []directive
+	diags      []Diagnostic
+}
+
+// NewPass assembles a pass and indexes the package's //lint: directives.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	p := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
+	for _, f := range files {
+		p.directives = append(p.directives, parseDirectives(fset, f)...)
+	}
+	return p
+}
+
+// Reportf records a finding unless an ignore directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignored(position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Diagnostics returns the findings in position order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diags, func(i, j int) bool {
+		a, b := p.diags[i].Pos, p.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return p.diags
+}
+
+// directive is one parsed //lint: comment.
+type directive struct {
+	kind   string // "ignore", "held", "clone-skip"
+	args   string // text between the kind and the reason
+	reason string
+	file   string
+	line   int
+	pos    token.Pos
+}
+
+var directiveRe = regexp.MustCompile(`^//lint:(ignore|held|clone-skip)\b\s*(.*)$`)
+
+// parseDirectives extracts //lint: directives with their positions.
+func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := directiveRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d := directive{kind: m[1], file: pos.Filename, line: pos.Line, pos: c.Pos()}
+			rest := strings.TrimSpace(m[2])
+			switch d.kind {
+			case "ignore":
+				// first token names the analyzers, the rest is the reason
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					d.args = rest[:i]
+					d.reason = strings.TrimSpace(rest[i+1:])
+				} else {
+					d.args = rest
+				}
+			case "clone-skip":
+				// "<fields>: <reason>"
+				if i := strings.Index(rest, ":"); i >= 0 {
+					d.args = strings.TrimSpace(rest[:i])
+					d.reason = strings.TrimSpace(rest[i+1:])
+				} else {
+					d.args = rest
+				}
+			default: // held
+				d.reason = rest
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ignored reports whether an ignore directive for this analyzer covers
+// the position (same line or the line directly above).
+func (p *Pass) ignored(pos token.Position) bool {
+	for _, d := range p.directives {
+		if d.kind != "ignore" || d.file != pos.Filename {
+			continue
+		}
+		if d.line != pos.Line && d.line != pos.Line-1 {
+			continue
+		}
+		for _, name := range strings.Split(d.args, ",") {
+			if strings.TrimSpace(name) == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MalformedDirectives reports //lint: directives missing their required
+// justification, as findings attributed to the given analyzer. The
+// driver runs it once per package so unexplained escape hatches fail the
+// lint gate like any other finding.
+func MalformedDirectives(p *Pass) {
+	for _, d := range p.directives {
+		if d.reason == "" {
+			p.diags = append(p.diags, Diagnostic{
+				Pos:      p.Fset.Position(d.pos),
+				Message:  fmt.Sprintf("//lint:%s directive needs a justification", d.kind),
+				Analyzer: p.Analyzer.Name,
+			})
+		}
+		if d.kind == "ignore" && d.args == "" {
+			p.diags = append(p.diags, Diagnostic{
+				Pos:      p.Fset.Position(d.pos),
+				Message:  "//lint:ignore directive names no analyzer",
+				Analyzer: p.Analyzer.Name,
+			})
+		}
+	}
+}
+
+// HeldDirective reports whether a //lint:held directive covers the given
+// line span (used by lockcheck for function-level and call-level
+// assertions).
+func (p *Pass) HeldDirective(file string, fromLine, toLine int) bool {
+	for _, d := range p.directives {
+		if d.kind == "held" && d.file == file && d.line >= fromLine && d.line <= toLine {
+			return true
+		}
+	}
+	return false
+}
+
+// CloneSkips returns the field names declared by //lint:clone-skip
+// directives within the given line span.
+func (p *Pass) CloneSkips(file string, fromLine, toLine int) map[string]bool {
+	out := make(map[string]bool)
+	for _, d := range p.directives {
+		if d.kind != "clone-skip" || d.file != file || d.line < fromLine || d.line > toLine {
+			continue
+		}
+		for _, f := range strings.Split(d.args, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				out[f] = true
+			}
+		}
+	}
+	return out
+}

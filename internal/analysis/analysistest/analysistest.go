@@ -1,0 +1,192 @@
+// Package analysistest runs an analyzer over testdata packages and
+// checks its findings against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest without the dependency.
+//
+// Layout: <testdata>/src/<import/path>/*.go. Packages are loaded in the
+// order given, so later packages may import earlier ones; an import path
+// that shadows a real module package (e.g. repro/internal/core) is
+// resolved to the testdata stand-in, which lets analyzers keyed on real
+// import paths run against small fixtures.
+//
+// A want comment anchors expectations to its line:
+//
+//	bad()   // want `regexp-matching-the-message`
+//	worse() // want "first" "second"
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/loader"
+)
+
+// exportsOnce caches one `go list -export` run per test process: the
+// repo's own dependency closure plus the extra stdlib packages testdata
+// fixtures are allowed to import.
+var (
+	exportsOnce sync.Once
+	exportsVal  loader.Exports
+	exportsErr  error
+)
+
+// extraStdlib are stdlib packages testdata may import even though the
+// module itself does not depend on them.
+var extraStdlib = []string{"math/rand"}
+
+func repoExports() (loader.Exports, error) {
+	exportsOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			exportsErr = err
+			return
+		}
+		patterns := append([]string{"./..."}, extraStdlib...)
+		_, exportsVal, exportsErr = loader.List(root, patterns...)
+	})
+	return exportsVal, exportsErr
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysistest: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// Run loads each import path from testdata/src in order, runs the
+// analyzer over every one of them, and compares the findings with the
+// want comments in the fixtures.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	exports, err := repoExports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := loader.NewImporter(exports)
+	fset := token.NewFileSet()
+
+	var diags []analysis.Diagnostic
+	wants := make(map[string][]*want) // filename -> expectations
+	for _, path := range paths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		var files []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				files = append(files, filepath.Join(dir, e.Name()))
+			}
+		}
+		pkg, err := loader.CheckFiles(path, fset, files, im)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		im.Add(pkg.Types)
+		for _, name := range files {
+			ws, err := parseWants(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants[name] = ws
+		}
+		pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.Info)
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("analysistest: %s on %s: %v", a.Name, path, err)
+		}
+		diags = append(diags, pass.Diagnostics()...)
+	}
+
+	for _, d := range diags {
+		if !consume(wants[d.Pos.Filename], d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	var missed []string
+	for name, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				missed = append(missed, fmt.Sprintf("%s:%d: no finding matched %q", name, w.line, w.re))
+			}
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}
+
+// want is one expectation parsed from a // want comment.
+type want struct {
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var argRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// parseWants scans a fixture for // want comments line by line (the
+// fixtures keep them on the flagged line, so a text scan is enough).
+func parseWants(filename string) ([]*want, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	var out []*want
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		args := argRe.FindAllStringSubmatch(m[1], -1)
+		if len(args) == 0 {
+			return nil, fmt.Errorf("%s:%d: malformed want comment %q", filename, i+1, line)
+		}
+		for _, a := range args {
+			pat := a[1]
+			if pat == "" {
+				pat = a[2]
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want pattern: %v", filename, i+1, err)
+			}
+			out = append(out, &want{line: i + 1, re: re})
+		}
+	}
+	return out, nil
+}
+
+// consume marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches its message.
+func consume(ws []*want, d analysis.Diagnostic) bool {
+	for _, w := range ws {
+		if !w.matched && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

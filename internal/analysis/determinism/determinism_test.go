@@ -1,0 +1,14 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	determinism.TargetPaths["determinism"] = true
+	defer delete(determinism.TargetPaths, "determinism")
+	analysistest.Run(t, "testdata", determinism.Analyzer, "determinism")
+}

@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	analysistest.Run(t, "testdata", floatcmp.Analyzer, "floatcmp")
+}

@@ -1,0 +1,16 @@
+// Package topology is a fixture shadowing repro/internal/topology.
+package topology
+
+type MachineID int
+
+type Faults struct {
+	down map[MachineID]bool
+}
+
+func NewFaults() *Faults { return &Faults{down: map[MachineID]bool{}} }
+
+func (f *Faults) FailMachine(id MachineID) bool    { f.down[id] = true; return true }
+func (f *Faults) RestoreMachine(id MachineID) bool { delete(f.down, id); return true }
+func (f *Faults) FailLink(l int) bool              { return true }
+func (f *Faults) RestoreLink(l int) bool           { return true }
+func (f *Faults) Alive(id MachineID) bool          { return !f.down[id] }

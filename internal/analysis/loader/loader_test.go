@@ -1,0 +1,46 @@
+package loader
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// repoRoot locates the module root from this source file's position.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Clean(filepath.Join(filepath.Dir(file), "../../.."))
+}
+
+func TestLoadCorePackage(t *testing.T) {
+	pkgs, err := Load(repoRoot(t), "./internal/topology", "./internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	core := byPath["repro/internal/core"]
+	if core == nil {
+		t.Fatalf("repro/internal/core not loaded; got %v", pkgs)
+	}
+	if core.Types.Scope().Lookup("Manager") == nil {
+		t.Error("core.Manager not in package scope")
+	}
+	if len(core.Info.Uses) == 0 {
+		t.Error("types.Info.Uses empty — analyzers need resolved identifiers")
+	}
+	// Imports resolved through export data must carry real member info.
+	topo := byPath["repro/internal/topology"]
+	if topo.Types.Scope().Lookup("Faults") == nil {
+		t.Error("topology.Faults not in package scope")
+	}
+}

@@ -1,0 +1,429 @@
+// Package lockcheck enforces the repo's locking convention: a function
+// whose name ends in "Locked" may only be called while the mutex of the
+// callee's receiver is held.
+//
+// The check walks each function body in execution order, tracking the
+// set of mutexes held at every point: x.Lock()/x.RLock() adds x,
+// x.Unlock()/x.RUnlock() removes it, and defer x.Unlock() leaves it held
+// for the rest of the function. Branches fork the state and re-join on
+// the intersection of the paths that fall through, so a branch that
+// unlocks and returns does not clear the state for the code after it.
+// Calling m.fooLocked(...) requires some mutex rooted at m (m.mu,
+// m.snapMu, ...) to be held; a plain call to fooLocked() requires any
+// mutex. Functions themselves named *Locked inherit the contract from
+// their callers and are exempt inside.
+//
+// Escape hatch: //lint:held <reason> on the function's doc comment (or
+// on the flagged line) asserts the function is documented to run under
+// the caller's lock.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "calls to *Locked functions must hold the receiver's mutex",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue // the name states the contract; callers are checked
+			}
+			c := &checker{pass: pass}
+			entry := lockSet{}
+			if c.fnHeldDirective(fn) {
+				entry["*"] = true
+			}
+			c.block(fn.Body, entry)
+		}
+	}
+	return nil
+}
+
+// lockSet is the set of mutex expressions (rendered as source paths)
+// held at a program point. The wildcard "*" satisfies every requirement.
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func intersect(a, b lockSet) lockSet {
+	out := lockSet{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// fnHeldDirective reports whether //lint:held covers the function's doc
+// comment or signature line.
+func (c *checker) fnHeldDirective(fn *ast.FuncDecl) bool {
+	pos := c.pass.Fset.Position(fn.Pos())
+	from := pos.Line
+	if fn.Doc != nil {
+		from = c.pass.Fset.Position(fn.Doc.Pos()).Line
+	}
+	return c.pass.HeldDirective(pos.Filename, from, pos.Line)
+}
+
+// block walks statements sequentially, returning the exit state and
+// whether control always leaves the block (return/branch/panic).
+func (c *checker) block(b *ast.BlockStmt, held lockSet) (lockSet, bool) {
+	if b == nil {
+		return held, false
+	}
+	return c.stmts(b.List, held)
+}
+
+func (c *checker) stmts(list []ast.Stmt, held lockSet) (lockSet, bool) {
+	held = held.clone()
+	for _, st := range list {
+		var term bool
+		held, term = c.stmt(st, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (c *checker) stmt(st ast.Stmt, held lockSet) (lockSet, bool) {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		return c.exprCalls(s.X, held), isPanic(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = c.exprCalls(e, held)
+		}
+		for _, e := range s.Lhs {
+			held = c.exprCalls(e, held)
+		}
+		return held, false
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.LabeledStmt:
+		ast.Inspect(st, c.inspectExprs(&held))
+		return held, false
+	case *ast.DeferStmt:
+		// defer x.Unlock() keeps x held to function exit; other deferred
+		// calls (including closures) are not walked as part of this flow.
+		if name, kind := c.mutexOp(s.Call); kind == opUnlock {
+			_ = name // the lock stays held for the remaining statements
+		} else {
+			c.funcLits(s.Call)
+		}
+		return held, false
+	case *ast.GoStmt:
+		c.funcLits(s.Call)
+		for _, arg := range s.Call.Args {
+			held = c.exprCalls(arg, held)
+		}
+		return held, false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			held = c.exprCalls(e, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.BlockStmt:
+		return c.block(s, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = c.stmt(s.Init, held)
+		}
+		held = c.exprCalls(s.Cond, held)
+		thenExit, thenTerm := c.block(s.Body, held)
+		elseExit, elseTerm := held, false
+		if s.Else != nil {
+			elseExit, elseTerm = c.stmt(s.Else, held)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, s.Else != nil // no else: fallthrough survives
+		case thenTerm:
+			return elseExit, false
+		case elseTerm:
+			return thenExit, false
+		default:
+			return intersect(thenExit, elseExit), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = c.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			held = c.exprCalls(s.Cond, held)
+		}
+		c.block(s.Body, held) // body may run zero times: exit keeps entry state
+		return held, false
+	case *ast.RangeStmt:
+		held = c.exprCalls(s.X, held)
+		c.block(s.Body, held)
+		return held, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var bodies []*ast.BlockStmt
+		var init ast.Stmt
+		var tag ast.Expr
+		hasDefault := false
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			init, tag = sw.Init, sw.Tag
+			for _, cc := range sw.Body.List {
+				cl := cc.(*ast.CaseClause)
+				if cl.List == nil {
+					hasDefault = true
+				}
+				bodies = append(bodies, &ast.BlockStmt{List: cl.Body})
+			}
+		case *ast.TypeSwitchStmt:
+			init = sw.Init
+			for _, cc := range sw.Body.List {
+				cl := cc.(*ast.CaseClause)
+				if cl.List == nil {
+					hasDefault = true
+				}
+				bodies = append(bodies, &ast.BlockStmt{List: cl.Body})
+			}
+		case *ast.SelectStmt:
+			for _, cc := range sw.Body.List {
+				cl := cc.(*ast.CommClause)
+				bodies = append(bodies, &ast.BlockStmt{List: cl.Body})
+			}
+			hasDefault = true // comm clauses cover all paths that proceed
+		}
+		if init != nil {
+			held, _ = c.stmt(init, held)
+		}
+		if tag != nil {
+			held = c.exprCalls(tag, held)
+		}
+		exit := lockSet(nil)
+		for _, b := range bodies {
+			e, term := c.block(b, held)
+			if term {
+				continue
+			}
+			if exit == nil {
+				exit = e
+			} else {
+				exit = intersect(exit, e)
+			}
+		}
+		if !hasDefault || exit == nil {
+			if exit == nil {
+				return held, false
+			}
+			exit = intersect(exit, held)
+		}
+		return exit, false
+	default:
+		ast.Inspect(st, c.inspectExprs(&held))
+		return held, false
+	}
+}
+
+// exprCalls scans an expression for calls in evaluation order, updating
+// the lock state and reporting unguarded *Locked calls. Function
+// literals inside are analyzed separately with an empty state.
+func (c *checker) exprCalls(e ast.Expr, held lockSet) lockSet {
+	if e == nil {
+		return held
+	}
+	ast.Inspect(e, c.inspectExprs(&held))
+	return held
+}
+
+func (c *checker) inspectExprs(held *lockSet) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			c.checkFuncLit(v)
+			return false
+		case *ast.CallExpr:
+			c.call(v, held)
+		}
+		return true
+	}
+}
+
+// funcLits analyzes every function literal inside a deferred or spawned
+// call with an empty lock state.
+func (c *checker) funcLits(call *ast.CallExpr) {
+	ast.Inspect(call, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			c.checkFuncLit(fl)
+			return false
+		}
+		return true
+	})
+}
+
+// checkFuncLit analyzes a function literal with an empty lock state: a
+// closure runs on its own schedule, so it inherits no locks (a
+// //lint:held directive on its first line overrides).
+func (c *checker) checkFuncLit(fl *ast.FuncLit) {
+	pos := c.pass.Fset.Position(fl.Pos())
+	entry := lockSet{}
+	if c.pass.HeldDirective(pos.Filename, pos.Line-1, pos.Line) {
+		entry["*"] = true
+	}
+	c.block(fl.Body, entry)
+}
+
+type mutexOp int
+
+const (
+	opNone mutexOp = iota
+	opLock
+	opUnlock
+)
+
+// mutexOp classifies a call as Lock/Unlock on a sync.Mutex or RWMutex,
+// returning the rendered receiver path.
+func (c *checker) mutexOp(call *ast.CallExpr) (string, mutexOp) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	var op mutexOp
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return "", opNone
+	}
+	t := c.pass.Info.TypeOf(sel.X)
+	if t == nil || !isMutexType(t) {
+		return "", opNone
+	}
+	return exprPath(sel.X), op
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// call updates the state for mutex operations and checks *Locked calls.
+func (c *checker) call(call *ast.CallExpr, held *lockSet) {
+	if path, op := c.mutexOp(call); op != opNone {
+		switch op {
+		case opLock:
+			(*held)[path] = true
+		case opUnlock:
+			delete(*held, path)
+		}
+		return
+	}
+	name, base := calleeName(call)
+	if name == "" || !strings.HasSuffix(name, "Locked") {
+		return
+	}
+	if (*held)["*"] || c.satisfied(*held, base) {
+		return
+	}
+	pos := c.pass.Fset.Position(call.Pos())
+	if c.pass.HeldDirective(pos.Filename, pos.Line-1, pos.Line) {
+		return
+	}
+	if base != "" {
+		c.pass.Reportf(call.Pos(), "call to %s without holding a %s.* mutex", name, base)
+	} else {
+		c.pass.Reportf(call.Pos(), "call to %s without holding a mutex", name)
+	}
+}
+
+// satisfied reports whether a held mutex guards the callee's receiver:
+// any mutex rooted at the same base path (base "m" matches "m.mu",
+// "m.snapMu", ...); an empty base (plain function call) accepts any
+// held mutex.
+func (c *checker) satisfied(held lockSet, base string) bool {
+	if base == "" {
+		return len(held) > 0
+	}
+	for path := range held {
+		if strings.HasPrefix(path, base+".") || path == base {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName returns the called function's name and, for method calls,
+// the rendered receiver path.
+func calleeName(call *ast.CallExpr) (name, base string) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name, ""
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, exprPath(fun.X)
+	}
+	return "", ""
+}
+
+// exprPath renders a selector chain like m.led.Faults() as a stable
+// string key; non-path expressions collapse to their last component.
+func exprPath(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprPath(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprPath(v.Fun) + "()"
+	case *ast.ParenExpr:
+		return exprPath(v.X)
+	case *ast.StarExpr:
+		return exprPath(v.X)
+	case *ast.IndexExpr:
+		return exprPath(v.X) + "[]"
+	}
+	return "?"
+}
+
+// isPanic reports whether the expression is a panic call (terminates
+// control flow like a return).
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,15 @@
+package lockcheck
+
+// --- negative: the documented callback-under-lock contract ---
+
+//lint:held invoked by Manager.mutate with m.mu held (see contract)
+func (m *Manager) hookUnderLock() {
+	m.commitLocked()
+}
+
+// --- negative: call-site held assertion ---
+
+func (m *Manager) DispatchUnderCallerLock() {
+	//lint:held caller guarantees m.mu per the Journal contract
+	m.commitLocked()
+}

@@ -1,0 +1,308 @@
+// Package snapshotro protects the read-only snapshot discipline. The
+// manager publishes cached, shared clones (Manager.snapshot /
+// snapshotVer / exported Snapshot); callers may read them freely but
+// must Clone() before mutating, or every other reader sees the edit.
+//
+// Two rules:
+//
+//   - Clone completeness: a method named Clone returning its receiver
+//     type must mention every field of the receiver struct. A field the
+//     body never touches is almost always a forgotten copy — the class
+//     of bug where Faults.Clone dropped the reachability cache and
+//     every admission paid a full rebuild. Deliberate omissions are
+//     declared with //lint:clone-skip <fields>: <reason>.
+//
+//   - Snapshot mutation: a variable bound to the result of
+//     snapshot()/snapshotVer()/Snapshot() must not be written through
+//     (field or element assignment) or passed to a mutator (UseSlots,
+//     SetOffline, FailMachine, commit, ...). Take a Clone() first —
+//     snapshot().Clone() is the sanctioned scratch pattern.
+package snapshotro
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the snapshotro analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotro",
+	Doc:  "shared snapshots are read-only, and Clone methods must copy every field",
+	Run:  run,
+}
+
+// SnapshotFuncs are the functions whose results are shared read-only
+// state.
+var SnapshotFuncs = map[string]bool{
+	"snapshot": true, "snapshotVer": true, "Snapshot": true,
+}
+
+// mutators are methods that change ledger, overlay, or slot state; a
+// snapshot must never be their receiver or argument.
+var mutators = map[string]bool{
+	"AddStochastic": true, "RemoveStochastic": true, "AddDet": true,
+	"RemoveDet": true, "UseSlots": true, "ReleaseSlots": true,
+	"SetOffline": true, "FailMachine": true, "RestoreMachine": true,
+	"FailLink": true, "RestoreLink": true,
+}
+
+// mutatorFuncs are free functions that mutate their first argument.
+var mutatorFuncs = map[string]bool{
+	"commit": true, "rollback": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Name.Name == "Clone" {
+				checkCloneCompleteness(pass, fn)
+			}
+			checkSnapshotMutation(pass, fn)
+		}
+	}
+	return nil
+}
+
+// --- rule 1: Clone completeness ---
+
+func checkCloneCompleteness(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return
+	}
+	recvType := pass.Info.TypeOf(fn.Recv.List[0].Type)
+	st, named := structOf(recvType)
+	if st == nil || !returnsType(pass, fn, named) {
+		return
+	}
+
+	mentioned := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SelectorExpr:
+			// r.field or dst.field, for any expression of the receiver
+			// type: a read of the source or a write of the copy both
+			// count as handling the field.
+			if sameStruct(pass.Info.TypeOf(v.X), named) {
+				mentioned[v.Sel.Name] = true
+			}
+		case *ast.CompositeLit:
+			if !sameStruct(pass.Info.TypeOf(v), named) {
+				return true
+			}
+			for i, elt := range v.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						mentioned[id.Name] = true
+					}
+				} else if i < st.NumFields() {
+					// positional literal covers fields in order
+					mentioned[st.Field(i).Name()] = true
+				}
+			}
+		}
+		return true
+	})
+
+	start := fn.Pos()
+	if fn.Doc != nil {
+		start = fn.Doc.Pos()
+	}
+	startPos := pass.Fset.Position(start)
+	endPos := pass.Fset.Position(fn.End())
+	skips := pass.CloneSkips(startPos.Filename, startPos.Line, endPos.Line)
+
+	for i := 0; i < st.NumFields(); i++ {
+		name := st.Field(i).Name()
+		if !mentioned[name] && !skips[name] {
+			pass.Reportf(fn.Name.Pos(), "Clone of %s does not copy field %q; copy it or declare //lint:clone-skip %s: <reason>", named.Obj().Name(), name, name)
+		}
+	}
+}
+
+// structOf unwraps pointers and returns the struct underlying a named
+// type, or nil.
+func structOf(t types.Type) (*types.Struct, *types.Named) {
+	if t == nil {
+		return nil, nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	return st, named
+}
+
+func sameStruct(t types.Type, named *types.Named) bool {
+	_, n := structOf(t)
+	return n != nil && n.Obj() == named.Obj()
+}
+
+// returnsType reports whether any of the function's results is the
+// given named type (possibly behind a pointer).
+func returnsType(pass *analysis.Pass, fn *ast.FuncDecl, named *types.Named) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, res := range fn.Type.Results.List {
+		if sameStruct(pass.Info.TypeOf(res.Type), named) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- rule 2: no writes through snapshot results ---
+
+func checkSnapshotMutation(pass *analysis.Pass, fn *ast.FuncDecl) {
+	snaps := snapshotVars(pass, fn)
+	if len(snaps) == 0 {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if obj := writeThrough(pass, lhs, snaps); obj != nil {
+					pass.Reportf(lhs.Pos(), "write through shared snapshot %s; Clone() it before mutating", obj.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := writeThrough(pass, v.X, snaps); obj != nil {
+				pass.Reportf(v.X.Pos(), "write through shared snapshot %s; Clone() it before mutating", obj.Name())
+			}
+		case *ast.CallExpr:
+			checkSnapshotCall(pass, v, snaps)
+		}
+		return true
+	})
+}
+
+// snapshotVars collects variables initialised directly from a snapshot
+// accessor (without an intervening Clone()).
+func snapshotVars(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(assign.Rhs) == 1 && len(assign.Lhs) >= 1 {
+			// snap := m.snapshot()   or   snap, ver := m.snapshotVer()
+			if isSnapshotCall(assign.Rhs[0]) {
+				if obj := identObject(pass, assign.Lhs[0]); obj != nil {
+					out[obj] = true
+				}
+			}
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if i < len(assign.Lhs) && isSnapshotCall(rhs) {
+				if obj := identObject(pass, assign.Lhs[i]); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isSnapshotCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return SnapshotFuncs[fun.Name]
+	case *ast.SelectorExpr:
+		return SnapshotFuncs[fun.Sel.Name]
+	}
+	return false
+}
+
+func checkSnapshotCall(pass *analysis.Pass, call *ast.CallExpr, snaps map[types.Object]bool) {
+	// snap passed to commit/rollback
+	if id, ok := call.Fun.(*ast.Ident); ok && mutatorFuncs[id.Name] {
+		for _, arg := range call.Args {
+			if obj := identObject(pass, arg); obj != nil && snaps[obj] {
+				pass.Reportf(arg.Pos(), "shared snapshot %s passed to %s; Clone() it before mutating", obj.Name(), id.Name)
+			}
+		}
+		return
+	}
+	// snap.UseSlots(...), snap.Faults().FailMachine(...)
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !mutators[sel.Sel.Name] {
+		return
+	}
+	if obj := rootObject(pass, sel.X); obj != nil && snaps[obj] {
+		pass.Reportf(call.Pos(), "mutator %s called on shared snapshot %s; Clone() it before mutating", sel.Sel.Name, obj.Name())
+	}
+}
+
+// writeThrough returns the snapshot variable when the lvalue writes
+// through it (snap.f = v, snap.m[k] = v), but not when the variable
+// itself is rebound (snap = other).
+func writeThrough(pass *analysis.Pass, lhs ast.Expr, snaps map[types.Object]bool) types.Object {
+	if _, ok := lhs.(*ast.Ident); ok {
+		return nil // rebinding the variable is fine
+	}
+	obj := rootObject(pass, lhs)
+	if obj != nil && snaps[obj] {
+		return obj
+	}
+	return nil
+}
+
+// rootObject walks selector/index/call chains down to the root
+// identifier and returns its object. Chains passing through Clone()
+// are cut: the clone is private.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return identObject(pass, v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.CallExpr:
+			sel, ok := v.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name == "Clone" {
+				return nil
+			}
+			e = sel.X
+		default:
+			return nil
+		}
+	}
+}
+
+func identObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}

@@ -1,0 +1,12 @@
+package snapshotro_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/snapshotro"
+)
+
+func TestSnapshotro(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotro.Analyzer, "snapshotro")
+}

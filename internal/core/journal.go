@@ -293,6 +293,7 @@ func (m *Manager) applyLocked(mut Mutation) error {
 			m.nextID = a.ID
 		}
 		m.version++
+		m.assertOccupancyLocked(&mut)
 
 	case OpRelease:
 		a, ok := m.jobs[mut.Job]

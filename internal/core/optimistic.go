@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"time"
 
 	"repro/internal/metrics"
 )
@@ -90,9 +89,9 @@ func (m *Manager) allocate(co callOpts, plan planFunc, mut Mutation, wantVMs int
 	}
 	for attempt := 0; attempt < maxPlanRetries; attempt++ {
 		snap, ver := m.snapshotVer()
-		start := time.Now()
+		start := now()
 		p, contribs, err := plan(snap)
-		planDur := time.Since(start)
+		planDur := since(start)
 
 		m.mu.Lock()
 		m.adm.plan.Observe(planDur)
@@ -155,9 +154,9 @@ func (m *Manager) allocateUnderLock(co callOpts, plan planFunc, mut Mutation, fa
 	if a, done, err := m.idemAllocLocked(co.idemKey); done {
 		return a, err
 	}
-	start := time.Now()
+	start := now()
 	p, contribs, err := plan(m.led)
-	m.adm.plan.Observe(time.Since(start))
+	m.adm.plan.Observe(since(start))
 	if err != nil {
 		return nil, err
 	}

@@ -231,12 +231,12 @@ func (m *Manager) RepairJob(id JobID) (RepairResult, error) {
 	if !ok {
 		return RepairResult{}, fmt.Errorf("%w: %d", ErrUnknownJob, id)
 	}
-	start := time.Now()
+	start := now()
 	res, err := m.repairLocked(a)
 	if err != nil {
 		return RepairResult{}, err
 	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = since(start)
 	m.fstats.repairLatency.Observe(res.Elapsed)
 	return res, nil
 }
@@ -249,12 +249,12 @@ func (m *Manager) RepairAll() ([]RepairResult, error) {
 	defer m.mu.Unlock()
 	var out []RepairResult
 	for _, id := range m.affectedLocked() {
-		start := time.Now()
+		start := now()
 		res, err := m.repairLocked(m.jobs[id])
 		if err != nil {
 			return out, err
 		}
-		res.Elapsed = time.Since(start)
+		res.Elapsed = since(start)
 		m.fstats.repairLatency.Observe(res.Elapsed)
 		out = append(out, res)
 	}

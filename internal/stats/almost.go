@@ -1,0 +1,20 @@
+package stats
+
+import "math"
+
+// AlmostEqual reports whether a and b agree to within tol, using an
+// absolute test near zero and a relative test elsewhere. It is the
+// approved comparison for float64 equality: direct == on computed
+// bandwidth values is flagged by the floatcmp analyzer because the
+// Gaussian aggregation (Eq. 2) and DP accumulation round differently
+// depending on evaluation order.
+func AlmostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if a == 0 || b == 0 || diff < tol {
+		return diff < tol
+	}
+	return diff/math.Max(math.Abs(a), math.Abs(b)) < tol
+}

@@ -1,0 +1,13 @@
+//go:build !invariants
+
+package wal
+
+// invariantsEnabled gates runtime assertions that are too hot for
+// production builds; see invariants_on.go.
+const invariantsEnabled = false
+
+// batchExtra is empty outside -tags invariants builds.
+type batchExtra struct{}
+
+func (b *groupBatch) noteStaged(payload []byte) {}
+func (b *groupBatch) assertOrder()              {}

@@ -79,6 +79,8 @@ type groupBatch struct {
 	led  bool
 	done chan struct{}
 	err  error // set before done is closed
+
+	batchExtra // per-frame staging record, only under -tags invariants
 }
 
 // GroupCommitStats reports the journal's group-commit behavior: how many
@@ -411,6 +413,7 @@ func (j *Journal) StageCommit(mut core.Mutation) (func() error, error) {
 		j.batch = b
 	}
 	b.buf = appendFrame(b.buf, payload)
+	b.noteStaged(payload)
 	b.n++
 	j.appended++
 	j.mu.Unlock()
@@ -471,6 +474,7 @@ func (j *Journal) flushBatch(b *groupBatch) {
 	j.batchSizes.Observe(int64(b.n))
 	j.mu.Unlock()
 
+	b.assertOrder()
 	switch {
 	case err != nil:
 		// A previous batch poisoned the journal; do not write over the

@@ -1,15 +1,42 @@
 #!/usr/bin/env bash
-# check.sh — the repo's verification gate: vet, build, race-enabled tests.
+# check.sh — the repo's verification gate: vet, project lint (svclint),
+# build, race-enabled tests, and a race storm with runtime invariant
+# assertions compiled in.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> svclint ./... (project invariant analyzers)"
+go run ./cmd/svclint ./...
+
+# Optional external linters: used when the toolchain is present, never
+# a hard dependency of the gate (offline/container builds lack them).
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "==> staticcheck ./..."
+  staticcheck ./...
+else
+  echo "==> staticcheck not installed; skipping"
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+  echo "==> govulncheck ./..."
+  govulncheck ./...
+else
+  echo "==> govulncheck not installed; skipping"
+fi
+
 echo "==> go build ./..."
 go build ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+# The storm test under -tags invariants additionally asserts Eq. 4
+# occupancy after every commit and staging-order == log-order in the
+# WAL's group commit (see docs/INVARIANTS.md).
+echo "==> go test -race -tags invariants (storm + wal)"
+go test -race -tags invariants -run 'TestOptimisticStormInvariants' ./internal/core/
+go test -race -tags invariants ./internal/wal/
 
 echo "OK"
