@@ -103,8 +103,11 @@ func newDaemon(cfg config) (*daemon, error) {
 		return nil, fmt.Errorf("unknown policy %q", cfg.policy)
 	}
 	mgrOpts := []core.ManagerOption{policyOpt}
+	batch := false
 	switch cfg.admission {
 	case "", "optimistic": // plan outside the lock, revalidate, commit
+	case "batch": // optimistic + coalesce concurrent requests into batches
+		batch = true
 	case "locked":
 		mgrOpts = append(mgrOpts, core.WithLockedAdmission())
 	default:
@@ -128,6 +131,9 @@ func newDaemon(cfg config) (*daemon, error) {
 	}
 
 	d.api = httpapi.NewServer(d.mgr)
+	if batch {
+		d.api.SetBatcher(core.NewBatcher(d.mgr, 0))
+	}
 	if d.journal != nil {
 		j := d.journal
 		d.api.SetWALStatus(func() httpapi.WALStatus {
@@ -217,7 +223,7 @@ func run(args []string) error {
 	fs.StringVar(&cfg.stateDir, "state-dir", "", "directory for the write-ahead log and snapshots (empty: in-memory only)")
 	fs.IntVar(&cfg.checkpointEvery, "checkpoint-every", 4096, "journal records between snapshots")
 	fs.BoolVar(&cfg.noSync, "no-sync", false, "skip fsync on journal appends (faster, loses tail on power failure)")
-	fs.StringVar(&cfg.admission, "admission", "optimistic", "admission pipeline: optimistic (plan outside the lock) | locked (serialized)")
+	fs.StringVar(&cfg.admission, "admission", "optimistic", "admission pipeline: optimistic (plan outside the lock) | batch (optimistic + coalesced batch planning) | locked (serialized)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

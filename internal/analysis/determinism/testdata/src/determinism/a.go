@@ -103,3 +103,27 @@ func BadStream(m map[string]int, ch chan string) {
 		ch <- k // want `channel send inside map iteration publishes map order`
 	}
 }
+
+// --- map-order: cache eviction victim selection ---
+
+// negative: FIFO insertion-order eviction — victims come from a slice,
+// never from map iteration order.
+
+func EvictFIFO(cache map[string]int, fifo []string) []string {
+	delete(cache, fifo[0])
+	return fifo[1:]
+}
+
+// positive: collecting eviction victims by ranging the cache map bakes
+// nondeterministic map order into which entries die.
+
+func BadEvict(cache map[string]int, n int) []string {
+	victims := []string{}
+	for k := range cache {
+		victims = append(victims, k) // want `append to victims inside map iteration without a later sort`
+		if len(victims) == n {
+			break
+		}
+	}
+	return victims
+}

@@ -132,3 +132,35 @@ func (m *Manager) BadCommit(mut *Mutation) error {
 	snap := m.snapshot()
 	return commit(snap, mut) // want `shared snapshot snap passed to commit`
 }
+
+// --- read-only cached DP tables (plan cache) ---
+
+type rec struct {
+	ver    uint64
+	filled bool
+}
+
+type entry struct {
+	recs []rec
+}
+
+func (e *entry) cachedRecords() []rec { return e.recs }
+
+// negative: the selection scan only reads the cached table.
+
+func (e *entry) Best() int {
+	recs := e.cachedRecords()
+	for i := range recs {
+		if recs[i].filled {
+			return i
+		}
+	}
+	return -1
+}
+
+// positive: writing through the cached view bypasses the fill path.
+
+func (e *entry) BadFill(v int) {
+	recs := e.cachedRecords()
+	recs[v].filled = true // want `write through shared snapshot recs`
+}

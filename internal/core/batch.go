@@ -1,0 +1,314 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Batch admission: drain K queued requests, plan them all against ONE
+// ledger snapshot (an overlay clone that absorbs each accepted plan, so
+// later items see earlier ones), revalidate and apply them under a
+// single write-lock hold, and stage their journal records as one
+// contiguous WAL group — one write+fsync for the whole batch. The plan
+// cache makes the overlay planning cheap: items sharing a demand shape
+// reuse the same DP tables, and each in-overlay commit invalidates only
+// the O(depth) subtree versions on its placement's paths.
+//
+// Semantics match the serialized pipeline item by item (the batch
+// differential test replays both into identical journals): items are
+// planned and applied in slice order; an item the overlay rejects, or
+// whose revalidation against the live ledger fails, is retried through
+// the normal single-admission pipeline after the batch commits, so its
+// rejection — if it still rejects — is authoritative against current
+// state, exactly like a lone AllocateHomog call.
+
+// BatchRequest is one request of a batch admission. Exactly one of
+// Homog or Hetero must be set. Idempotency keys are not supported on
+// the batch path; route keyed requests through AllocateHomog or
+// AllocateHetero.
+type BatchRequest struct {
+	Homog  *Homogeneous
+	Hetero *Heterogeneous
+}
+
+// BatchResult is the outcome of one batch item: the allocation, or the
+// error that rejected it.
+type BatchResult struct {
+	Alloc *Allocation
+	Err   error
+}
+
+// batchItem is one accepted plan moving toward commit.
+type batchItem struct {
+	idx      int
+	p        Placement
+	contribs []linkDemand
+	wantVMs  int
+	mut      Mutation
+}
+
+// AllocateBatch admits a group of requests as one planning and commit
+// batch. Results are positional. In locked-admission mode (and for
+// single-item batches) it degenerates to the serial pipeline.
+func (m *Manager) AllocateBatch(reqs []BatchRequest) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if m.lockedAdmission || len(reqs) == 1 {
+		for i, r := range reqs {
+			out[i].Alloc, out[i].Err = m.allocateSingle(r)
+		}
+		return out
+	}
+
+	// Plan every item against one snapshot overlay, outside the lock.
+	// Accepted plans are committed to the overlay so later items plan
+	// around them; the overlay's subtree-version bumps keep the shared
+	// plan cache exact across those in-batch commits.
+	snap, _ := m.snapshotVer()
+	work := snap.Clone()
+	var (
+		items []batchItem
+		retry []int
+	)
+	start := now()
+	for i := range reqs {
+		it, err := m.planBatchItem(work, i, reqs[i])
+		if err != nil {
+			if errors.Is(err, ErrNoCapacity) {
+				// The overlay holds the snapshot plus this batch's earlier
+				// items; a rejection against it is not authoritative for
+				// live state. Retry through the single pipeline below.
+				retry = append(retry, i)
+			} else {
+				out[i] = BatchResult{Err: err}
+			}
+			continue
+		}
+		commit(work, &it.p, it.contribs)
+		items = append(items, it)
+	}
+	planDur := since(start)
+
+	// Revalidate against the live ledger, stage the journal records as
+	// one group, and apply — all under a single lock hold.
+	m.mu.Lock()
+	m.adm.plan.Observe(planDur)
+	accepted := items[:0]
+	for i := range items {
+		it := items[i]
+		if verr := ValidatePlacement(m.led, it.contribs, &it.p, it.wantVMs); verr != nil {
+			m.adm.conflicts++
+			retry = append(retry, it.idx)
+			continue
+		}
+		accepted = append(accepted, it)
+	}
+	var waits []batchWait
+	if bj, ok := m.journal.(BatchJournal); ok && len(accepted) > 0 {
+		waits = m.admitBatchStagedLocked(bj, accepted, out)
+	} else {
+		for i := range accepted {
+			it := &accepted[i]
+			it.mut.Placement = &it.p
+			it.mut.Contribs = exportContribs(it.contribs)
+			a, wait, err := m.admitStagedLocked(it.mut)
+			if err != nil {
+				out[it.idx] = BatchResult{Err: err}
+				continue
+			}
+			m.adm.revalidated++
+			out[it.idx] = BatchResult{Alloc: a}
+			waits = append(waits, batchWait{idxs: []int{it.idx}, wait: wait})
+		}
+	}
+	m.adm.batch.Observe(int64(len(accepted)))
+	m.mu.Unlock()
+
+	for _, bw := range waits {
+		if err := bw.wait(); err != nil {
+			// The mutations ARE applied in memory but durability failed and
+			// the journal is poisoned; report it like the single path does.
+			for _, idx := range bw.idxs {
+				out[idx] = BatchResult{Err: err}
+			}
+		}
+	}
+
+	// Items the overlay or revalidation turned away get a fresh, fully
+	// authoritative attempt against post-batch state.
+	for _, idx := range retry {
+		out[idx].Alloc, out[idx].Err = m.allocateSingle(reqs[idx])
+	}
+	return out
+}
+
+// batchWait maps one durability wait to the result slots it covers.
+type batchWait struct {
+	idxs []int
+	wait func() error
+}
+
+// admitBatchStagedLocked stages every accepted item as one contiguous
+// journal group (reserving sequential job IDs up front, since staging
+// precedes apply) and applies them in order. Results land in out.
+func (m *Manager) admitBatchStagedLocked(bj BatchJournal, accepted []batchItem, out []BatchResult) []batchWait {
+	muts := make([]Mutation, len(accepted))
+	idxs := make([]int, len(accepted))
+	for k := range accepted {
+		it := &accepted[k]
+		it.mut.Placement = &it.p
+		it.mut.Contribs = exportContribs(it.contribs)
+		it.mut.Job = m.nextID + JobID(k+1)
+		muts[k] = it.mut
+		idxs[k] = it.idx
+	}
+	wait, err := bj.StageCommitBatch(muts)
+	if err != nil {
+		werr := fmt.Errorf("%w: %v", ErrJournal, err)
+		for _, idx := range idxs {
+			out[idx] = BatchResult{Err: werr}
+		}
+		return nil
+	}
+	for k := range muts {
+		if aerr := m.applyLocked(muts[k]); aerr != nil {
+			out[idxs[k]] = BatchResult{Err: aerr}
+			continue
+		}
+		m.adm.revalidated++
+		out[idxs[k]] = BatchResult{Alloc: m.jobs[muts[k].Job]}
+	}
+	return []batchWait{{idxs: idxs, wait: func() error {
+		if werr := wait(); werr != nil {
+			return fmt.Errorf("%w: %v", ErrJournal, werr)
+		}
+		return nil
+	}}}
+}
+
+// planBatchItem plans one batch item against the overlay using the plan
+// cache, returning the item ready for revalidation.
+func (m *Manager) planBatchItem(led *Ledger, idx int, req BatchRequest) (batchItem, error) {
+	switch {
+	case req.Homog != nil:
+		r := *req.Homog
+		p, contribs, err := m.plans.allocateHomog(led, r, m.policy)
+		if err != nil {
+			return batchItem{}, err
+		}
+		return batchItem{idx: idx, p: p, contribs: contribs, wantVMs: r.N,
+			mut: Mutation{Op: OpAlloc, Homog: &r}}, nil
+	case req.Hetero != nil:
+		r := *req.Hetero
+		var (
+			p        Placement
+			contribs []linkDemand
+			err      error
+		)
+		switch m.hetero {
+		case HeteroExact:
+			p, contribs, err = AllocateHeteroExact(led, r)
+		case HeteroFirstFit:
+			p, contribs, err = AllocateFirstFit(led, r)
+		default:
+			p, contribs, err = m.plans.allocateHeteroSubstring(led, r, m.policy)
+		}
+		if err != nil {
+			return batchItem{}, err
+		}
+		return batchItem{idx: idx, p: p, contribs: contribs, wantVMs: r.N(),
+			mut: Mutation{Op: OpAlloc, Hetero: &r}}, nil
+	default:
+		return batchItem{}, fmt.Errorf("%w: batch request must set Homog or Hetero", ErrBadRequest)
+	}
+}
+
+// allocateSingle routes one batch item through the normal single-request
+// pipeline.
+func (m *Manager) allocateSingle(req BatchRequest) (*Allocation, error) {
+	switch {
+	case req.Homog != nil:
+		return m.AllocateHomog(*req.Homog)
+	case req.Hetero != nil:
+		return m.AllocateHetero(*req.Hetero)
+	default:
+		return nil, fmt.Errorf("%w: batch request must set Homog or Hetero", ErrBadRequest)
+	}
+}
+
+// defaultMaxBatch bounds how many queued requests one Batcher drain
+// plans together.
+const defaultMaxBatch = 16
+
+// Batcher queues concurrent admission requests and drains them through
+// AllocateBatch in arrival order: callers block until their batch
+// commits. Batching is purely opportunistic — the drain goroutine takes
+// whatever is queued when it loops, so a lone request is planned
+// immediately (a batch of one) and bursts coalesce without any timer.
+type Batcher struct {
+	m        *Manager
+	maxBatch int
+
+	mu       sync.Mutex
+	queue    []batchCall
+	draining bool
+}
+
+type batchCall struct {
+	req  BatchRequest
+	done chan BatchResult
+}
+
+// NewBatcher returns a batcher over the manager. maxBatch bounds one
+// drain's group size; maxBatch < 1 selects the default.
+func NewBatcher(m *Manager, maxBatch int) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = defaultMaxBatch
+	}
+	return &Batcher{m: m, maxBatch: maxBatch}
+}
+
+// Allocate enqueues one request and blocks until its batch commits,
+// returning this item's outcome.
+func (b *Batcher) Allocate(req BatchRequest) (*Allocation, error) {
+	done := make(chan BatchResult, 1)
+	b.mu.Lock()
+	b.queue = append(b.queue, batchCall{req: req, done: done})
+	if !b.draining {
+		b.draining = true
+		go b.drain()
+	}
+	b.mu.Unlock()
+	r := <-done
+	return r.Alloc, r.Err
+}
+
+// drain repeatedly takes up to maxBatch queued calls and plans them as
+// one batch, exiting when the queue empties.
+func (b *Batcher) drain() {
+	for {
+		b.mu.Lock()
+		n := min(len(b.queue), b.maxBatch)
+		if n == 0 {
+			b.draining = false
+			b.mu.Unlock()
+			return
+		}
+		calls := make([]batchCall, n)
+		copy(calls, b.queue[:n])
+		b.queue = append(b.queue[:0], b.queue[n:]...)
+		b.mu.Unlock()
+
+		reqs := make([]BatchRequest, n)
+		for i, c := range calls {
+			reqs[i] = c.req
+		}
+		results := b.m.AllocateBatch(reqs)
+		for i, c := range calls {
+			c.done <- results[i]
+		}
+	}
+}

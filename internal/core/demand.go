@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sync"
 
 	"repro/internal/stats"
@@ -33,6 +34,29 @@ func CrossingSets(inside, outside stats.Normal) stats.Normal {
 
 func isZero(n stats.Normal) bool { return n.Mu == 0 && n.Sigma == 0 }
 
+// canonDemand canonicalizes a per-VM demand for use in memo keys: negative
+// moments are clamped to zero and NaNs collapse to the zero demand. The
+// allocators only see requests that passed Validate (which rejects negative
+// and NaN moments), so canonicalization is the identity on every demand
+// that reaches a DP — but memo keys must not trust that: the moment-matched
+// hetero min path clamps negative mu at contribution time (see
+// heteroContributions), and a key built from the raw value would give two
+// equal effective demands distinct cache entries, or worse, let a NaN key
+// shadow a real one. Keys and the DP input use the same canonical value so
+// cached and cold plans stay bit-identical.
+func canonDemand(d stats.Normal) stats.Normal {
+	if math.IsNaN(d.Mu) || math.IsNaN(d.Sigma) {
+		return stats.Normal{}
+	}
+	if d.Mu < 0 {
+		d.Mu = 0
+	}
+	if d.Sigma < 0 {
+		d.Sigma = 0
+	}
+	return d
+}
+
 // crossingKey identifies a homogeneous request's full crossing-demand
 // table: the table depends only on the per-VM demand and the VM count.
 type crossingKey struct {
@@ -56,6 +80,10 @@ var (
 // repeated identical requests hit the memo and skip recomputing Clark's
 // min-of-normals formulas for every split.
 func crossingTableHomog(demand stats.Normal, n int) []stats.Normal {
+	// Key and table use the same canonical demand: a clamped key over a
+	// raw-valued table would let two demands with equal effective moments
+	// read each other's (different) tables.
+	demand = canonDemand(demand)
 	key := crossingKey{demand: demand, n: n}
 	crossingMemoMu.RLock()
 	table := crossingMemo[key]

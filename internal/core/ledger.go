@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -24,7 +25,21 @@ type Ledger struct {
 	links  []linkState      // indexed by NodeID; the root entry is unused
 	used   []int            // used VM slots, indexed by NodeID (machines only)
 	faults *topology.Faults // failed machines and links (failure injection)
+
+	// subVer[v] is the subtree version of node v: it changes whenever any
+	// reservation or slot state inside v's subtree (including v's own
+	// uplink) changes. Ticks come from a process-global counter, so equal
+	// subVer values across any two ledgers of the same lineage — the live
+	// ledger, its snapshots, batch overlays — imply bit-identical subtree
+	// state. The plan cache keys DP records on it; see plancache.go.
+	// Fault state is deliberately NOT folded in: reachability depends on
+	// links above v, so caches track Faults().Epoch() separately.
+	subVer []uint64
 }
+
+// subVerTick issues globally unique subtree-version ticks. Monotonic per
+// process; never reset, so clones that diverge can never alias versions.
+var subVerTick atomic.Uint64
 
 // linkState is the reservation bookkeeping of one physical link, following
 // the paper's decomposition: deterministic reservations D_L plus the
@@ -51,6 +66,7 @@ func NewLedger(topo *topology.Topology, eps float64) (*Ledger, error) {
 		links:  make([]linkState, topo.Len()),
 		used:   make([]int, topo.Len()),
 		faults: topology.NewFaults(topo),
+		subVer: make([]uint64, topo.Len()),
 	}
 	for _, id := range topo.Links() {
 		l.links[id].cap = topo.LinkCap(id)
@@ -69,9 +85,11 @@ func (l *Ledger) Clone() *Ledger {
 		links:  make([]linkState, len(l.links)),
 		used:   make([]int, len(l.used)),
 		faults: l.faults.Clone(),
+		subVer: make([]uint64, len(l.subVer)),
 	}
 	copy(c.links, l.links)
 	copy(c.used, l.used)
+	copy(c.subVer, l.subVer)
 	return c
 }
 
@@ -108,12 +126,35 @@ func (l *Ledger) occupancy(id topology.LinkID, addDet, addMu, addVar float64) fl
 	return (s.det + addDet + s.sumMu + addMu + l.c*sqrtNonNeg(s.sumVar+addVar)) / s.cap
 }
 
+// bumpSubtree stamps a fresh global tick on node v and every ancestor up
+// to the root: the DP-visible state of those subtrees just changed. Link
+// state of link id L lives on node L's uplink, which is inside the
+// subtree of L and of every ancestor, so mutators bump from the node the
+// change is anchored at.
+func (l *Ledger) bumpSubtree(v topology.NodeID) {
+	t := subVerTick.Add(1)
+	for {
+		l.subVer[v] = t
+		p := l.topo.Node(v).Parent
+		if p == topology.None {
+			return
+		}
+		v = p
+	}
+}
+
+// SubtreeVersion returns the subtree version of node v. Equal values —
+// across the ledger's whole clone lineage — certify that no reservation
+// or slot state inside v's subtree changed in between.
+func (l *Ledger) SubtreeVersion(v topology.NodeID) uint64 { return l.subVer[v] }
+
 // AddStochastic records a stochastic crossing demand on the link.
 func (l *Ledger) AddStochastic(id topology.LinkID, d stats.Normal) {
 	s := &l.links[id]
 	s.sumMu += d.Mu
 	s.sumVar += d.Var()
 	s.stochastic++
+	l.bumpSubtree(id)
 }
 
 // RemoveStochastic removes a previously added stochastic crossing demand.
@@ -123,11 +164,13 @@ func (l *Ledger) RemoveStochastic(id topology.LinkID, d stats.Normal) {
 	s.sumVar -= d.Var()
 	s.stochastic--
 	clampState(s)
+	l.bumpSubtree(id)
 }
 
 // AddDet records a deterministic reservation of b on the link.
 func (l *Ledger) AddDet(id topology.LinkID, b float64) {
 	l.links[id].det += b
+	l.bumpSubtree(id)
 }
 
 // RemoveDet removes a previously added deterministic reservation.
@@ -135,6 +178,7 @@ func (l *Ledger) RemoveDet(id topology.LinkID, b float64) {
 	s := &l.links[id]
 	s.det -= b
 	clampState(s)
+	l.bumpSubtree(id)
 }
 
 // clampState zeroes tiny negative residues left by floating-point
@@ -264,6 +308,7 @@ func (l *Ledger) UseSlots(m topology.NodeID, k int) {
 		panic(fmt.Sprintf("core: UseSlots(%d, %d) with %d free", m, k, l.FreeSlots(m)))
 	}
 	l.used[m] += k
+	l.bumpSubtree(m)
 }
 
 // ReleaseSlots returns k slots on the machine. It panics if more slots are
@@ -273,6 +318,7 @@ func (l *Ledger) ReleaseSlots(m topology.NodeID, k int) {
 		panic(fmt.Sprintf("core: ReleaseSlots(%d, %d) with %d used", m, k, l.used[m]))
 	}
 	l.used[m] -= k
+	l.bumpSubtree(m)
 }
 
 // TotalFreeSlots returns the number of empty VM slots in the datacenter.

@@ -89,6 +89,12 @@ type Manager struct {
 	snapMu  sync.Mutex
 	snap    *Ledger
 	snapVer uint64
+
+	// plans memoizes per-subtree DP tables across admissions, keyed by
+	// (demand params, N, policy) and validated per vertex against the
+	// ledger's subtree versions (see plancache.go). Immutable pointer,
+	// internally synchronized.
+	plans *planCache
 }
 
 // ManagerOption configures a Manager.
@@ -138,6 +144,7 @@ func NewManager(topo *topology.Topology, eps float64, opts ...ManagerOption) (*M
 		jobs:     make(map[JobID]*Allocation),
 		degraded: make(map[JobID]float64),
 		idem:     make(map[string]idemEntry),
+		plans:    newPlanCache(),
 	}
 	for _, o := range opts {
 		o.apply(m)
@@ -154,7 +161,7 @@ func (m *Manager) AllocateHomog(req Homogeneous, opts ...CallOption) (*Allocatio
 	co := evalCallOpts(opts)
 	r := req
 	plan := func(led *Ledger) (Placement, []linkDemand, error) {
-		return AllocateHomog(led, req, m.policy)
+		return m.plans.allocateHomog(led, req, m.policy)
 	}
 	return m.allocate(co, plan, Mutation{Op: OpAlloc, Homog: &r, IdemKey: co.idemKey}, req.N)
 }
@@ -171,7 +178,7 @@ func (m *Manager) AllocateHetero(req Heterogeneous, opts ...CallOption) (*Alloca
 		case HeteroFirstFit:
 			return AllocateFirstFit(led, req)
 		default:
-			return AllocateHeteroSubstring(led, req, m.policy)
+			return m.plans.allocateHeteroSubstring(led, req, m.policy)
 		}
 	}
 	return m.allocate(co, plan, Mutation{Op: OpAlloc, Hetero: &r, IdemKey: co.idemKey}, req.N())
@@ -240,7 +247,7 @@ func (m *Manager) snapshotVer() (*Ledger, uint64) {
 // be admitted, without committing anything — a capacity-planning dry run.
 // It runs on a ledger snapshot, concurrently with admissions.
 func (m *Manager) CanAllocateHomog(req Homogeneous) bool {
-	_, _, err := AllocateHomog(m.snapshot(), req, m.policy)
+	_, _, err := m.plans.allocateHomog(m.snapshot(), req, m.policy)
 	return err == nil
 }
 
@@ -256,7 +263,7 @@ func (m *Manager) CanAllocateHetero(req Heterogeneous) bool {
 	case HeteroFirstFit:
 		_, _, err = AllocateFirstFit(led, req)
 	default:
-		_, _, err = AllocateHeteroSubstring(led, req, m.policy)
+		_, _, err = m.plans.allocateHeteroSubstring(led, req, m.policy)
 	}
 	return err == nil
 }

@@ -35,6 +35,20 @@ type AdmissionStats struct {
 	Fallbacks   int64                  `json:"fallbacks"`
 	Locked      int64                  `json:"locked"`
 	Plan        metrics.LatencySummary `json:"plan"`
+
+	// Plan-cache counters (see plancache.go): hits and misses count
+	// plans that found / had to build a DP table entry; invalidations
+	// count stale vertex records recomputed on existing entries (the
+	// commit-path touched set plus fault-epoch drops); evictions count
+	// entries dropped by the FIFO bound.
+	PlanCacheHits          int64 `json:"planCacheHits"`
+	PlanCacheMisses        int64 `json:"planCacheMisses"`
+	PlanCacheInvalidations int64 `json:"planCacheInvalidations"`
+	PlanCacheEvictions     int64 `json:"planCacheEvictions"`
+
+	// Batch is the distribution of batch-planned admission group sizes
+	// (AllocateBatch: Count batches, Sum requests planned in them).
+	Batch metrics.IntSummary `json:"batch"`
 }
 
 // admissionCounters is the manager's mutable form of AdmissionStats
@@ -47,13 +61,13 @@ type admissionCounters struct {
 	fallbacks   int64
 	locked      int64
 	plan        metrics.LatencySummary
+	batch       metrics.IntSummary
 }
 
 // AdmissionStats returns a snapshot of the admission pipeline counters.
 func (m *Manager) AdmissionStats() AdmissionStats {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return AdmissionStats{
+	out := AdmissionStats{
 		FastPath:    m.adm.fastPath,
 		Revalidated: m.adm.revalidated,
 		Conflicts:   m.adm.conflicts,
@@ -61,7 +75,15 @@ func (m *Manager) AdmissionStats() AdmissionStats {
 		Fallbacks:   m.adm.fallbacks,
 		Locked:      m.adm.locked,
 		Plan:        m.adm.plan,
+		Batch:       m.adm.batch,
 	}
+	m.mu.Unlock()
+	pc := m.plans.snapshot()
+	out.PlanCacheHits = pc.Hits
+	out.PlanCacheMisses = pc.Misses
+	out.PlanCacheInvalidations = pc.Invalidations
+	out.PlanCacheEvictions = pc.Evictions
+	return out
 }
 
 // planFunc runs one allocation algorithm against a ledger — live or

@@ -1,0 +1,470 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestPlanCacheEquivalenceHomog fuzzes the memoized homogeneous DP
+// against the cold one: across random topologies and random
+// commit/rollback/background-demand/fault/slot interleavings, every
+// cached plan must be bit-identical to a fresh DP run on the same
+// ledger state — same feasibility, same placement entries, same link
+// contributions.
+func TestPlanCacheEquivalenceHomog(t *testing.T) {
+	r := stats.NewRand(4242)
+	hits := 0
+	for trial := 0; trial < 40; trial++ {
+		tp := randomTopology(r)
+		led, err := NewLedger(tp, 0.05)
+		if err != nil {
+			t.Fatalf("trial %d: NewLedger: %v", trial, err)
+		}
+		cache := newPlanCache()
+		// A small demand pool keyed repeatedly, so most plans hit warm
+		// entries and exercise the incremental recompute path.
+		demands := make([]stats.Normal, 3)
+		for i := range demands {
+			demands[i] = stats.Normal{Mu: r.UniformRange(1, 12), Sigma: r.UniformRange(0, 5)}
+		}
+		type liveJob struct {
+			p        Placement
+			contribs []linkDemand
+		}
+		var jobs []liveJob
+		for step := 0; step < 40; step++ {
+			policy := MinMaxOccupancy
+			if step%5 == 4 {
+				policy = FirstFeasible
+			}
+			req := Homogeneous{
+				N:      r.UniformInt(1, min(6, tp.TotalSlots())),
+				Demand: demands[r.IntN(len(demands))],
+			}
+			p, contribs, err := cache.allocateHomog(led, req, policy)
+			fp, fcontribs, ferr := AllocateHomogWorkers(led, req, policy, 1)
+			if (err == nil) != (ferr == nil) {
+				t.Fatalf("trial %d step %d: cached err = %v, cold err = %v", trial, step, err, ferr)
+			}
+			if err == nil {
+				if !reflect.DeepEqual(p.Entries, fp.Entries) {
+					t.Fatalf("trial %d step %d: cached placement %v != cold %v", trial, step, &p, &fp)
+				}
+				if !reflect.DeepEqual(contribs, fcontribs) {
+					t.Fatalf("trial %d step %d: cached contribs differ from cold", trial, step)
+				}
+			}
+			switch r.IntN(6) {
+			case 0: // commit the plan: invalidates the placement's paths
+				if err == nil {
+					commit(led, &p, contribs)
+					jobs = append(jobs, liveJob{p, contribs})
+				}
+			case 1: // roll a previous commit back
+				if len(jobs) > 0 {
+					idx := r.IntN(len(jobs))
+					j := jobs[idx]
+					rollback(led, &j.p, j.contribs)
+					jobs = append(jobs[:idx], jobs[idx+1:]...)
+				}
+			case 2: // background deterministic demand on a random link
+				links := tp.Links()
+				link := links[r.IntN(len(links))]
+				led.AddDet(link, r.UniformRange(0, 0.3*tp.LinkCap(link)))
+			case 3: // fault churn: epoch bump must drop the whole table
+				machines := tp.Machines()
+				m := machines[r.IntN(len(machines))]
+				led.Faults().FailMachine(m)
+				if r.Float64() < 0.7 {
+					led.Faults().RestoreMachine(m)
+				}
+			case 4: // raw slot churn on a random machine
+				machines := tp.Machines()
+				m := machines[r.IntN(len(machines))]
+				if led.FreeSlots(m) > 0 {
+					led.UseSlots(m, 1)
+				}
+			default:
+				// No mutation: the next plan for this shape is a pure hit.
+			}
+		}
+		st := cache.snapshot()
+		hits += int(st.Hits)
+		if st.Hits+st.Misses == 0 {
+			t.Fatalf("trial %d: no plans counted", trial)
+		}
+	}
+	if hits == 0 {
+		t.Fatal("the interleavings never produced a cache hit; the test is not exercising reuse")
+	}
+}
+
+// TestPlanCacheEquivalenceHetero is the heterogeneous-substring twin of
+// the homogeneous equivalence fuzz.
+func TestPlanCacheEquivalenceHetero(t *testing.T) {
+	r := stats.NewRand(5353)
+	hits := 0
+	for trial := 0; trial < 30; trial++ {
+		tp := randomTopology(r)
+		led, err := NewLedger(tp, 0.05)
+		if err != nil {
+			t.Fatalf("trial %d: NewLedger: %v", trial, err)
+		}
+		cache := newPlanCache()
+		// A fixed request pool: repeats share percentile-sorted tables.
+		reqs := make([]Heterogeneous, 3)
+		for i := range reqs {
+			reqs[i] = randHetero(r, r.UniformInt(1, min(5, tp.TotalSlots())), 1, 10)
+		}
+		type liveJob struct {
+			p        Placement
+			contribs []linkDemand
+		}
+		var jobs []liveJob
+		for step := 0; step < 30; step++ {
+			policy := MinMaxOccupancy
+			if step%5 == 4 {
+				policy = FirstFeasible
+			}
+			req := reqs[r.IntN(len(reqs))]
+			p, contribs, err := cache.allocateHeteroSubstring(led, req, policy)
+			fp, fcontribs, ferr := AllocateHeteroSubstringWorkers(led, req, policy, 1)
+			if (err == nil) != (ferr == nil) {
+				t.Fatalf("trial %d step %d: cached err = %v, cold err = %v", trial, step, err, ferr)
+			}
+			if err == nil {
+				if !reflect.DeepEqual(p.Entries, fp.Entries) {
+					t.Fatalf("trial %d step %d: cached placement %v != cold %v", trial, step, &p, &fp)
+				}
+				if !reflect.DeepEqual(contribs, fcontribs) {
+					t.Fatalf("trial %d step %d: cached contribs differ from cold", trial, step)
+				}
+			}
+			switch r.IntN(5) {
+			case 0:
+				if err == nil {
+					commit(led, &p, contribs)
+					jobs = append(jobs, liveJob{p, contribs})
+				}
+			case 1:
+				if len(jobs) > 0 {
+					idx := r.IntN(len(jobs))
+					j := jobs[idx]
+					rollback(led, &j.p, j.contribs)
+					jobs = append(jobs[:idx], jobs[idx+1:]...)
+				}
+			case 2:
+				links := tp.Links()
+				link := links[r.IntN(len(links))]
+				led.AddStochastic(link, stats.Normal{Mu: r.UniformRange(0, 6), Sigma: r.UniformRange(0, 3)})
+			case 3:
+				machines := tp.Machines()
+				m := machines[r.IntN(len(machines))]
+				led.Faults().FailMachine(m)
+				if r.Float64() < 0.7 {
+					led.Faults().RestoreMachine(m)
+				}
+			default:
+			}
+		}
+		hits += int(cache.snapshot().Hits)
+	}
+	if hits == 0 {
+		t.Fatal("the interleavings never produced a cache hit")
+	}
+}
+
+// TestPlanCacheCounters pins the counter semantics: first plan of a
+// shape is a miss, an unchanged replan is a hit with no invalidations,
+// a commit makes the next hit recompute (invalidations move), and
+// overflowing the FIFO bound evicts.
+func TestPlanCacheCounters(t *testing.T) {
+	led, err := NewLedger(mustTopo(smallThreeTier()), 0.05)
+	if err != nil {
+		t.Fatalf("NewLedger: %v", err)
+	}
+	c := newPlanCache()
+	req := Homogeneous{N: 2, Demand: stats.Normal{Mu: 5, Sigma: 2}}
+
+	p1, contribs, err := c.allocateHomog(led, req, MinMaxOccupancy)
+	if err != nil {
+		t.Fatalf("first plan: %v", err)
+	}
+	if st := c.snapshot(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("after first plan: %+v, want 1 miss 0 hits", st)
+	}
+
+	p2, _, err := c.allocateHomog(led, req, MinMaxOccupancy)
+	if err != nil {
+		t.Fatalf("replan: %v", err)
+	}
+	if !reflect.DeepEqual(p1.Entries, p2.Entries) {
+		t.Fatalf("unchanged replan differs: %v vs %v", &p1, &p2)
+	}
+	if st := c.snapshot(); st.Hits != 1 || st.Invalidations != 0 {
+		t.Fatalf("after unchanged replan: %+v, want 1 hit 0 invalidations", st)
+	}
+
+	commit(led, &p1, contribs)
+	if _, _, err := c.allocateHomog(led, req, MinMaxOccupancy); err != nil {
+		t.Fatalf("post-commit plan: %v", err)
+	}
+	st := c.snapshot()
+	if st.Hits != 2 || st.Invalidations == 0 {
+		t.Fatalf("after post-commit replan: %+v, want 2 hits and >0 invalidations", st)
+	}
+	// The commit touched two machines' root paths at most; with 4
+	// machines + 2 racks + 1 root, an incremental replan must recompute
+	// strictly fewer records than the 7-vertex full fill.
+	if st.Invalidations >= int64(led.Topology().Len()) {
+		t.Fatalf("post-commit replan recomputed %d records, want < %d (incremental)",
+			st.Invalidations, led.Topology().Len())
+	}
+
+	for i := 0; i <= maxHomogPlanEntries; i++ {
+		r := Homogeneous{N: 1, Demand: stats.Normal{Mu: 1 + float64(i), Sigma: 1}}
+		if _, _, err := c.allocateHomog(led, r, MinMaxOccupancy); err != nil {
+			t.Fatalf("fill plan %d: %v", i, err)
+		}
+	}
+	if st := c.snapshot(); st.Evictions == 0 {
+		t.Fatalf("after overflowing the homog FIFO: %+v, want evictions", st)
+	}
+
+	for i := 0; i <= maxHeteroPlanEntries; i++ {
+		r := Heterogeneous{Demands: []stats.Normal{{Mu: 1 + float64(i), Sigma: 1}}}
+		if _, _, err := c.allocateHeteroSubstring(led, r, MinMaxOccupancy); err != nil {
+			t.Fatalf("hetero fill plan %d: %v", i, err)
+		}
+	}
+	if st := c.snapshot(); st.Evictions < 2 {
+		t.Fatalf("after overflowing both FIFOs: %+v, want >= 2 evictions", st)
+	}
+}
+
+// TestCanonDemand pins the memo-key canonicalization: negative moments
+// clamp to zero (matching the contribution-time clamp of the
+// moment-matched hetero min path) and NaNs collapse to the zero demand,
+// so equal effective demands always share cache entries.
+func TestCanonDemand(t *testing.T) {
+	cases := []struct{ in, want stats.Normal }{
+		{stats.Normal{Mu: 5, Sigma: 2}, stats.Normal{Mu: 5, Sigma: 2}},
+		{stats.Normal{Mu: -3, Sigma: 2}, stats.Normal{Mu: 0, Sigma: 2}},
+		{stats.Normal{Mu: 4, Sigma: -1}, stats.Normal{Mu: 4, Sigma: 0}},
+		{stats.Normal{Mu: math.NaN(), Sigma: 2}, stats.Normal{}},
+		{stats.Normal{Mu: 1, Sigma: math.NaN()}, stats.Normal{}},
+	}
+	for _, tc := range cases {
+		if got := canonDemand(tc.in); got != tc.want {
+			t.Errorf("canonDemand(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// fakeBatchJournal extends fakeJournal with the staged and batch seams,
+// recording every group size it staged.
+type fakeBatchJournal struct {
+	fakeJournal
+	batchSizes []int
+}
+
+func (f *fakeBatchJournal) StageCommit(mut Mutation) (func() error, error) {
+	if err := f.Commit(mut); err != nil {
+		return nil, err
+	}
+	return func() error { return nil }, nil
+}
+
+func (f *fakeBatchJournal) StageCommitBatch(muts []Mutation) (func() error, error) {
+	if f.vetoErr != nil {
+		return nil, f.vetoErr
+	}
+	f.batchSizes = append(f.batchSizes, len(muts))
+	f.muts = append(f.muts, muts...)
+	return func() error { return nil }, nil
+}
+
+// TestAllocateBatchDifferential replays one request sequence through
+// batched admission and through the serialized locked baseline: per-op
+// outcomes, journal mutation streams, exported states, and a journal
+// replay must all be identical — batching is a throughput optimization,
+// never a semantic change.
+func TestAllocateBatchDifferential(t *testing.T) {
+	r := stats.NewRand(9191)
+	mb := mustManager(t, mediumThreeTier(), 0.05)
+	jb := &fakeBatchJournal{}
+	mb.SetJournal(jb)
+	ms := mustManager(t, mediumThreeTier(), 0.05, WithLockedAdmission())
+	js := &fakeJournal{}
+	ms.SetJournal(js)
+
+	var live []JobID
+	for round := 0; round < 12; round++ {
+		reqs := make([]BatchRequest, 4)
+		for k := range reqs {
+			if (round+k)%2 == 0 {
+				req, err := NewHomogeneous(1+r.IntN(3), stats.Normal{
+					Mu: r.UniformRange(2, 8), Sigma: r.UniformRange(0.5, 2)})
+				if err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				reqs[k] = BatchRequest{Homog: &req}
+			} else {
+				req := randHetero(r, 1+r.IntN(3), 2, 8)
+				reqs[k] = BatchRequest{Hetero: &req}
+			}
+		}
+		res := mb.AllocateBatch(reqs)
+		var admitted []JobID
+		for i, req := range reqs {
+			var (
+				sa   *Allocation
+				serr error
+			)
+			if req.Homog != nil {
+				sa, serr = ms.AllocateHomog(*req.Homog)
+			} else {
+				sa, serr = ms.AllocateHetero(*req.Hetero)
+			}
+			if (res[i].Err == nil) != (serr == nil) {
+				t.Fatalf("round %d item %d: batch err = %v, serial err = %v", round, i, res[i].Err, serr)
+			}
+			if res[i].Err != nil {
+				if !errors.Is(res[i].Err, ErrNoCapacity) {
+					t.Fatalf("round %d item %d: %v", round, i, res[i].Err)
+				}
+				continue
+			}
+			if res[i].Alloc.ID != sa.ID {
+				t.Fatalf("round %d item %d: batch job %d, serial job %d", round, i, res[i].Alloc.ID, sa.ID)
+			}
+			if !reflect.DeepEqual(res[i].Alloc.Placement.Entries, sa.Placement.Entries) {
+				t.Fatalf("round %d item %d: batch placement %v != serial %v",
+					round, i, &res[i].Alloc.Placement, &sa.Placement)
+			}
+			admitted = append(admitted, sa.ID)
+		}
+		// Keep load bounded: release everything but this round's first
+		// admission, on both managers, so the sequence stays identical.
+		for i, id := range admitted {
+			if i == 0 {
+				live = append(live, id)
+				continue
+			}
+			if err := mb.Release(id); err != nil {
+				t.Fatalf("round %d: batch Release(%d): %v", round, id, err)
+			}
+			if err := ms.Release(id); err != nil {
+				t.Fatalf("round %d: serial Release(%d): %v", round, id, err)
+			}
+		}
+	}
+
+	// A request larger than the datacenter rejects on both sides without
+	// consuming a job ID.
+	big, err := NewHomogeneous(mb.Topology().TotalSlots()+1, stats.Normal{Mu: 1, Sigma: 0})
+	if err != nil {
+		t.Fatalf("big request: %v", err)
+	}
+	res := mb.AllocateBatch([]BatchRequest{{Homog: &big}, {Homog: &big}})
+	for i, br := range res {
+		if !errors.Is(br.Err, ErrNoCapacity) {
+			t.Fatalf("oversized batch item %d: err = %v, want ErrNoCapacity", i, br.Err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := ms.AllocateHomog(big); !errors.Is(err, ErrNoCapacity) {
+			t.Fatalf("oversized serial item %d: err = %v, want ErrNoCapacity", i, err)
+		}
+	}
+
+	if !reflect.DeepEqual(jb.muts, js.muts) {
+		t.Fatalf("journal streams diverge:\nbatch:  %d records\nserial: %d records", len(jb.muts), len(js.muts))
+	}
+	if got, want := mb.ExportState(), ms.ExportState(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("batched state differs from serialized baseline:\n got %+v\nwant %+v", got, want)
+	}
+
+	// The batch journal stream must also replay into the same state.
+	m3 := mustManager(t, mediumThreeTier(), 0.05)
+	for i, mut := range jb.muts {
+		if err := m3.Replay(mut); err != nil {
+			t.Fatalf("Replay(record %d, op %v): %v", i, mut.Op, err)
+		}
+	}
+	if got, want := m3.ExportState(), mb.ExportState(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed state differs from batched manager")
+	}
+
+	// The BatchJournal seam was actually used, with real multi-item
+	// groups, and every batch admission was counted as revalidated.
+	maxBatch := 0
+	for _, n := range jb.batchSizes {
+		if n > maxBatch {
+			maxBatch = n
+		}
+	}
+	if maxBatch < 2 {
+		t.Fatalf("batch sizes %v: want at least one multi-item staged group", jb.batchSizes)
+	}
+	adm := mb.AdmissionStats()
+	if adm.Batch.Count == 0 || adm.Batch.Max < 2 {
+		t.Fatalf("batch summary %+v: want counted batches with size >= 2", adm.Batch)
+	}
+	if adm.PlanCacheHits == 0 {
+		t.Fatalf("admission stats %+v: want plan-cache hits from repeated shapes", adm)
+	}
+}
+
+// TestBatcherCoalesces pre-loads a Batcher's queue and runs one drain:
+// the backlog must be planned as maxBatch-sized groups, every caller
+// must get its own result, and the admission summary must record the
+// groups.
+func TestBatcherCoalesces(t *testing.T) {
+	m := mustManager(t, mediumThreeTier(), 0.05)
+	b := NewBatcher(m, 8)
+	const callers = 24
+	req, err := NewHomogeneous(1, stats.Normal{Mu: 2, Sigma: 0.5})
+	if err != nil {
+		t.Fatalf("NewHomogeneous: %v", err)
+	}
+	// Stuff the queue before the drain starts, exactly the backlog shape
+	// a burst leaves behind while a previous drain holds the lock.
+	done := make([]chan BatchResult, callers)
+	b.mu.Lock()
+	for g := range done {
+		done[g] = make(chan BatchResult, 1)
+		b.queue = append(b.queue, batchCall{req: BatchRequest{Homog: &req}, done: done[g]})
+	}
+	b.draining = true
+	b.mu.Unlock()
+	go b.drain()
+
+	seen := map[JobID]bool{}
+	for g := range done {
+		res := <-done[g]
+		if res.Err != nil {
+			t.Fatalf("caller %d: %v", g, res.Err)
+		}
+		if seen[res.Alloc.ID] {
+			t.Fatalf("caller %d: job %d delivered twice", g, res.Alloc.ID)
+		}
+		seen[res.Alloc.ID] = true
+	}
+	adm := m.AdmissionStats()
+	if adm.Batch.Count != callers/8 || adm.Batch.Max != 8 {
+		t.Fatalf("batch summary %+v: want %d batches of 8", adm.Batch, callers/8)
+	}
+	if adm.Revalidated != callers {
+		t.Fatalf("revalidated = %d, want %d (every batch admission counts there)", adm.Revalidated, callers)
+	}
+
+	// The public path still works end to end for a lone caller.
+	if _, err := b.Allocate(BatchRequest{Homog: &req}); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/stats"
 	"repro/internal/topology"
 )
 
@@ -331,5 +332,76 @@ func TestStatusReportsAdmissionAndWAL(t *testing.T) {
 	}
 	if st.WAL == nil || st.WAL.Gen != 3 || st.WAL.MaxBatch != 3 || st.WAL.MeanBatch != 1.75 {
 		t.Errorf("WAL section = %+v, want the injected values", st.WAL)
+	}
+}
+
+// TestStatusReportsPlanCacheAndBatch checks the PR 6 admission fields:
+// plan-cache counters move with repeated demand shapes, batch planning
+// surfaces its group sizes, and a batcher-routed server still admits.
+func TestStatusReportsPlanCacheAndBatch(t *testing.T) {
+	client, mgr := newTestService(t)
+	ctx := context.Background()
+
+	// Two identical shapes: the first plan builds the DP table entry, the
+	// second reuses it.
+	for i := 0; i < 2; i++ {
+		if _, err := client.Allocate(ctx, AllocationRequest{N: 3, Mu: 100, Sigma: 40}); err != nil {
+			t.Fatalf("Allocate %d: %v", i, err)
+		}
+	}
+	st, err := client.Status(ctx)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	adm := st.Admission
+	if adm == nil {
+		t.Fatal("status has no admission section")
+	}
+	if adm.PlanCacheMisses < 1 || adm.PlanCacheHits < 1 {
+		t.Errorf("plan-cache counters not surfaced: %+v", adm)
+	}
+	if adm.Batches != 0 || adm.BatchedPlans != 0 {
+		t.Errorf("batch counters moved without batch admission: %+v", adm)
+	}
+
+	// One two-item batch through the core API must surface in the wire
+	// status as one group of two.
+	req, err := core.NewHomogeneous(2, stats.Normal{Mu: 100, Sigma: 40})
+	if err != nil {
+		t.Fatalf("NewHomogeneous: %v", err)
+	}
+	for _, res := range mgr.AllocateBatch([]core.BatchRequest{{Homog: &req}, {Homog: &req}}) {
+		if res.Err != nil {
+			t.Fatalf("AllocateBatch: %v", res.Err)
+		}
+	}
+	if st, err = client.Status(ctx); err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	adm = st.Admission
+	if adm.Batches != 1 || adm.BatchedPlans != 2 || adm.MeanBatch != 2 {
+		t.Errorf("batch counters = %+v, want 1 batch of 2", adm)
+	}
+
+	// A batcher-routed server admits end to end; an idempotency key takes
+	// the single path and still replays correctly.
+	api := NewServer(mgr)
+	api.SetBatcher(core.NewBatcher(mgr, 4))
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+	bclient := NewClient(srv.URL, srv.Client())
+	if _, err := bclient.Allocate(ctx, AllocationRequest{N: 2, Mu: 100, Sigma: 40}); err != nil {
+		t.Fatalf("batched Allocate: %v", err)
+	}
+	a1, err := bclient.Allocate(ctx, AllocationRequest{N: 2, Mu: 100, Sigma: 40}, WithIdempotencyKey("pr6-key"))
+	if err != nil {
+		t.Fatalf("keyed Allocate: %v", err)
+	}
+	a2, err := bclient.Allocate(ctx, AllocationRequest{N: 2, Mu: 100, Sigma: 40}, WithIdempotencyKey("pr6-key"))
+	if err != nil {
+		t.Fatalf("keyed replay: %v", err)
+	}
+	if a1.ID != a2.ID {
+		t.Errorf("idempotent replay through a batcher server returned job %d, want %d", a2.ID, a1.ID)
 	}
 }

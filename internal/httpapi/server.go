@@ -102,6 +102,19 @@ type AdmissionStatus struct {
 	Locked      int64   `json:"locked"`
 	Plans       int64   `json:"plans"`
 	MeanPlanMs  float64 `json:"meanPlanMillis"`
+
+	// Plan-cache counters: how admission planning reused memoized DP
+	// tables (see core.AdmissionStats).
+	PlanCacheHits          int64 `json:"planCacheHits"`
+	PlanCacheMisses        int64 `json:"planCacheMisses"`
+	PlanCacheInvalidations int64 `json:"planCacheInvalidations"`
+	PlanCacheEvictions     int64 `json:"planCacheEvictions"`
+
+	// Batch planning: group count, total requests planned in groups, and
+	// the mean group size (0 when batch admission is off).
+	Batches      int64   `json:"batches"`
+	BatchedPlans int64   `json:"batchedPlans"`
+	MeanBatch    float64 `json:"meanBatch"`
 }
 
 // WALStatus reports write-ahead-log activity, including group-commit
@@ -182,6 +195,7 @@ type Server struct {
 	mux       *http.ServeMux
 	draining  atomic.Bool
 	walStatus func() WALStatus
+	batcher   *core.Batcher
 }
 
 // NewServer returns a server over the manager.
@@ -203,6 +217,13 @@ func NewServer(mgr *core.Manager) *Server {
 // "wal" key of /v1/status. A closure keeps this package free of a wal
 // dependency; call before serving (the field is read without a lock).
 func (s *Server) SetWALStatus(fn func() WALStatus) { s.walStatus = fn }
+
+// SetBatcher routes allocations through batch admission: concurrent
+// POST /v1/allocations requests coalesce into shared planning and
+// commit groups. Requests carrying an idempotency key still take the
+// single-admission path (the batch path does not thread keys). Call
+// before serving; the field is read without a lock.
+func (s *Server) SetBatcher(b *core.Batcher) { s.batcher = b }
 
 // SetDraining switches the server in or out of drain mode. While
 // draining, every non-GET request is refused with 503 and a Retry-After
@@ -264,9 +285,12 @@ func (s *Server) handleAllocate(w http.ResponseWriter, req *http.Request) {
 	}
 	key := req.Header.Get(IdempotencyHeader)
 	var alloc *core.Allocation
-	if homog != nil {
+	switch {
+	case s.batcher != nil && key == "":
+		alloc, err = s.batcher.Allocate(core.BatchRequest{Homog: homog, Hetero: hetero})
+	case homog != nil:
 		alloc, err = s.mgr.AllocateHomog(*homog, core.WithIdemKey(key))
-	} else {
+	default:
 		alloc, err = s.mgr.AllocateHetero(*hetero, core.WithIdemKey(key))
 	}
 	switch {
@@ -380,6 +404,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 			Locked:      adm.Locked,
 			Plans:       adm.Plan.Count,
 			MeanPlanMs:  float64(adm.Plan.Mean()) / 1e6,
+
+			PlanCacheHits:          adm.PlanCacheHits,
+			PlanCacheMisses:        adm.PlanCacheMisses,
+			PlanCacheInvalidations: adm.PlanCacheInvalidations,
+			PlanCacheEvictions:     adm.PlanCacheEvictions,
+
+			Batches:      adm.Batch.Count,
+			BatchedPlans: adm.Batch.Sum,
+			MeanBatch:    adm.Batch.Mean(),
 		},
 	}
 	if s.walStatus != nil {
