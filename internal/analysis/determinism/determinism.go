@@ -39,6 +39,8 @@ var TargetPaths = map[string]bool{
 	"repro/internal/wal":      true,
 	"repro/internal/topology": true,
 	"repro/internal/stats":    true,
+	"repro/internal/sim":      true,
+	"repro/internal/scenario": true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -81,7 +81,7 @@ func Failures(sc Scale, load float64, mttr float64, mtbfList []float64) (*Failur
 		res.Repaired = append(res.Repaired, rep.Failures.RepairedJobs)
 		res.Degraded = append(res.Degraded, rep.Failures.DegradedJobs)
 		res.Evicted = append(res.Evicted, rep.Failures.EvictedJobs)
-		res.MeanRepairMs = append(res.MeanRepairMs, rep.Failures.MeanRepairMillis)
+		res.MeanRepairMs = append(res.MeanRepairMs, rep.RepairLatencyMillis)
 		res.RejectionKill = append(res.RejectionKill, kill.RejectionRate)
 		res.RejectionRepair = append(res.RejectionRepair, rep.RejectionRate)
 	}

@@ -95,4 +95,3 @@ func (r *ScaleSweepResult) Render() string {
 	}
 	return t.String()
 }
-

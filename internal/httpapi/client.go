@@ -197,6 +197,15 @@ func (c *Client) RepairAll(ctx context.Context) ([]RepairResult, error) {
 	return resp, err
 }
 
+// State fetches the manager's full exported state (see core.ManagerState).
+// Floats survive the JSON round trip bit-exactly, so the result compares
+// equal to an offline manager that executed the same mutation sequence.
+func (c *Client) State(ctx context.Context) (core.ManagerState, error) {
+	var resp core.ManagerState
+	err := c.do(ctx, http.MethodGet, "/v1/state", nil, &resp, http.StatusOK)
+	return resp, err
+}
+
 // Failures fetches the fault and repair counters.
 func (c *Client) Failures(ctx context.Context) (core.FailureStats, error) {
 	var resp core.FailureStats

@@ -210,6 +210,7 @@ func NewServer(mgr *core.Manager) *Server {
 	s.mux.HandleFunc("POST /v1/faults", s.handleFault)
 	s.mux.HandleFunc("POST /v1/repairs", s.handleRepair)
 	s.mux.HandleFunc("GET /v1/failures", s.handleFailures)
+	s.mux.HandleFunc("GET /v1/state", s.handleState)
 	return s
 }
 
@@ -538,6 +539,15 @@ func (s *Server) handleRepair(w http.ResponseWriter, req *http.Request) {
 
 func (s *Server) handleFailures(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.mgr.FailureStats())
+}
+
+// handleState exports the manager's full serializable state — the same
+// snapshot the WAL checkpoints — so external tooling (scenario runners,
+// differential tests, state inspectors) can compare a live daemon
+// bit-for-bit against an offline manager. Floats round-trip exactly
+// through JSON (see core.ManagerState).
+func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.ExportState())
 }
 
 func (s *Server) handleLinks(w http.ResponseWriter, req *http.Request) {

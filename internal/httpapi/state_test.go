@@ -1,0 +1,39 @@
+package httpapi
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestStateExport checks that GET /v1/state returns the manager's
+// exported state bit-identically: admitting jobs and injecting a fault
+// in-process, then fetching the state over the wire, must DeepEqual the
+// direct ExportState snapshot (float fields round-trip exactly).
+func TestStateExport(t *testing.T) {
+	client, mgr := newTestService(t)
+	ctx := context.Background()
+
+	if _, err := client.Allocate(ctx, AllocationRequest{N: 6, Mu: 200, Sigma: 80}); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if _, err := client.Allocate(ctx, AllocationRequest{N: 3, Bandwidth: 150}); err != nil {
+		t.Fatalf("Allocate det: %v", err)
+	}
+	machine := int(mgr.Topology().Machines()[0])
+	if _, err := client.Fault(ctx, FaultRequest{Machine: &machine}); err != nil {
+		t.Fatalf("Fault: %v", err)
+	}
+
+	got, err := client.State(ctx)
+	if err != nil {
+		t.Fatalf("State: %v", err)
+	}
+	want := mgr.ExportState()
+	if !reflect.DeepEqual(got, *want) {
+		t.Fatalf("state over the wire differs from ExportState:\n got: %+v\nwant: %+v", got, *want)
+	}
+	if got.NextID != 2 || len(got.Jobs) != 2 || len(got.MachinesDown) != 1 {
+		t.Errorf("unexpected state shape: %+v", got)
+	}
+}

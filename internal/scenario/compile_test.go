@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestCompileDeterministic(t *testing.T) {
+	s := decodeTestDoc(t)
+	p1, err := s.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	p2, err := decodeTestDoc(t).Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if !reflect.DeepEqual(p1.Jobs, p2.Jobs) {
+		t.Fatalf("jobs differ between identical compiles")
+	}
+	if !reflect.DeepEqual(p1.Events, p2.Events) {
+		t.Fatalf("events differ between identical compiles")
+	}
+	p3, err := s.CompileSeeded(8)
+	if err != nil {
+		t.Fatalf("CompileSeeded: %v", err)
+	}
+	if reflect.DeepEqual(p1.Jobs, p3.Jobs) {
+		t.Fatalf("different seeds produced identical fleets")
+	}
+}
+
+func TestCompilePlanShape(t *testing.T) {
+	s := decodeTestDoc(t)
+	p, err := s.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if len(p.Jobs) != s.Fleet.Tenants {
+		t.Fatalf("jobs: %d, want %d", len(p.Jobs), s.Fleet.Tenants)
+	}
+	last := 0
+	for i, j := range p.Jobs {
+		if j.ArriveAt < last {
+			t.Fatalf("jobs[%d] unsorted: %d after %d", i, j.ArriveAt, last)
+		}
+		last = j.ArriveAt
+		if j.ArriveAt+j.Hold > s.Run.MaxSeconds {
+			t.Fatalf("jobs[%d] outlives the run: arrive %d hold %d", i, j.ArriveAt, j.Hold)
+		}
+		if j.Template < 0 || j.Template >= len(s.Fleet.Templates) {
+			t.Fatalf("jobs[%d] template %d", i, j.Template)
+		}
+		tmpl := s.Fleet.Templates[j.Template]
+		if tmpl.Bandwidth > 0 != j.Req.Deterministic() {
+			t.Fatalf("jobs[%d] demand kind mismatch", i)
+		}
+	}
+	for i := 1; i < len(p.Events); i++ {
+		if p.Events[i].At < p.Events[i-1].At {
+			t.Fatalf("events unsorted at %d", i)
+		}
+	}
+	if p.GuaranteeAt != p.lastArrival() {
+		t.Fatalf("GuaranteeAt %d, want last arrival %d", p.GuaranteeAt, p.lastArrival())
+	}
+}
+
+func TestCompileArrivalPatterns(t *testing.T) {
+	s := decodeTestDoc(t)
+	for _, pattern := range []string{"instant", "linear", "exponential", "wave", "poisson"} {
+		s.Fleet.Arrival = ArrivalSpec{Pattern: pattern, OverSeconds: 60, RatePerSecond: 2, Waves: 4}
+		p, err := s.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", pattern, err)
+		}
+		for i, j := range p.Jobs {
+			if j.ArriveAt < 0 || j.ArriveAt > s.Run.MaxSeconds {
+				t.Fatalf("%s: jobs[%d] arrives at %d", pattern, i, j.ArriveAt)
+			}
+		}
+		if pattern == "instant" {
+			for _, j := range p.Jobs {
+				if j.ArriveAt != 0 {
+					t.Fatalf("instant arrival at %d", j.ArriveAt)
+				}
+			}
+		}
+	}
+}
+
+func TestCompileCascade(t *testing.T) {
+	s := decodeTestDoc(t)
+	s.Chaos = &ChaosSpec{
+		Links: &LinkChaosSpec{
+			RenewalSpec: RenewalSpec{MTBFSeconds: 50, MTTRSeconds: 20, Fraction: 1},
+			Level:       2,
+			Cascade:     true,
+		},
+	}
+	p, err := s.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	// Every agg failure must fail its subtree links at the same second.
+	aggFails := 0
+	for _, ev := range p.Events {
+		if ev.Kind != EvFailLink {
+			continue
+		}
+		if p.Topo.Node(ev.Node).Level == 2 {
+			aggFails++
+			under := p.Topo.LinksUnder(nil, ev.Node)
+			got := map[topology.LinkID]bool{}
+			for _, other := range p.Events {
+				if other.At == ev.At && other.Kind == EvFailLink {
+					got[other.Node] = true
+				}
+			}
+			for _, l := range under {
+				if !got[l] {
+					t.Fatalf("agg %d fails at %d without subtree link %d", ev.Node, ev.At, l)
+				}
+			}
+		}
+	}
+	if aggFails == 0 {
+		t.Fatalf("no agg-level failures drawn (mtbf 50 over %d seconds)", s.Run.MaxSeconds)
+	}
+}
+
+func TestCompileDrains(t *testing.T) {
+	s := decodeTestDoc(t)
+	s.Chaos = &ChaosSpec{Drains: []DrainSpec{{At: 30, Level: 1, Index: 1, Duration: 40}}}
+	p, err := s.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	var fail, restore *Event
+	for i := range p.Events {
+		ev := &p.Events[i]
+		if !ev.Drain {
+			continue
+		}
+		if ev.Kind == EvFailLink {
+			fail = ev
+		} else {
+			restore = ev
+		}
+	}
+	if fail == nil || fail.At != 30 {
+		t.Fatalf("drain failure: %+v", fail)
+	}
+	if restore == nil || restore.At != 70 || restore.Node != fail.Node {
+		t.Fatalf("drain restore: %+v", restore)
+	}
+	if p.Topo.Node(fail.Node).Level != 1 {
+		t.Fatalf("drain node level: %d", p.Topo.Node(fail.Node).Level)
+	}
+}

@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDifferentialSimVsLive runs the same compiled plan against the
+// offline manager and against a live in-process svcd (HTTP API over a
+// nosync WAL) and requires the two runs to agree exactly: same admission
+// outcomes, same report, same final exported ledger. The engine issues an
+// identical call sequence to both backends, so any divergence is a bug in
+// the wire layer, the WAL, or the admission pipeline.
+func TestDifferentialSimVsLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live daemon round-trips in -short mode")
+	}
+	s := decodeTestDoc(t)
+
+	plan1, err := s.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	sim, err := NewSimBackend(plan1.Topo, s.Eps, s.Run.Admission)
+	if err != nil {
+		t.Fatalf("NewSimBackend: %v", err)
+	}
+	defer sim.Close()
+	simRep, err := Run(plan1, sim)
+	if err != nil {
+		t.Fatalf("sim run: %v", err)
+	}
+
+	plan2, err := s.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	srv, err := StartLocal(LocalConfig{
+		Topo:      plan2.Topo,
+		Eps:       s.Eps,
+		Admission: s.Run.Admission,
+		StateDir:  t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	live := NewLiveBackend(srv.URL)
+	liveRep, err := Run(plan2, live)
+	if err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+
+	// The reports must agree on everything but the backend label.
+	liveRep.Backend = simRep.Backend
+	if !reflect.DeepEqual(simRep, liveRep) {
+		sj, _ := simRep.JSON()
+		lj, _ := liveRep.JSON()
+		t.Fatalf("reports diverge:\nsim:\n%s\nlive:\n%s", sj, lj)
+	}
+
+	// And the final ledgers must be identical, byte for byte: the live
+	// state crossed the wire as JSON and survived a WAL.
+	simState := sim.Manager().ExportState()
+	liveState, err := live.State()
+	if err != nil {
+		t.Fatalf("live state: %v", err)
+	}
+	if !reflect.DeepEqual(simState, liveState) {
+		t.Fatalf("ledgers diverge:\nsim:  %+v\nlive: %+v", simState, liveState)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close local server: %v", err)
+	}
+}
+
+// TestDifferentialBatchAdmission repeats the comparison under the batch
+// admission pipeline, which exercises svcd's group-commit path.
+func TestDifferentialBatchAdmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live daemon round-trips in -short mode")
+	}
+	s := decodeTestDoc(t)
+	s.Run.Admission = "batch"
+	s.Chaos = nil // isolate the admission pipeline
+
+	planSim, err := s.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	sim, err := NewSimBackend(planSim.Topo, s.Eps, s.Run.Admission)
+	if err != nil {
+		t.Fatalf("NewSimBackend: %v", err)
+	}
+	defer sim.Close()
+	simRep, err := Run(planSim, sim)
+	if err != nil {
+		t.Fatalf("sim run: %v", err)
+	}
+
+	planLive, err := s.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	srv, err := StartLocal(LocalConfig{Topo: planLive.Topo, Eps: s.Eps, Admission: "batch"})
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer srv.Close()
+	liveRep, err := Run(planLive, NewLiveBackend(srv.URL))
+	if err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+	if simRep.Admitted != liveRep.Admitted || simRep.Rejected != liveRep.Rejected {
+		t.Fatalf("batch admission diverges: sim %d/%d, live %d/%d",
+			simRep.Admitted, simRep.Rejected, liveRep.Admitted, liveRep.Rejected)
+	}
+}

@@ -1,0 +1,44 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioDecode asserts the decoder's two safety properties over
+// arbitrary input: it never panics (every malformed document is an
+// error), and "validate rejects what run would reject" — any scenario
+// that Decode and Validate accept must also Compile, so svcscn validate
+// is a faithful preflight for svcscn run.
+func FuzzScenarioDecode(f *testing.F) {
+	f.Add([]byte(testDoc))
+	f.Add([]byte("name: tiny\n"))
+	f.Add([]byte("fleet:\n  templates:\n    - {name: a, bandwidth: 10, hold: {lo: 1, hi: 2}}\n"))
+	f.Add([]byte("a: [1, {b: 'x'}, ~]\nc:\n- true\n"))
+	f.Add([]byte("\t"))
+	f.Add([]byte("---\n---\n"))
+	f.Add([]byte("a: &anchor 1\n"))
+	f.Add([]byte(strings.Repeat("[", 100)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatalf("Decode returned nil scenario without error")
+		}
+		if err := s.Validate(); err != nil {
+			return
+		}
+		// Compile is bounded by Validate, but a worst-case valid scenario
+		// (thousands of machines in chaos for 10^5 seconds) is too slow
+		// for a fuzz iteration; check the validate⇒compile property on
+		// inputs of bounded cost only.
+		if s.Fleet.Tenants > 500 || s.Topology.machineCount() > 200 || s.Run.MaxSeconds > 2000 {
+			return
+		}
+		if _, err := s.Compile(); err != nil {
+			t.Fatalf("validated scenario failed to compile: %v", err)
+		}
+	})
+}

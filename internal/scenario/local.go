@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/httpapi"
+	"repro/internal/topology"
+	"repro/internal/wal"
+)
+
+// LocalServer is an in-process svcd: a manager (journaled when StateDir
+// is set) behind the real HTTP API on a loopback port. The live runner
+// uses it when no -addr is given, so "run against a daemon" needs no
+// out-of-process setup, and the differential test uses it to compare a
+// wire-driven WAL-backed controller against the offline backend.
+type LocalServer struct {
+	URL string
+	Mgr *core.Manager
+
+	api      *httpapi.Server
+	journal  *wal.Journal
+	server   *http.Server
+	listener net.Listener
+	serveErr chan error
+}
+
+// LocalConfig assembles a LocalServer.
+type LocalConfig struct {
+	Topo *topology.Topology
+	Eps  float64
+	// Admission: "" | optimistic | batch | locked.
+	Admission string
+	// StateDir enables the write-ahead log (with group commit); the
+	// scenario runner always opens it nosync — scenarios measure the
+	// controller, not the disk.
+	StateDir string
+}
+
+// StartLocal builds and serves an in-process daemon.
+func StartLocal(cfg LocalConfig) (*LocalServer, error) {
+	var mgrOpts []core.ManagerOption
+	batch := false
+	switch cfg.Admission {
+	case "", "optimistic":
+	case "batch":
+		batch = true
+	case "locked":
+		mgrOpts = append(mgrOpts, core.WithLockedAdmission())
+	default:
+		return nil, fmt.Errorf("scenario: unknown admission mode %q", cfg.Admission)
+	}
+	ls := &LocalServer{serveErr: make(chan error, 1)}
+	var err error
+	if cfg.StateDir != "" {
+		ls.Mgr, ls.journal, err = wal.Recover(cfg.StateDir, cfg.Topo, cfg.Eps, mgrOpts, wal.WithNoSync())
+	} else {
+		ls.Mgr, err = core.NewManager(cfg.Topo, cfg.Eps, mgrOpts...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ls.api = httpapi.NewServer(ls.Mgr)
+	if batch {
+		ls.api.SetBatcher(core.NewBatcher(ls.Mgr, 0))
+	}
+	ls.server = &http.Server{Handler: ls.api.Handler()}
+	ls.listener, err = net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		if ls.journal != nil {
+			ls.journal.Close()
+		}
+		return nil, err
+	}
+	ls.URL = "http://" + ls.listener.Addr().String()
+	go func() { ls.serveErr <- ls.server.Serve(ls.listener) }()
+	return ls, nil
+}
+
+// Close drains the server and seals the journal.
+func (ls *LocalServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ls.api.SetDraining(true)
+	err := ls.server.Shutdown(ctx)
+	if serr := <-ls.serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	if ls.journal != nil {
+		if cerr := ls.Mgr.Checkpoint(); cerr != nil && err == nil {
+			err = cerr
+		}
+		ls.Mgr.SetJournal(nil)
+		if cerr := ls.journal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

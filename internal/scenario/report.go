@@ -1,0 +1,232 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Report is the outcome of one scenario run. It is deliberately free of
+// wall-clock timestamps: with a fixed seed the JSON encoding is
+// byte-identical across runs (the golden tests depend on this), so the
+// report doubles as a determinism regression net for the whole stack.
+type Report struct {
+	Scenario    string  `json:"scenario"`
+	Description string  `json:"description,omitempty"`
+	Backend     string  `json:"backend"`
+	Seed        uint64  `json:"seed"`
+	Eps         float64 `json:"eps"`
+	Machines    int     `json:"machines"`
+	TotalSlots  int     `json:"totalSlots"`
+
+	Offered       int     `json:"offered"`
+	Admitted      int     `json:"admitted"`
+	Rejected      int     `json:"rejected"`
+	RejectionRate float64 `json:"rejectionRate"`
+	Completed     int     `json:"completed"`
+	Killed        int     `json:"killed,omitempty"`
+	Evicted       int     `json:"evicted,omitempty"`
+
+	MachineFailures int `json:"machineFailures,omitempty"`
+	MachineRestores int `json:"machineRestores,omitempty"`
+	// LinkFailures counts every link fault, drains included.
+	LinkFailures    int `json:"linkFailures,omitempty"`
+	LinkRestores    int `json:"linkRestores,omitempty"`
+	Drains          int `json:"drains,omitempty"`
+	MovedRepairs    int `json:"movedRepairs,omitempty"`
+	DegradedRepairs int `json:"degradedRepairs,omitempty"`
+	TruncatedEvents int `json:"truncatedEvents,omitempty"`
+
+	EndSeconds       int     `json:"endSeconds"`
+	PeakRunning      int     `json:"peakRunning"`
+	PeakMaxOccupancy float64 `json:"peakMaxOccupancy"`
+
+	Templates []TemplateReport `json:"templates"`
+	Samples   []Sample         `json:"samples,omitempty"`
+	Guarantee *GuaranteeReport `json:"guarantee,omitempty"`
+
+	Assertions []AssertionResult `json:"assertions"`
+	Pass       bool              `json:"pass"`
+}
+
+// TemplateReport counts one template's tenants.
+type TemplateReport struct {
+	Name     string `json:"name"`
+	Offered  int    `json:"offered"`
+	Admitted int    `json:"admitted"`
+	Rejected int    `json:"rejected"`
+}
+
+// Sample is one state observation in virtual time.
+type Sample struct {
+	At           int     `json:"at"`
+	Running      int     `json:"running"`
+	FreeSlots    int     `json:"freeSlots"`
+	MaxOccupancy float64 `json:"maxOccupancy"`
+}
+
+// GuaranteeReport is the Monte Carlo congestion measurement: for each
+// link carrying stochastic crossing demand, the frequency (over Samples
+// draws) with which sampled demand plus deterministic reservations
+// exceeded capacity. The paper's Eq. 4 bounds that frequency by eps.
+type GuaranteeReport struct {
+	At             int     `json:"at"`
+	Samples        int     `json:"samples"`
+	StochasticJobs int     `json:"stochasticJobs"`
+	LinksChecked   int     `json:"linksChecked"`
+	EpsAsserted    float64 `json:"epsAsserted"`
+	Margin         float64 `json:"margin"`
+	WorstLink      int     `json:"worstLink"`
+	WorstFreq      float64 `json:"worstFreq"`
+	Pass           bool    `json:"pass"`
+}
+
+// AssertionResult is one declarative assertion's verdict.
+type AssertionResult struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
+}
+
+func newReport(p *Plan, backend string) *Report {
+	r := &Report{
+		Scenario:        p.Scenario.Name,
+		Description:     p.Scenario.Description,
+		Backend:         backend,
+		Seed:            p.Seed,
+		Eps:             p.Scenario.Eps,
+		Machines:        len(p.Topo.Machines()),
+		TotalSlots:      p.Topo.TotalSlots(),
+		TruncatedEvents: p.TruncatedEvents,
+		Templates:       make([]TemplateReport, len(p.Scenario.Fleet.Templates)),
+	}
+	for i, t := range p.Scenario.Fleet.Templates {
+		r.Templates[i].Name = t.Name
+	}
+	return r
+}
+
+// finish computes the derived fields and evaluates the assertion block.
+func (e *engine) finish() {
+	r := e.report
+	if r.Offered > 0 {
+		r.RejectionRate = float64(r.Rejected) / float64(r.Offered)
+	}
+	r.Guarantee = e.mcReport
+	a := e.plan.Scenario.Assert
+	add := func(name string, pass bool, detail string) {
+		r.Assertions = append(r.Assertions, AssertionResult{Name: name, Pass: pass, Detail: detail})
+	}
+	if a.MaxRejectionRate != nil {
+		add("max_rejection_rate", r.RejectionRate <= *a.MaxRejectionRate,
+			fmt.Sprintf("rejection rate %.4f, limit %.4f", r.RejectionRate, *a.MaxRejectionRate))
+	}
+	if a.MinAdmitted != nil {
+		add("min_admitted", r.Admitted >= *a.MinAdmitted,
+			fmt.Sprintf("admitted %d, floor %d", r.Admitted, *a.MinAdmitted))
+	}
+	if a.MaxEvicted != nil {
+		add("max_evicted", r.Evicted <= *a.MaxEvicted,
+			fmt.Sprintf("evicted %d, limit %d", r.Evicted, *a.MaxEvicted))
+	}
+	if a.MaxKilled != nil {
+		add("max_killed", r.Killed <= *a.MaxKilled,
+			fmt.Sprintf("killed %d, limit %d", r.Killed, *a.MaxKilled))
+	}
+	if a.Guarantee != nil {
+		g := e.mcReport
+		if g == nil {
+			add("guarantee", false, "guarantee was asserted but never measured")
+		} else {
+			add("guarantee", g.Pass, fmt.Sprintf(
+				"worst link %d congested in %.4f of %d samples at t=%d, bound eps %.3f + margin %.3f",
+				g.WorstLink, g.WorstFreq, g.Samples, g.At, g.EpsAsserted, g.Margin))
+		}
+	}
+	if a.Conservation {
+		add("conservation", len(e.conserve) == 0, conservationDetail(e.conserve))
+	}
+	if a.DrainToEmpty {
+		e.assertDrained(add)
+	}
+	r.Pass = true
+	for _, as := range r.Assertions {
+		r.Pass = r.Pass && as.Pass
+	}
+}
+
+func conservationDetail(violations []string) string {
+	if len(violations) == 0 {
+		return "backend slot and job accounting matched the engine mirror at every sample"
+	}
+	return strings.Join(violations, "; ")
+}
+
+// assertDrained checks the end state: every admitted tenant left, all
+// alive slots are free again, and no link carries residual occupancy.
+func (e *engine) assertDrained(add func(string, bool, string)) {
+	// Occupancy is a fraction of link capacity; heavy churn leaves float
+	// residue many orders below any real reservation.
+	const tol = 1e-6
+	last := e.report.Samples[len(e.report.Samples)-1]
+	ok := len(e.live) == 0 && last.Running == 0 &&
+		last.FreeSlots == e.mirror.AliveSlots() && last.MaxOccupancy <= tol
+	add("drain_to_empty", ok, fmt.Sprintf(
+		"end state: %d live tenants, %d running, %d free slots (alive %d), max occupancy %.3g",
+		len(e.live), last.Running, last.FreeSlots, e.mirror.AliveSlots(), last.MaxOccupancy))
+}
+
+// JSON encodes the report for files and goldens: indented, trailing
+// newline, byte-stable for a fixed seed.
+func (r *Report) JSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// Render formats the human-readable report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "scenario %s [%s] seed=%d backend=%s: %s\n",
+		r.Scenario, statusLine(r), r.Seed, r.Backend, status)
+	fmt.Fprintf(&b, "  admitted %d/%d tenants (%.1f%% rejected), %d completed, peak %d running, peak occupancy %.3f\n",
+		r.Admitted, r.Offered, 100*r.RejectionRate, r.Completed, r.PeakRunning, r.PeakMaxOccupancy)
+	if r.MachineFailures+r.LinkFailures > 0 {
+		fmt.Fprintf(&b, "  chaos: %d machine fails (%d restored), %d link fails (%d restored, %d drains), %d moved, %d degraded, %d evicted, %d killed\n",
+			r.MachineFailures, r.MachineRestores, r.LinkFailures, r.LinkRestores, r.Drains,
+			r.MovedRepairs, r.DegradedRepairs, r.Evicted, r.Killed)
+	}
+	if r.TruncatedEvents > 0 {
+		fmt.Fprintf(&b, "  warning: chaos schedule truncated, %d events dropped\n", r.TruncatedEvents)
+	}
+	for _, t := range r.Templates {
+		fmt.Fprintf(&b, "  template %-16s offered %4d admitted %4d rejected %4d\n",
+			t.Name, t.Offered, t.Admitted, t.Rejected)
+	}
+	if g := r.Guarantee; g != nil {
+		verdict := "within bound"
+		if !g.Pass {
+			verdict = "VIOLATED"
+		}
+		fmt.Fprintf(&b, "  guarantee: worst link %d congested %.4f of %d samples (t=%d, %d stochastic jobs, %d links) vs eps %.3f+%.3f: %s\n",
+			g.WorstLink, g.WorstFreq, g.Samples, g.At, g.StochasticJobs, g.LinksChecked, g.EpsAsserted, g.Margin, verdict)
+	}
+	for _, as := range r.Assertions {
+		mark := "ok"
+		if !as.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "  assert %-20s %-4s %s\n", as.Name, mark, as.Detail)
+	}
+	return b.String()
+}
+
+func statusLine(r *Report) string {
+	return fmt.Sprintf("%d machines, %d slots, %ds", r.Machines, r.TotalSlots, r.EndSeconds)
+}

@@ -1,0 +1,463 @@
+// Package scenario runs declarative, seeded experiments against the SVC
+// controller: a YAML scenario describes a datacenter, a weighted tenant
+// fleet, a chaos schedule, and an assertion block; the engine compiles it
+// into a deterministic plan and executes that plan against either an
+// offline in-process manager or a live svcd daemon over HTTP, producing a
+// reproducible report (see docs/SCENARIOS.md).
+//
+// This file is the YAML-subset parser. The repo has a no-external-deps
+// convention, so rather than importing a YAML library we parse the subset
+// the scenario format actually needs:
+//
+//   - block mappings and block sequences by indentation (spaces only)
+//   - flow mappings {k: v, ...} and flow sequences [a, b, ...]
+//   - scalars: null/~, true/false, integers, floats, single- and
+//     double-quoted strings, plain strings
+//   - "#" comments and blank lines
+//
+// Anchors, aliases, tags, multi-document streams, block scalars (| and >)
+// and multi-line flow collections are not supported and yield errors, not
+// panics: the parser is fuzzed (FuzzScenarioDecode) and must reject every
+// malformed input gracefully.
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// maxYAMLBytes bounds parser input; scenario files are a few KB.
+const maxYAMLBytes = 1 << 20
+
+// maxYAMLDepth bounds nesting so hostile inputs ("[[[[…", deep block
+// indentation) cannot overflow the stack.
+const maxYAMLDepth = 64
+
+// yamlLine is one significant (non-blank, non-comment) input line.
+type yamlLine struct {
+	indent int
+	text   string // content with indentation and trailing comment stripped
+	num    int    // 1-based line number for error messages
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseYAML parses data into nested map[string]any / []any / scalar
+// values.
+func parseYAML(data []byte) (any, error) {
+	if len(data) > maxYAMLBytes {
+		return nil, fmt.Errorf("yaml: input %d bytes exceeds %d", len(data), maxYAMLBytes)
+	}
+	p := &yamlParser{}
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, " \t\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		rest := line[indent:]
+		if rest == "" || strings.HasPrefix(rest, "#") {
+			continue
+		}
+		if strings.HasPrefix(rest, "\t") {
+			return nil, fmt.Errorf("yaml: line %d: tab in indentation", i+1)
+		}
+		if rest == "---" || rest == "..." {
+			if len(p.lines) > 0 {
+				return nil, fmt.Errorf("yaml: line %d: multi-document streams not supported", i+1)
+			}
+			continue
+		}
+		p.lines = append(p.lines, yamlLine{indent: indent, text: stripComment(rest), num: i + 1})
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	v, err := p.parseBlock(p.lines[0].indent, 0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, fmt.Errorf("yaml: line %d: unexpected dedent/content after document", p.lines[p.pos].num)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing " #..." comment outside quotes. A "#"
+// must be preceded by whitespace (or start the line) to open a comment.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t'):
+			return strings.TrimRight(s[:i], " \t")
+		}
+	}
+	return s
+}
+
+// parseBlock parses the run of lines at exactly this indentation as one
+// block value (mapping or sequence).
+func (p *yamlParser) parseBlock(indent, depth int) (any, error) {
+	if depth > maxYAMLDepth {
+		return nil, fmt.Errorf("yaml: line %d: nesting deeper than %d", p.lines[p.pos].num, maxYAMLDepth)
+	}
+	first := p.lines[p.pos]
+	if first.indent != indent {
+		return nil, fmt.Errorf("yaml: line %d: bad indentation", first.num)
+	}
+	if isDashLine(first.text) {
+		return p.parseSequence(indent, depth)
+	}
+	return p.parseMapping(indent, depth)
+}
+
+// isDashLine reports whether the line opens a block sequence item.
+func isDashLine(s string) bool { return s == "-" || strings.HasPrefix(s, "- ") }
+
+// parseSequence parses "- item" lines at this indentation.
+func (p *yamlParser) parseSequence(indent, depth int) (any, error) {
+	var out []any
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent {
+			if ln.indent > indent {
+				return nil, fmt.Errorf("yaml: line %d: bad indentation", ln.num)
+			}
+			break
+		}
+		if !isDashLine(ln.text) {
+			break // same-indent mapping resumes after an inline sequence value
+		}
+		rest := strings.TrimLeft(strings.TrimPrefix(ln.text, "-"), " ")
+		if rest == "" {
+			// "-" alone: the item is the deeper block that follows.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				out = append(out, nil)
+				continue
+			}
+			item, err := p.parseBlock(p.lines[p.pos].indent, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, item)
+			continue
+		}
+		if rest[0] != '{' && rest[0] != '[' && rest[0] != '\'' && rest[0] != '"' && isMappingStart(rest) {
+			// "- key: value": compact mapping; re-read the dash line as a
+			// mapping line at indent+2 and let parseMapping consume the
+			// following keys at that indentation.
+			p.lines[p.pos] = yamlLine{indent: indent + 2, text: rest, num: ln.num}
+			item, err := p.parseBlock(indent+2, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, item)
+			continue
+		}
+		v, err := parseFlow(rest, ln.num, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		p.pos++
+	}
+	return out, nil
+}
+
+// parseMapping parses "key: value" lines at this indentation.
+func (p *yamlParser) parseMapping(indent, depth int) (any, error) {
+	out := map[string]any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent {
+			if ln.indent > indent {
+				return nil, fmt.Errorf("yaml: line %d: bad indentation", ln.num)
+			}
+			break
+		}
+		if isDashLine(ln.text) {
+			return nil, fmt.Errorf("yaml: line %d: unexpected sequence item in mapping", ln.num)
+		}
+		key, rest, err := splitKey(ln.text, ln.num)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("yaml: line %d: duplicate key %q", ln.num, key)
+		}
+		if rest == "" {
+			p.pos++
+			switch {
+			case p.pos < len(p.lines) && p.lines[p.pos].indent == indent && isDashLine(p.lines[p.pos].text):
+				// Sequence at the same indent as its key, the common
+				// "key:\n- item" style.
+				v, err := p.parseSequence(indent, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				out[key] = v
+			case p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent:
+				out[key] = nil
+			default:
+				v, err := p.parseBlock(p.lines[p.pos].indent, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				out[key] = v
+			}
+			continue
+		}
+		v, err := parseFlow(rest, ln.num, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = v
+		p.pos++
+	}
+	return out, nil
+}
+
+// isMappingStart reports whether the text begins a "key:" mapping entry
+// rather than a plain scalar.
+func isMappingStart(s string) bool {
+	_, _, err := splitKey(s, 0)
+	return err == nil
+}
+
+// splitKey splits "key: value" (or "key:") into key and the remaining
+// value text. The key may be plain or quoted; a ":" only separates when
+// followed by a space or end of line, so "12:30:00" stays a scalar.
+func splitKey(s string, num int) (key, rest string, err error) {
+	if s == "" {
+		return "", "", fmt.Errorf("yaml: line %d: empty mapping line", num)
+	}
+	if s[0] == '\'' || s[0] == '"' {
+		k, tail, err := parseQuoted(s)
+		if err != nil {
+			return "", "", fmt.Errorf("yaml: line %d: %v", num, err)
+		}
+		tail = strings.TrimLeft(tail, " ")
+		if !strings.HasPrefix(tail, ":") {
+			return "", "", fmt.Errorf("yaml: line %d: missing ':' after quoted key", num)
+		}
+		tail = tail[1:]
+		if tail != "" && tail[0] != ' ' {
+			return "", "", fmt.Errorf("yaml: line %d: ':' must be followed by a space", num)
+		}
+		return k, strings.TrimLeft(tail, " "), nil
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != ':' {
+			continue
+		}
+		if i+1 == len(s) {
+			return strings.TrimRight(s[:i], " "), "", nil
+		}
+		if s[i+1] == ' ' {
+			return strings.TrimRight(s[:i], " "), strings.TrimLeft(s[i+1:], " "), nil
+		}
+	}
+	return "", "", fmt.Errorf("yaml: line %d: expected \"key: value\"", num)
+}
+
+// parseFlow parses an inline value in block context: a flow mapping,
+// flow sequence, quoted string, or plain scalar. Unlike inside flow
+// collections, a plain scalar here runs to the end of the line, so
+// "description: a, b, c" is one string.
+func parseFlow(s string, num, depth int) (any, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	switch s[0] {
+	case '{', '[', '\'', '"':
+		v, tail, err := parseFlowValue(s, num, depth)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(tail) != "" {
+			return nil, fmt.Errorf("yaml: line %d: trailing content %q", num, strings.TrimSpace(tail))
+		}
+		return v, nil
+	case '&', '*', '|', '>', '%', '@', '`':
+		return nil, fmt.Errorf("yaml: line %d: unsupported syntax %q", num, s[0])
+	}
+	return parseScalar(s), nil
+}
+
+func parseFlowValue(s string, num, depth int) (v any, tail string, err error) {
+	if depth > maxYAMLDepth {
+		return nil, "", fmt.Errorf("yaml: line %d: nesting deeper than %d", num, maxYAMLDepth)
+	}
+	s = strings.TrimLeft(s, " ")
+	if s == "" {
+		return nil, "", nil
+	}
+	switch s[0] {
+	case '{':
+		return parseFlowMap(s[1:], num, depth)
+	case '[':
+		return parseFlowSeq(s[1:], num, depth)
+	case '\'', '"':
+		str, rest, err := parseQuoted(s)
+		if err != nil {
+			return nil, "", fmt.Errorf("yaml: line %d: %v", num, err)
+		}
+		return str, rest, nil
+	case '&', '*', '|', '>', '%', '@', '`':
+		return nil, "", fmt.Errorf("yaml: line %d: unsupported syntax %q", num, s[0])
+	}
+	// Plain scalar: runs to the next flow delimiter.
+	end := strings.IndexAny(s, ",]}")
+	if end == -1 {
+		end = len(s)
+	}
+	return parseScalar(strings.TrimSpace(s[:end])), s[end:], nil
+}
+
+func parseFlowMap(s string, num, depth int) (any, string, error) {
+	out := map[string]any{}
+	s = strings.TrimLeft(s, " ")
+	if strings.HasPrefix(s, "}") {
+		return out, s[1:], nil
+	}
+	for {
+		s = strings.TrimLeft(s, " ")
+		key, rest, err := splitFlowKey(s, num)
+		if err != nil {
+			return nil, "", err
+		}
+		if _, dup := out[key]; dup {
+			return nil, "", fmt.Errorf("yaml: line %d: duplicate key %q", num, key)
+		}
+		v, tail, err := parseFlowValue(rest, num, depth+1)
+		if err != nil {
+			return nil, "", err
+		}
+		out[key] = v
+		tail = strings.TrimLeft(tail, " ")
+		switch {
+		case strings.HasPrefix(tail, ","):
+			s = tail[1:]
+		case strings.HasPrefix(tail, "}"):
+			return out, tail[1:], nil
+		default:
+			return nil, "", fmt.Errorf("yaml: line %d: expected ',' or '}' in flow mapping", num)
+		}
+	}
+}
+
+// splitFlowKey splits "key: value" inside a flow mapping.
+func splitFlowKey(s string, num int) (key, rest string, err error) {
+	if s != "" && (s[0] == '\'' || s[0] == '"') {
+		k, tail, err := parseQuoted(s)
+		if err != nil {
+			return "", "", fmt.Errorf("yaml: line %d: %v", num, err)
+		}
+		tail = strings.TrimLeft(tail, " ")
+		if !strings.HasPrefix(tail, ":") {
+			return "", "", fmt.Errorf("yaml: line %d: missing ':' after quoted key", num)
+		}
+		return k, tail[1:], nil
+	}
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return "", "", fmt.Errorf("yaml: line %d: expected \"key: value\" in flow mapping", num)
+	}
+	return strings.TrimSpace(s[:i]), s[i+1:], nil
+}
+
+func parseFlowSeq(s string, num, depth int) (any, string, error) {
+	out := []any{}
+	s = strings.TrimLeft(s, " ")
+	if strings.HasPrefix(s, "]") {
+		return out, s[1:], nil
+	}
+	for {
+		v, tail, err := parseFlowValue(s, num, depth+1)
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, v)
+		tail = strings.TrimLeft(tail, " ")
+		switch {
+		case strings.HasPrefix(tail, ","):
+			s = tail[1:]
+		case strings.HasPrefix(tail, "]"):
+			return out, tail[1:], nil
+		default:
+			return nil, "", fmt.Errorf("yaml: line %d: expected ',' or ']' in flow sequence", num)
+		}
+	}
+}
+
+// parseQuoted parses a leading single- or double-quoted string and
+// returns the remainder. Single quotes escape by doubling (”), double
+// quotes support the common backslash escapes.
+func parseQuoted(s string) (string, string, error) {
+	quote := s[0]
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == quote:
+			if quote == '\'' && i+1 < len(s) && s[i+1] == '\'' {
+				b.WriteByte('\'')
+				i++
+				continue
+			}
+			return b.String(), s[i+1:], nil
+		case quote == '"' && c == '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("unterminated escape")
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '"', '\'', '/':
+				b.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("unsupported escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", "", fmt.Errorf("unterminated %c-quoted string", quote)
+}
+
+// parseScalar interprets a plain scalar: null, bool, int, float, or
+// string.
+func parseScalar(s string) any {
+	switch s {
+	case "", "~", "null", "Null", "NULL":
+		return nil
+	case "true", "True", "TRUE":
+		return true
+	case "false", "False", "FALSE":
+		return false
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}

@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLDocument(t *testing.T) {
+	doc := `
+# a scenario-shaped document
+name: demo
+seed: 42
+eps: 0.05
+topology:
+  preset: "paper"
+fleet:
+  tenants: 10
+  templates:
+    - name: small
+      weight: 2.5
+      n: {fixed: 4}
+      demand: {mu: 100, sigma: 20}
+    - name: det
+      bandwidth: 250
+flags: [true, false, ~]
+empty:
+notes: 'it''s quoted: yes'
+`
+	v, err := parseYAML([]byte(doc))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		t.Fatalf("root is %T, want mapping", v)
+	}
+	if m["name"] != "demo" || m["seed"] != int64(42) || m["eps"] != 0.05 {
+		t.Fatalf("scalars wrong: %v %v %v", m["name"], m["seed"], m["eps"])
+	}
+	topo := m["topology"].(map[string]any)
+	if topo["preset"] != "paper" {
+		t.Fatalf("quoted string: %v", topo["preset"])
+	}
+	fleet := m["fleet"].(map[string]any)
+	tmpls := fleet["templates"].([]any)
+	if len(tmpls) != 2 {
+		t.Fatalf("templates: %v", tmpls)
+	}
+	first := tmpls[0].(map[string]any)
+	if first["name"] != "small" || first["weight"] != 2.5 {
+		t.Fatalf("compact mapping item: %v", first)
+	}
+	if n := first["n"].(map[string]any); n["fixed"] != int64(4) {
+		t.Fatalf("flow mapping: %v", n)
+	}
+	if want := []any{true, false, nil}; !reflect.DeepEqual(m["flags"], want) {
+		t.Fatalf("flow sequence: %v", m["flags"])
+	}
+	if m["empty"] != nil {
+		t.Fatalf("empty value: %v", m["empty"])
+	}
+	if m["notes"] != "it's quoted: yes" {
+		t.Fatalf("single-quoted: %q", m["notes"])
+	}
+}
+
+func TestParseYAMLSequenceStyles(t *testing.T) {
+	// "key:\n- item" (sequence at key's own indent) and "key:\n  - item".
+	for _, doc := range []string{
+		"items:\n- 1\n- 2\nafter: ok\n",
+		"items:\n  - 1\n  - 2\nafter: ok\n",
+	} {
+		v, err := parseYAML([]byte(doc))
+		if err != nil {
+			t.Fatalf("%q: %v", doc, err)
+		}
+		m := v.(map[string]any)
+		if want := []any{int64(1), int64(2)}; !reflect.DeepEqual(m["items"], want) {
+			t.Fatalf("%q: items = %v", doc, m["items"])
+		}
+		if m["after"] != "ok" {
+			t.Fatalf("%q: mapping did not resume: %v", doc, m)
+		}
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		frag string
+	}{
+		{"empty", "", "empty"},
+		{"tab indent", "a:\n\tb: 1\n", "tab"},
+		{"duplicate key", "a: 1\na: 2\n", "duplicate"},
+		{"multi doc", "a: 1\n---\nb: 2\n", "multi-document"},
+		{"anchor", "a: &x 1\n", "unsupported"},
+		{"alias", "a: *x\n", "unsupported"},
+		{"block scalar", "a: |\n  text\n", "unsupported"},
+		{"bad indent", "a:\n    b: 1\n   c: 2\n", "indent"},
+		{"seq in mapping", "a: 1\n- b\n", "sequence item"},
+		{"unclosed flow", "a: [1, 2\n", "flow"},
+		{"unclosed quote", `a: "oops` + "\n", "quote"},
+		{"deep nesting", "a: " + strings.Repeat("[", 80) + strings.Repeat("]", 80) + "\n", "nest"},
+	}
+	for _, tc := range cases {
+		_, err := parseYAML([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !strings.Contains(strings.ToLower(err.Error()), tc.frag) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.frag)
+		}
+	}
+}
+
+func TestParseYAMLColonInScalar(t *testing.T) {
+	v, err := parseYAML([]byte("time: 12:30:00\nurl: http://x/y\n"))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	m := v.(map[string]any)
+	if m["time"] != "12:30:00" || m["url"] != "http://x/y" {
+		t.Fatalf("colon scalars: %v", m)
+	}
+}

@@ -96,9 +96,6 @@ type FailureReport struct {
 	// EvictedJobs counts displaced jobs no placement could save; they are
 	// also included in the result's FailedJobs.
 	EvictedJobs int
-	// MeanRepairMillis is the mean wall-clock latency of the repair DP
-	// over every repair attempt (0 when none ran).
-	MeanRepairMillis float64
 }
 
 // vmMachines recovers the VM index -> machine assignment of a placement:
@@ -207,11 +204,20 @@ func (e *engine) repairAffected() error {
 	return nil
 }
 
-// failureReport finalizes the run's failure counters.
+// failureReport finalizes the run's failure counters. The report is
+// fully deterministic: counts only, no wall-clock telemetry — that lives
+// in repairLatencyMillis, reported separately so identical seeds yield
+// identical FailureReports.
 func (e *engine) failureReport() FailureReport {
-	rep := e.frep
-	if e.repairCount > 0 {
-		rep.MeanRepairMillis = float64(e.repairTotal) / float64(e.repairCount) / float64(time.Millisecond)
+	return e.frep
+}
+
+// repairLatencyMillis is the mean wall-clock latency of the repair DP
+// over every repair attempt (0 when none ran). Telemetry, not simulated
+// time: it varies run to run and is excluded from determinism checks.
+func (e *engine) repairLatencyMillis() float64 {
+	if e.repairCount == 0 {
+		return 0
 	}
-	return rep
+	return float64(e.repairTotal) / float64(e.repairCount) / float64(time.Millisecond)
 }

@@ -26,6 +26,10 @@ type BatchResult struct {
 	// Failures aggregates the run's failure and repair activity (all
 	// zeros when the scenario injects no failures).
 	Failures FailureReport
+	// RepairLatencyMillis is the mean wall-clock latency of the repair DP
+	// per attempt. Telemetry only: it varies run to run and is excluded
+	// from the determinism guarantees the seeded results carry.
+	RepairLatencyMillis float64
 	// NetBoundJobs counts completed jobs whose network transfer outlived
 	// their compute phase — the jobs whose running time the bandwidth
 	// abstraction actually determined.
@@ -88,6 +92,7 @@ func RunBatch(cfg Config, jobs []JobSpec) (BatchResult, error) {
 	res.CongestionRate = e.congestionRate()
 	res.FailedJobs = e.failedJobs
 	res.Failures = e.failureReport()
+	res.RepairLatencyMillis = e.repairLatencyMillis()
 	res.NetBoundJobs = e.netBoundJobs
 	return res, nil
 }
@@ -125,6 +130,9 @@ type OnlineResult struct {
 	FailedJobs int
 	// Failures aggregates the run's failure and repair activity.
 	Failures FailureReport
+	// RepairLatencyMillis is the mean wall-clock latency of the repair DP
+	// per attempt; see BatchResult.RepairLatencyMillis.
+	RepairLatencyMillis float64
 	// NetBoundJobs counts completed jobs whose network transfer outlived
 	// their compute phase.
 	NetBoundJobs int
@@ -248,6 +256,7 @@ func RunOnline(cfg Config, jobs []JobSpec, arrivals []int) (OnlineResult, error)
 	res.CongestionRate = e.congestionRate()
 	res.FailedJobs = e.failedJobs
 	res.Failures = e.failureReport()
+	res.RepairLatencyMillis = e.repairLatencyMillis()
 	res.NetBoundJobs = e.netBoundJobs
 	res.JobTimes = e.completedTimes
 	res.MeanJobTime = stats.Mean(res.JobTimes)
@@ -258,4 +267,3 @@ func RunOnline(cfg Config, jobs []JobSpec, arrivals []int) (OnlineResult, error)
 	res.MeanConcurrency = concSum / float64(max(1, len(res.ConcurrencyAtArrival)))
 	return res, nil
 }
-

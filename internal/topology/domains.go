@@ -1,0 +1,61 @@
+package topology
+
+// Failure-domain helpers: correlated and cascading faults operate on
+// whole subtrees (a ToR uplink takes its rack with it, an aggregation
+// switch drains a zone), so chaos injectors need to enumerate what lives
+// under a node. These are read-only queries on the immutable tree and
+// are safe for concurrent use.
+
+// MachinesUnder appends the machines in the subtree rooted at id to dst
+// and returns it, in ascending NodeID order. For a machine it returns
+// the machine itself.
+func (t *Topology) MachinesUnder(dst []NodeID, id NodeID) []NodeID {
+	start := len(dst)
+	dst = t.SubtreeMachines(dst, id)
+	sortNodeIDs(dst[start:])
+	return dst
+}
+
+// LinksUnder appends every link strictly below id — the uplinks of all
+// proper descendants of id — to dst and returns it, in ascending NodeID
+// order. The uplink of id itself is not included; callers that want the
+// whole failure domain of a link l combine l with LinksUnder(nil, l).
+func (t *Topology) LinksUnder(dst []NodeID, id NodeID) []LinkID {
+	start := len(dst)
+	var walk func(n NodeID)
+	walk = func(n NodeID) {
+		for _, c := range t.nodes[n].Children {
+			dst = append(dst, c)
+			walk(c)
+		}
+	}
+	walk(id)
+	// Children slices are built in NodeID order level by level, but the
+	// depth-first walk interleaves levels; normalize with one sort.
+	sortNodeIDs(dst[start:])
+	return dst
+}
+
+// AncestorAt returns the ancestor of id at the given level (level 0 =
+// machines, Height() = root). It returns id itself when id is already at
+// that level, and None when id sits above the requested level.
+func (t *Topology) AncestorAt(id NodeID, level int) NodeID {
+	n := id
+	for n != None && t.nodes[n].Level < level {
+		n = t.nodes[n].Parent
+	}
+	if n == None || t.nodes[n].Level != level {
+		return None
+	}
+	return n
+}
+
+// sortNodeIDs sorts ids ascending (insertion sort is fine: domains are
+// small and usually nearly sorted already).
+func sortNodeIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+}

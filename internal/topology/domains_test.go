@@ -1,0 +1,93 @@
+package topology
+
+import "testing"
+
+// testTree builds a small three-tier topology: 2 aggs x 2 ToRs x 3
+// machines x 2 slots.
+func testTree(t *testing.T) *Topology {
+	t.Helper()
+	topo, err := NewThreeTier(ThreeTierConfig{
+		Aggs: 2, ToRsPerAgg: 2, MachinesPerRack: 3,
+		SlotsPerMachine: 2, HostCap: 1000, Oversub: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestMachinesUnder(t *testing.T) {
+	topo := testTree(t)
+	if got := topo.MachinesUnder(nil, topo.Root()); len(got) != len(topo.Machines()) {
+		t.Fatalf("MachinesUnder(root) = %d machines, want %d", len(got), len(topo.Machines()))
+	}
+	for _, tor := range topo.AtLevel(1) {
+		got := topo.MachinesUnder(nil, tor)
+		if len(got) != 3 {
+			t.Fatalf("MachinesUnder(ToR %d) = %v, want 3 machines", tor, got)
+		}
+		for i, m := range got {
+			if !topo.Node(m).IsMachine() {
+				t.Fatalf("MachinesUnder(ToR %d)[%d] = %d: not a machine", tor, i, m)
+			}
+			if topo.AncestorAt(m, 1) != tor {
+				t.Fatalf("machine %d not under ToR %d", m, tor)
+			}
+			if i > 0 && got[i-1] >= m {
+				t.Fatalf("MachinesUnder(ToR %d) not ascending: %v", tor, got)
+			}
+		}
+	}
+	m := topo.Machines()[0]
+	if got := topo.MachinesUnder(nil, m); len(got) != 1 || got[0] != m {
+		t.Fatalf("MachinesUnder(machine %d) = %v, want itself", m, got)
+	}
+}
+
+func TestLinksUnder(t *testing.T) {
+	topo := testTree(t)
+	for _, agg := range topo.AtLevel(2) {
+		got := topo.LinksUnder(nil, agg)
+		// 2 ToR uplinks + 6 machine uplinks under each agg.
+		if len(got) != 8 {
+			t.Fatalf("LinksUnder(agg %d) = %v, want 8 links", agg, got)
+		}
+		for i, l := range got {
+			if l == agg {
+				t.Fatalf("LinksUnder(agg %d) includes the node's own uplink", agg)
+			}
+			if topo.AncestorAt(l, 2) != agg {
+				t.Fatalf("link %d not under agg %d", l, agg)
+			}
+			if i > 0 && got[i-1] >= l {
+				t.Fatalf("LinksUnder(agg %d) not ascending: %v", agg, got)
+			}
+		}
+	}
+	m := topo.Machines()[0]
+	if got := topo.LinksUnder(nil, m); len(got) != 0 {
+		t.Fatalf("LinksUnder(machine) = %v, want empty", got)
+	}
+	// Whole tree: every node except the root has exactly one uplink.
+	if got := topo.LinksUnder(nil, topo.Root()); len(got) != topo.Len()-1 {
+		t.Fatalf("LinksUnder(root) = %d links, want %d", len(got), topo.Len()-1)
+	}
+}
+
+func TestAncestorAt(t *testing.T) {
+	topo := testTree(t)
+	m := topo.Machines()[0]
+	if got := topo.AncestorAt(m, 0); got != m {
+		t.Fatalf("AncestorAt(m, 0) = %d, want %d", got, m)
+	}
+	if got := topo.AncestorAt(m, topo.Height()); got != topo.Root() {
+		t.Fatalf("AncestorAt(m, height) = %d, want root %d", got, topo.Root())
+	}
+	tor := topo.AncestorAt(m, 1)
+	if tor == None || topo.Node(tor).Level != 1 {
+		t.Fatalf("AncestorAt(m, 1) = %d", tor)
+	}
+	if got := topo.AncestorAt(topo.Root(), 0); got != None {
+		t.Fatalf("AncestorAt(root, 0) = %d, want None", got)
+	}
+}
