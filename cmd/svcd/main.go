@@ -45,11 +45,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/httpapi"
+	"repro/internal/replica"
 	"repro/internal/topology"
 	"repro/internal/wal"
 )
@@ -72,6 +74,8 @@ type config struct {
 	checkpointEvery int
 	noSync          bool
 	admission       string
+	role            string // "primary" (default) or "standby"
+	follow          string // primary base URL, required for a standby
 }
 
 // daemon is one running svcd instance: manager, optional journal, HTTP
@@ -84,6 +88,15 @@ type daemon struct {
 	listener net.Listener
 	serveErr chan error
 	stopTick chan struct{}
+
+	// Standby role: the follower and its follow loop. roleMu guards the
+	// promotion swap of mgr/journal/standby against shutdown.
+	roleMu       sync.Mutex
+	standby      *replica.Standby
+	followCancel context.CancelFunc
+	followDone   chan struct{}
+	follow       string // the old primary's URL, fenced after promotion
+	cfg          config
 }
 
 func newDaemon(cfg config) (*daemon, error) {
@@ -114,39 +127,68 @@ func newDaemon(cfg config) (*daemon, error) {
 		return nil, fmt.Errorf("unknown admission mode %q", cfg.admission)
 	}
 
-	d := &daemon{serveErr: make(chan error, 1), stopTick: make(chan struct{})}
-	if cfg.stateDir != "" {
-		walOpts := []wal.Option{wal.WithSnapshotEvery(cfg.checkpointEvery)}
-		if cfg.noSync {
-			walOpts = append(walOpts, wal.WithNoSync())
-		}
-		d.mgr, d.journal, err = wal.Recover(cfg.stateDir, topo, cfg.eps, mgrOpts, walOpts...)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		if d.mgr, err = core.NewManager(topo, cfg.eps, mgrOpts...); err != nil {
-			return nil, err
-		}
+	d := &daemon{serveErr: make(chan error, 1), stopTick: make(chan struct{}), cfg: cfg, follow: cfg.follow}
+	walOpts := []wal.Option{wal.WithSnapshotEvery(cfg.checkpointEvery)}
+	if cfg.noSync {
+		walOpts = append(walOpts, wal.WithNoSync())
 	}
-
-	d.api = httpapi.NewServer(d.mgr)
-	if batch {
-		d.api.SetBatcher(core.NewBatcher(d.mgr, 0))
-	}
-	if d.journal != nil {
-		j := d.journal
-		d.api.SetWALStatus(func() httpapi.WALStatus {
-			gs := j.GroupCommitStats()
-			return httpapi.WALStatus{
-				Gen:       j.Gen(),
-				Appended:  j.Appended(),
-				Batches:   gs.Batches,
-				Records:   gs.Records,
-				MaxBatch:  gs.MaxBatch,
-				MeanBatch: gs.MeanBatch,
+	switch cfg.role {
+	case "", "primary":
+		if cfg.follow != "" {
+			return nil, errors.New("-follow requires -role standby")
+		}
+		if cfg.stateDir != "" {
+			d.mgr, d.journal, err = wal.Recover(cfg.stateDir, topo, cfg.eps, mgrOpts, walOpts...)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			if d.mgr, err = core.NewManager(topo, cfg.eps, mgrOpts...); err != nil {
+				return nil, err
+			}
+		}
+		d.api = httpapi.NewServer(d.mgr)
+		if batch {
+			d.api.SetBatcher(core.NewBatcher(d.mgr, 0))
+		}
+		if d.journal != nil {
+			d.wireJournal(d.mgr, d.journal)
+		}
+	case "standby":
+		if cfg.stateDir == "" || cfg.follow == "" {
+			return nil, errors.New("-role standby needs -state-dir (the mirror) and -follow (the primary URL)")
+		}
+		s, serr := replica.New(replica.Config{
+			Dir:     cfg.stateDir,
+			Topo:    topo,
+			Eps:     cfg.eps,
+			Fetch:   replica.ClientFetcher(httpapi.NewClient(cfg.follow, nil)),
+			MgrOpts: mgrOpts,
+			WALOpts: walOpts,
+			NoSync:  cfg.noSync,
+			// Stream resets build a fresh follower manager; re-point
+			// read traffic at it (d.api is set before start()).
+			OnReset: func(m *core.Manager) { d.api.SetManager(m) },
+		})
+		if serr != nil {
+			return nil, serr
+		}
+		d.standby = s
+		d.mgr = s.Manager()
+		d.api = httpapi.NewServer(d.mgr)
+		d.api.SetStandby(true)
+		d.api.SetPromote(d.promote)
+		d.api.SetReplication(func() *httpapi.ReplicationStatus {
+			cur := s.Cursor()
+			lag := s.Lag()
+			return &httpapi.ReplicationStatus{
+				Role: "standby", Epoch: s.Epoch(), Gen: cur.Gen,
+				AppliedOff: cur.Off, DurableOff: cur.Off + lag.Bytes,
+				LagBytes: lag.Bytes, LagRecords: lag.Records, Version: lag.Version,
 			}
 		})
+	default:
+		return nil, fmt.Errorf("unknown role %q (want primary or standby)", cfg.role)
 	}
 	d.server = &http.Server{
 		Handler:           d.api.Handler(),
@@ -164,18 +206,63 @@ func newDaemon(cfg config) (*daemon, error) {
 	return d, nil
 }
 
+// wireJournal installs the seams a journaled primary serves: WAL
+// status, the replication tail, fencing, and the status report's
+// replication section. Called at boot and again at promotion.
+func (d *daemon) wireJournal(mgr *core.Manager, j *wal.Journal) {
+	d.api.SetWALStatus(func() httpapi.WALStatus {
+		gs := j.GroupCommitStats()
+		return httpapi.WALStatus{
+			Gen:       j.Gen(),
+			Appended:  j.Appended(),
+			Batches:   gs.Batches,
+			Records:   gs.Records,
+			MaxBatch:  gs.MaxBatch,
+			MeanBatch: gs.MeanBatch,
+		}
+	})
+	d.api.SetWALTail(replica.TailHandler(j))
+	d.api.SetFence(j.Fence)
+	d.api.SetReplication(func() *httpapi.ReplicationStatus {
+		cur := j.DurableCursor()
+		return &httpapi.ReplicationStatus{
+			Role: "primary", Epoch: j.Epoch(), Gen: cur.Gen,
+			DurableOff: cur.Off, Version: mgr.Version(),
+		}
+	})
+}
+
 // start begins serving and, when journaled, compacting the log in the
-// background.
+// background; a standby starts its follow loop instead.
 func (d *daemon) start() {
 	go func() { d.serveErr <- d.server.Serve(d.listener) }()
-	if d.journal != nil {
-		go d.checkpointLoop()
+	if d.standby != nil {
+		d.startFollow(d.standby)
+		return
 	}
+	if d.journal != nil {
+		go d.checkpointLoop(d.mgr, d.journal)
+	}
+}
+
+// startFollow launches (or relaunches) the standby follow loop. Callers
+// hold roleMu except during single-threaded startup.
+func (d *daemon) startFollow(s *replica.Standby) {
+	ctx, cancel := context.WithCancel(context.Background())
+	d.followCancel = cancel
+	d.followDone = make(chan struct{})
+	done := d.followDone
+	go func() {
+		defer close(done)
+		if err := s.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+			log.Printf("svcd: follow loop: %v", err)
+		}
+	}()
 }
 
 // checkpointLoop snapshots the manager whenever the journal has
 // accumulated enough records to make compaction worthwhile.
-func (d *daemon) checkpointLoop() {
+func (d *daemon) checkpointLoop(mgr *core.Manager, j *wal.Journal) {
 	t := time.NewTicker(time.Second)
 	defer t.Stop()
 	for {
@@ -183,13 +270,70 @@ func (d *daemon) checkpointLoop() {
 		case <-d.stopTick:
 			return
 		case <-t.C:
-			if d.journal.NeedsCheckpoint() {
-				if err := d.mgr.Checkpoint(); err != nil {
+			if j.NeedsCheckpoint() {
+				if err := mgr.Checkpoint(); err != nil {
 					log.Printf("svcd: checkpoint: %v", err)
 				}
 			}
 		}
 	}
+}
+
+// promote serves POST /v1/promote on a standby: catch up to the
+// primary's durable tail, promote the follower into a journaled
+// primary, swap it behind the HTTP surface, and fence the old primary.
+func (d *daemon) promote(ctx context.Context) (httpapi.PromoteResponse, error) {
+	d.roleMu.Lock()
+	defer d.roleMu.Unlock()
+	s := d.standby
+	if s == nil {
+		return httpapi.PromoteResponse{}, errors.New("this node is no longer a standby")
+	}
+	// Pause the follow loop first: promotion serializes with sync rounds,
+	// so a parked long poll would otherwise stall the catch-up below for
+	// a full poll horizon.
+	if d.followCancel != nil {
+		d.followCancel()
+		<-d.followDone
+		d.followCancel = nil
+	}
+	// Drain whatever the primary can still serve before the lag check;
+	// each round is one fetch, so a dead primary fails fast.
+	for i := 0; i < 8; i++ {
+		caught, err := s.SyncOnce(ctx, 0)
+		if err != nil || caught {
+			break
+		}
+	}
+	prom, err := s.Promote(ctx)
+	if err != nil {
+		d.startFollow(s) // still a standby: keep tracking the primary
+		return httpapi.PromoteResponse{}, err
+	}
+	d.standby = nil
+	d.mgr = prom.Mgr
+	d.journal = prom.Journal
+	d.api.SetManager(prom.Mgr)
+	d.wireJournal(prom.Mgr, prom.Journal)
+	d.api.SetPromote(nil)
+	d.api.SetStandby(false)
+	go d.checkpointLoop(prom.Mgr, prom.Journal)
+	if d.follow != "" {
+		// Best effort: a dead primary can't ack the fence, and doesn't
+		// need it — its journal seam vetoes stale commits if it returns.
+		go func(url string, epoch uint64) {
+			fctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := httpapi.NewClient(url, nil).Fence(fctx, epoch); err != nil {
+				log.Printf("svcd: fence old primary: %v", err)
+			}
+		}(d.follow, prom.Epoch)
+	}
+	log.Printf("svcd: promoted to primary at epoch %d (gen %d)", prom.Epoch, prom.Journal.Gen())
+	return httpapi.PromoteResponse{
+		Epoch: prom.Epoch, LagRecords: prom.Lag.Records,
+		LagBytes: prom.Lag.Bytes, Version: prom.Mgr.Version(),
+	}, nil
 }
 
 // shutdown drains in-flight requests, then makes the final state durable:
@@ -201,12 +345,30 @@ func (d *daemon) shutdown(ctx context.Context) error {
 	if serr := <-d.serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
 		err = serr
 	}
-	if d.journal != nil {
-		if cerr := d.mgr.Checkpoint(); cerr != nil && err == nil {
+	d.roleMu.Lock()
+	mgr, journal, standby := d.mgr, d.journal, d.standby
+	cancel, done := d.followCancel, d.followDone
+	d.roleMu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+	if standby != nil {
+		if cerr := standby.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
-		d.mgr.SetJournal(nil)
-		if cerr := d.journal.Close(); cerr != nil && err == nil {
+	}
+	if journal != nil {
+		// Skip the final checkpoint when the log has nothing new since
+		// the last one (an empty rotation buys no recovery time) or the
+		// journal is fenced (a deposed primary must not rotate).
+		if journal.Appended() > 0 {
+			if cerr := mgr.Checkpoint(); cerr != nil && !errors.Is(cerr, wal.ErrFenced) && err == nil {
+				err = cerr
+			}
+		}
+		mgr.SetJournal(nil)
+		if cerr := journal.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}
@@ -224,6 +386,8 @@ func run(args []string) error {
 	fs.IntVar(&cfg.checkpointEvery, "checkpoint-every", 4096, "journal records between snapshots")
 	fs.BoolVar(&cfg.noSync, "no-sync", false, "skip fsync on journal appends (faster, loses tail on power failure)")
 	fs.StringVar(&cfg.admission, "admission", "optimistic", "admission pipeline: optimistic (plan outside the lock) | batch (optimistic + coalesced batch planning) | locked (serialized)")
+	fs.StringVar(&cfg.role, "role", "primary", "primary serves writes; standby follows a primary's WAL and serves reads until promoted")
+	fs.StringVar(&cfg.follow, "follow", "", "primary base URL a standby replicates from (e.g. http://10.0.0.1:8080)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -235,6 +399,9 @@ func run(args []string) error {
 	durable := "in-memory"
 	if cfg.stateDir != "" {
 		durable = "journaled to " + cfg.stateDir
+	}
+	if cfg.role == "standby" {
+		durable = "standby following " + cfg.follow + ", mirroring to " + cfg.stateDir
 	}
 	log.Printf("svcd: serving %d machines (%d slots, %d jobs recovered) at eps=%v on %s, %s",
 		len(d.mgr.Topology().Machines()), d.mgr.Topology().TotalSlots(),

@@ -174,23 +174,42 @@ func runOne(s *scenario.Scenario, seed uint64, backend, addr string) (*scenario.
 			return nil, err
 		}
 	case "live":
+		failovers := s.Chaos != nil && len(s.Chaos.Failovers) > 0
+		if failovers && addr != "" {
+			return nil, fmt.Errorf("chaos.failovers needs the runner to own the daemon; drop -addr")
+		}
 		base := addr
+		var lb *scenario.LiveBackend
 		if base == "" {
 			dir, err := os.MkdirTemp("", "svcscn-wal-*")
 			if err != nil {
 				return nil, err
 			}
 			defer os.RemoveAll(dir)
-			srv, err := scenario.StartLocal(scenario.LocalConfig{
+			cfg := scenario.LocalConfig{
 				Topo: plan.Topo, Eps: s.Eps, Admission: s.Run.Admission, StateDir: dir,
-			})
-			if err != nil {
-				return nil, err
 			}
-			defer srv.Close()
-			base = srv.URL
+			if failovers {
+				pair, err := scenario.StartLocalPair(cfg)
+				if err != nil {
+					return nil, err
+				}
+				defer pair.Close()
+				lb = scenario.NewLiveBackend(pair.URL)
+				lb.SetFailover(pair.Failover)
+			} else {
+				srv, err := scenario.StartLocal(cfg)
+				if err != nil {
+					return nil, err
+				}
+				defer srv.Close()
+				base = srv.URL
+			}
 		}
-		b = scenario.NewLiveBackend(base)
+		if lb == nil {
+			lb = scenario.NewLiveBackend(base)
+		}
+		b = lb
 	}
 	defer b.Close()
 	return scenario.Run(plan, b)

@@ -9,5 +9,5 @@ import (
 
 func TestJournalseam(t *testing.T) {
 	analysistest.Run(t, "testdata", journalseam.Analyzer,
-		"repro/internal/topology", "repro/internal/core", "consumer")
+		"repro/internal/topology", "repro/internal/core", "consumer", "replica")
 }

@@ -114,3 +114,11 @@ func (m *Manager) badUse() {
 func (m *Manager) badFault(id topology.MachineID) {
 	m.led.Faults().FailMachine(id) // want `FailMachine on the live ledger outside applyLocked`
 }
+
+// --- negative: Replay is the follower's journal-less apply seam ---
+
+func (m *Manager) Replay(mut *Mutation) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.applyLocked(mut)
+}

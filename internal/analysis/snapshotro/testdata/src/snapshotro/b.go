@@ -1,0 +1,47 @@
+// Replication-flavored fixtures: the follower publishes its state as a
+// shared snapshot (lag reporting, promotion cross-checks read it); the
+// replication stream must never be applied through that shared view.
+package snapshotro
+
+type Follower struct {
+	snap *Ledger
+}
+
+// Snapshot publishes the follower's current state — shared, read-only.
+func (f *Follower) Snapshot() *Ledger { return f.snap }
+
+// --- negative: lag reporting reads the snapshot ---
+
+func (f *Follower) Lag() int {
+	snap := f.Snapshot()
+	return snap.Used(0)
+}
+
+// --- negative: the promotion cross-check rehearses on a private clone ---
+
+func (f *Follower) PromoteCheck(mut *Mutation) error {
+	scratch := f.Snapshot().Clone()
+	scratch.UseSlots(0, 1)
+	return commit(scratch, mut)
+}
+
+// --- positive: replaying a streamed record into the shared view ---
+
+func (f *Follower) BadReplay() {
+	snap := f.Snapshot()
+	snap.UseSlots(0, 1) // want `mutator UseSlots called on shared snapshot snap`
+}
+
+// --- positive: a stream reset zeroing state through the shared view ---
+
+func (f *Follower) BadReset() {
+	snap := f.Snapshot()
+	snap.used[0] = 0 // want `write through shared snapshot snap`
+}
+
+// --- positive: promotion committing onto the shared snapshot ---
+
+func (f *Follower) BadPromote(mut *Mutation) error {
+	snap := f.Snapshot()
+	return commit(snap, mut) // want `shared snapshot snap passed to commit`
+}

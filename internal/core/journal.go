@@ -225,7 +225,7 @@ func (m *Manager) journalLocked(mut Mutation) error {
 		return nil
 	}
 	if err := m.journal.Commit(mut); err != nil {
-		return fmt.Errorf("%w: %v", ErrJournal, err)
+		return fmt.Errorf("%w: %w", ErrJournal, err)
 	}
 	return nil
 }
@@ -269,7 +269,7 @@ func (m *Manager) stageLocked(mut Mutation) (func() error, error) {
 	}
 	wait, err := aj.StageCommit(mut)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrJournal, err)
+		return nil, fmt.Errorf("%w: %w", ErrJournal, err)
 	}
 	return func() error {
 		if werr := wait(); werr != nil {

@@ -323,6 +323,14 @@ func (m *Manager) FreeSlots() int {
 	return m.led.TotalFreeSlots()
 }
 
+// Version returns the count of applied mutations since construction —
+// the committed-version clock replication lag is measured in.
+func (m *Manager) Version() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
+}
+
 // SetOffline takes a machine out of (or back into) service. Offline
 // machines receive no new VMs; running jobs are unaffected until their
 // owner releases or fails them. It fails only when the attached journal

@@ -10,6 +10,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -23,8 +24,16 @@ import (
 // 503, 504). Mutating requests without a key are never retried: a timed-out
 // allocate may have committed server-side, and repeating it would
 // double-reserve.
+//
+// A client built with WithEndpoints is failover-aware: a transient
+// failure rotates it to the next endpoint before the retry, so a write
+// that raced a primary crash is re-driven — under its idempotency key —
+// against the promoted standby. An acked admission is therefore neither
+// lost nor duplicated by a failover.
 type Client struct {
-	base    string
+	mu      sync.Mutex
+	bases   []string
+	active  int
 	hc      *http.Client
 	retries int
 	backoff time.Duration
@@ -59,6 +68,21 @@ func WithBackoff(base, cap time.Duration) ClientOption {
 	}
 }
 
+// WithEndpoints adds alternate service endpoints. The client sticks to
+// one endpoint until a transient failure (connection error or 500/502/
+// 503/504), then rotates to the next for the retry and every request
+// after it — a cheap failover: when the primary dies, traffic lands on
+// the standby as soon as one request fails over to it.
+func WithEndpoints(alternates ...string) ClientOption {
+	return func(c *Client) {
+		for _, a := range alternates {
+			if a != "" {
+				c.bases = append(c.bases, a)
+			}
+		}
+	}
+}
+
 // WithRequestTimeout bounds each individual attempt (not the whole retry
 // loop) with a deadline, layered under the caller's context. Zero (the
 // default) applies no per-attempt deadline.
@@ -77,7 +101,7 @@ func NewClient(base string, httpClient *http.Client, opts ...ClientOption) *Clie
 		httpClient = http.DefaultClient
 	}
 	c := &Client{
-		base:    base,
+		bases:   []string{base},
 		hc:      httpClient,
 		retries: 3,
 		backoff: 100 * time.Millisecond,
@@ -87,6 +111,33 @@ func NewClient(base string, httpClient *http.Client, opts ...ClientOption) *Clie
 		o(c)
 	}
 	return c
+}
+
+// Endpoint returns the endpoint the client is currently directing
+// requests at.
+func (c *Client) Endpoint() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bases[c.active]
+}
+
+// currentBase returns the active endpoint and its index; the index lets
+// a failed attempt rotate away from exactly the endpoint it used.
+func (c *Client) currentBase() (string, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bases[c.active], c.active
+}
+
+// rotateFrom advances to the next endpoint, but only if the client is
+// still on the one that just failed — concurrent failures on the same
+// endpoint rotate once, not once each.
+func (c *Client) rotateFrom(used int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.active == used && len(c.bases) > 1 {
+		c.active = (c.active + 1) % len(c.bases)
+	}
 }
 
 // ReqOption configures one request.
@@ -213,6 +264,41 @@ func (c *Client) Failures(ctx context.Context) (core.FailureStats, error) {
 	return resp, err
 }
 
+// WALTail fetches one chunk of the primary's replication log. It is a
+// single attempt against one explicit endpoint — the standby's follow
+// loop owns retry and failover policy, not the client.
+func (c *Client) WALTail(ctx context.Context, q WALTailQuery) (WALChunk, error) {
+	path := fmt.Sprintf("/v1/wal?gen=%d&off=%d&wait_ms=%d&max_bytes=%d",
+		q.Gen, q.Off, q.WaitMs, q.MaxBytes)
+	var chunk WALChunk
+	base, _ := c.currentBase()
+	err, _, _ := c.attempt(ctx, base, http.MethodGet, path, nil, false, "", &chunk, http.StatusOK)
+	return chunk, err
+}
+
+// Promote asks a standby to take over as primary. Single attempt: a
+// repeated promote against an already promoted node would 501.
+func (c *Client) Promote(ctx context.Context) (PromoteResponse, error) {
+	var resp PromoteResponse
+	base, _ := c.currentBase()
+	err, _, _ := c.attempt(ctx, base, http.MethodPost, "/v1/promote", nil, false, "", &resp, http.StatusOK)
+	return resp, err
+}
+
+// Fence tells a (possibly deposed) primary that epoch supersedes it,
+// vetoing every commit it might still try. Single attempt: fencing a
+// dead node is a no-op, and the journal veto is what promotion's safety
+// rests on.
+func (c *Client) Fence(ctx context.Context, epoch uint64) error {
+	body, err := json.Marshal(FenceRequest{Epoch: epoch})
+	if err != nil {
+		return fmt.Errorf("httpapi: encode fence request: %w", err)
+	}
+	base, _ := c.currentBase()
+	err, _, _ = c.attempt(ctx, base, http.MethodPost, "/v1/fence", body, true, "", nil, http.StatusNoContent)
+	return err
+}
+
 // retryableStatus reports whether a response status indicates a transient
 // server-side failure worth retrying.
 func retryableStatus(code int) bool {
@@ -245,7 +331,8 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, wantS
 	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
-		err, hint, transient := c.attempt(ctx, method, path, buf, in != nil, rc.idemKey, out, wantStatus)
+		base, used := c.currentBase()
+		err, hint, transient := c.attempt(ctx, base, method, path, buf, in != nil, rc.idemKey, out, wantStatus)
 		if err == nil {
 			return nil
 		}
@@ -253,6 +340,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, wantS
 		if !transient || attempt == attempts-1 {
 			return err
 		}
+		// Try the next endpoint: if this one is a dead or deposed
+		// primary, the retry should land on the promoted standby.
+		c.rotateFrom(used)
 		if err := c.sleep(ctx, attempt, hint); err != nil {
 			return lastErr
 		}
@@ -262,7 +352,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, wantS
 
 // attempt runs one request. hint carries the server's Retry-After (0 when
 // absent); transient reports whether the failure is worth retrying.
-func (c *Client) attempt(parent context.Context, method, path string, body []byte, hasBody bool, idemKey string, out any, wantStatus int) (err error, hint time.Duration, transient bool) {
+func (c *Client) attempt(parent context.Context, base, method, path string, body []byte, hasBody bool, idemKey string, out any, wantStatus int) (err error, hint time.Duration, transient bool) {
 	ctx := parent
 	if c.timeout > 0 {
 		var cancel context.CancelFunc
@@ -273,7 +363,7 @@ func (c *Client) attempt(parent context.Context, method, path string, body []byt
 	if hasBody {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return fmt.Errorf("httpapi: build request: %w", err), 0, false
 	}

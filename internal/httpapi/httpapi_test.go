@@ -187,7 +187,7 @@ func TestLinksEndpoint(t *testing.T) {
 
 func TestMalformedJSONIs400(t *testing.T) {
 	client, _ := newTestService(t)
-	resp, err := http.Post(client.base+"/v1/allocations", "application/json",
+	resp, err := http.Post(client.Endpoint()+"/v1/allocations", "application/json",
 		strings.NewReader(`{"n": 3, "unknownField": true}`))
 	if err != nil {
 		t.Fatalf("Post: %v", err)
@@ -200,7 +200,7 @@ func TestMalformedJSONIs400(t *testing.T) {
 
 func TestBadLimitIs400(t *testing.T) {
 	client, _ := newTestService(t)
-	resp, err := http.Get(client.base + "/v1/links?limit=banana")
+	resp, err := http.Get(client.Endpoint() + "/v1/links?limit=banana")
 	if err != nil {
 		t.Fatalf("Get: %v", err)
 	}

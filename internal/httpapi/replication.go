@@ -1,0 +1,179 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// WALTailQuery is the parsed form of GET /v1/wal: a resume cursor plus
+// long-poll and size knobs.
+type WALTailQuery struct {
+	Gen      uint64
+	Off      int64
+	WaitMs   int
+	MaxBytes int
+}
+
+// WALChunk is the wire form of one tail response. Snap and Data are
+// raw file bytes (base64 in JSON); their CRCs are re-verified by the
+// standby before any byte is applied or mirrored.
+type WALChunk struct {
+	Gen     uint64 `json:"gen"`
+	From    int64  `json:"from"`
+	Durable int64  `json:"durable"`
+	Records int    `json:"records"`
+	Epoch   uint64 `json:"epoch"`
+	Reset   bool   `json:"reset,omitempty"`
+	Snap    []byte `json:"snap,omitempty"`
+	Data    []byte `json:"data,omitempty"`
+}
+
+// PromoteResponse reports the outcome of POST /v1/promote.
+type PromoteResponse struct {
+	Epoch      uint64 `json:"epoch"`
+	LagRecords int    `json:"lag_records"`
+	LagBytes   int64  `json:"lag_bytes"`
+	Version    uint64 `json:"version"`
+}
+
+// FenceRequest is the body of POST /v1/fence: the epoch that supersedes
+// this node's journal.
+type FenceRequest struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// ReplicationStatus describes a node's place in the replication pair,
+// reported under /v1/status.
+type ReplicationStatus struct {
+	Role       string `json:"role"`
+	Epoch      uint64 `json:"epoch"`
+	Gen        uint64 `json:"gen"`
+	AppliedOff int64  `json:"applied_off,omitempty"`
+	DurableOff int64  `json:"durable_off,omitempty"`
+	LagBytes   int64  `json:"lag_bytes,omitempty"`
+	LagRecords int    `json:"lag_records,omitempty"`
+	Version    uint64 `json:"version"`
+}
+
+// maxTailWait caps the server-side long poll comfortably under the HTTP
+// server's write timeout so an idle poll answers instead of timing out.
+const maxTailWait = 20 * time.Second
+
+// SetWALTail installs the journal tail seam serving GET /v1/wal. A nil
+// seam answers 501.
+func (s *Server) SetWALTail(fn func(ctx context.Context, q WALTailQuery) (WALChunk, error)) {
+	if fn == nil {
+		s.tail.Store(nil)
+		return
+	}
+	s.tail.Store(&fn)
+}
+
+// SetPromote installs the standby promotion seam behind POST /v1/promote.
+func (s *Server) SetPromote(fn func(ctx context.Context) (PromoteResponse, error)) {
+	if fn == nil {
+		s.promote.Store(nil)
+		return
+	}
+	s.promote.Store(&fn)
+}
+
+// SetFence installs the fencing seam behind POST /v1/fence.
+func (s *Server) SetFence(fn func(epoch uint64) error) {
+	if fn == nil {
+		s.fence.Store(nil)
+		return
+	}
+	s.fence.Store(&fn)
+}
+
+// SetReplication installs the provider for the status report's
+// replication section.
+func (s *Server) SetReplication(fn func() *ReplicationStatus) {
+	if fn == nil {
+		s.replication.Store(nil)
+		return
+	}
+	s.replication.Store(&fn)
+}
+
+func (s *Server) handleWALTail(w http.ResponseWriter, r *http.Request) {
+	tail := s.tail.Load()
+	if tail == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("this node does not serve the replication log"))
+		return
+	}
+	var q WALTailQuery
+	var err error
+	qs := r.URL.Query()
+	if v := qs.Get("gen"); v != "" {
+		if q.Gen, err = strconv.ParseUint(v, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad gen: %w", err))
+			return
+		}
+	}
+	if v := qs.Get("off"); v != "" {
+		if q.Off, err = strconv.ParseInt(v, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad off: %w", err))
+			return
+		}
+	}
+	if v := qs.Get("wait_ms"); v != "" {
+		if q.WaitMs, err = strconv.Atoi(v); err != nil || q.WaitMs < 0 {
+			writeError(w, http.StatusBadRequest, errors.New("bad wait_ms"))
+			return
+		}
+	}
+	if v := qs.Get("max_bytes"); v != "" {
+		if q.MaxBytes, err = strconv.Atoi(v); err != nil || q.MaxBytes < 0 {
+			writeError(w, http.StatusBadRequest, errors.New("bad max_bytes"))
+			return
+		}
+	}
+	if q.WaitMs > int(maxTailWait/time.Millisecond) {
+		q.WaitMs = int(maxTailWait / time.Millisecond)
+	}
+	chunk, err := (*tail)(r.Context(), q)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, chunk)
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	fn := s.promote.Load()
+	if fn == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("this node is not a standby"))
+		return
+	}
+	resp, err := (*fn)(r.Context())
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFence(w http.ResponseWriter, r *http.Request) {
+	fn := s.fence.Load()
+	if fn == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("this node has no journal to fence"))
+		return
+	}
+	var req FenceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad fence request: %w", err))
+		return
+	}
+	if err := (*fn)(req.Epoch); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

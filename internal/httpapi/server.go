@@ -18,6 +18,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -78,17 +79,18 @@ type PlacementEntry struct {
 
 // Status reports datacenter-wide state.
 type Status struct {
-	Machines     int              `json:"machines"`
-	TotalSlots   int              `json:"totalSlots"`
-	FreeSlots    int              `json:"freeSlots"`
-	RunningJobs  int              `json:"runningJobs"`
-	MaxOccupancy float64          `json:"maxOccupancy"`
-	Epsilon      float64          `json:"epsilon"`
-	MachinesDown int              `json:"machinesDown,omitempty"`
-	LinksDown    int              `json:"linksDown,omitempty"`
-	DegradedJobs int              `json:"degradedJobs,omitempty"`
-	Admission    *AdmissionStatus `json:"admission,omitempty"`
-	WAL          *WALStatus       `json:"wal,omitempty"`
+	Machines     int                `json:"machines"`
+	TotalSlots   int                `json:"totalSlots"`
+	FreeSlots    int                `json:"freeSlots"`
+	RunningJobs  int                `json:"runningJobs"`
+	MaxOccupancy float64            `json:"maxOccupancy"`
+	Epsilon      float64            `json:"epsilon"`
+	MachinesDown int                `json:"machinesDown,omitempty"`
+	LinksDown    int                `json:"linksDown,omitempty"`
+	DegradedJobs int                `json:"degradedJobs,omitempty"`
+	Admission    *AdmissionStatus   `json:"admission,omitempty"`
+	WAL          *WALStatus         `json:"wal,omitempty"`
+	Replication  *ReplicationStatus `json:"replication,omitempty"`
 }
 
 // AdmissionStatus reports how admissions traveled through the optimistic
@@ -191,16 +193,27 @@ type errorBody struct {
 
 // Server wraps a network manager with the HTTP interface.
 type Server struct {
-	mgr       *core.Manager
+	mgr       atomic.Pointer[core.Manager]
 	mux       *http.ServeMux
 	draining  atomic.Bool
-	walStatus func() WALStatus
+	standby   atomic.Bool
+	walStatus atomic.Pointer[func() WALStatus]
 	batcher   *core.Batcher
+
+	// Replication seams, injected by the daemon (closures keep this
+	// package free of wal/replica dependencies). All four are atomics:
+	// promotion installs a journal's seams on a server that is already
+	// taking requests.
+	tail        atomic.Pointer[func(ctx context.Context, q WALTailQuery) (WALChunk, error)]
+	promote     atomic.Pointer[func(ctx context.Context) (PromoteResponse, error)]
+	fence       atomic.Pointer[func(epoch uint64) error]
+	replication atomic.Pointer[func() *ReplicationStatus]
 }
 
 // NewServer returns a server over the manager.
 func NewServer(mgr *core.Manager) *Server {
-	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s := &Server{mux: http.NewServeMux()}
+	s.mgr.Store(mgr)
 	s.mux.HandleFunc("POST /v1/allocations", s.handleAllocate)
 	s.mux.HandleFunc("DELETE /v1/allocations/{id}", s.handleRelease)
 	s.mux.HandleFunc("POST /v1/dryrun", s.handleDryRun)
@@ -211,13 +224,32 @@ func NewServer(mgr *core.Manager) *Server {
 	s.mux.HandleFunc("POST /v1/repairs", s.handleRepair)
 	s.mux.HandleFunc("GET /v1/failures", s.handleFailures)
 	s.mux.HandleFunc("GET /v1/state", s.handleState)
+	s.mux.HandleFunc("GET /v1/wal", s.handleWALTail)
+	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
+	s.mux.HandleFunc("POST /v1/fence", s.handleFence)
 	return s
 }
 
+// manager returns the manager serving requests right now. One load per
+// handler: a request observes either the pre- or post-promotion manager,
+// never a mix.
+func (s *Server) manager() *core.Manager { return s.mgr.Load() }
+
+// SetManager swaps the manager serving requests — promotion replaces a
+// standby's follower manager with the recovered, journaled primary one.
+// In-flight requests finish against the manager they loaded.
+func (s *Server) SetManager(mgr *core.Manager) { s.mgr.Store(mgr) }
+
 // SetWALStatus installs the journal-state provider surfaced under the
 // "wal" key of /v1/status. A closure keeps this package free of a wal
-// dependency; call before serving (the field is read without a lock).
-func (s *Server) SetWALStatus(fn func() WALStatus) { s.walStatus = fn }
+// dependency.
+func (s *Server) SetWALStatus(fn func() WALStatus) {
+	if fn == nil {
+		s.walStatus.Store(nil)
+		return
+	}
+	s.walStatus.Store(&fn)
+}
 
 // SetBatcher routes allocations through batch admission: concurrent
 // POST /v1/allocations requests coalesce into shared planning and
@@ -231,17 +263,37 @@ func (s *Server) SetBatcher(b *core.Batcher) { s.batcher = b }
 // hint so clients fail over; reads keep working until shutdown.
 func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
+// SetStandby switches the server in or out of standby mode: writes are
+// refused with 503 (clients rotate to the primary), reads serve from
+// the follower manager, and the promote/fence endpoints stay reachable
+// so an operator can effect the failover.
+func (s *Server) SetStandby(v bool) { s.standby.Store(v) }
+
 // Handler returns the http.Handler serving the API.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() && r.Method != http.MethodGet {
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
-			return
+		if r.Method != http.MethodGet && !controlPath(r.URL.Path) {
+			if s.draining.Load() {
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+				return
+			}
+			if s.standby.Load() {
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, errors.New("standby: this node is not the primary"))
+				return
+			}
 		}
 		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 		s.mux.ServeHTTP(w, r)
 	})
+}
+
+// controlPath lists the failover-control endpoints that bypass the
+// drain and standby gates: promotion targets a standby by design, and
+// fencing targets a primary that may already be draining.
+func controlPath(path string) bool {
+	return path == "/v1/promote" || path == "/v1/fence"
 }
 
 // buildRequests converts the wire request into a core request, returning
@@ -274,6 +326,7 @@ func (r *AllocationRequest) build() (homog *core.Homogeneous, hetero *core.Heter
 }
 
 func (s *Server) handleAllocate(w http.ResponseWriter, req *http.Request) {
+	mgr := s.manager()
 	var wire AllocationRequest
 	if err := decodeJSON(req, &wire); err != nil {
 		writeError(w, decodeStatus(err), err)
@@ -290,9 +343,9 @@ func (s *Server) handleAllocate(w http.ResponseWriter, req *http.Request) {
 	case s.batcher != nil && key == "":
 		alloc, err = s.batcher.Allocate(core.BatchRequest{Homog: homog, Hetero: hetero})
 	case homog != nil:
-		alloc, err = s.mgr.AllocateHomog(*homog, core.WithIdemKey(key))
+		alloc, err = mgr.AllocateHomog(*homog, core.WithIdemKey(key))
 	default:
-		alloc, err = s.mgr.AllocateHetero(*hetero, core.WithIdemKey(key))
+		alloc, err = mgr.AllocateHetero(*hetero, core.WithIdemKey(key))
 	}
 	switch {
 	case errors.Is(err, core.ErrNoCapacity):
@@ -321,13 +374,14 @@ func (s *Server) handleAllocate(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) handleRelease(w http.ResponseWriter, req *http.Request) {
+	mgr := s.manager()
 	id, err := strconv.ParseInt(req.PathValue("id"), 10, 64)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad allocation id: %w", err))
 		return
 	}
 	key := req.Header.Get(IdempotencyHeader)
-	if err := s.mgr.Release(core.JobID(id), core.WithIdemKey(key)); err != nil {
+	if err := mgr.Release(core.JobID(id), core.WithIdemKey(key)); err != nil {
 		switch {
 		case errors.Is(err, core.ErrUnknownJob):
 			writeError(w, http.StatusNotFound, err)
@@ -344,6 +398,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) handleDryRun(w http.ResponseWriter, req *http.Request) {
+	mgr := s.manager()
 	var wire AllocationRequest
 	if err := decodeJSON(req, &wire); err != nil {
 		writeError(w, decodeStatus(err), err)
@@ -356,14 +411,15 @@ func (s *Server) handleDryRun(w http.ResponseWriter, req *http.Request) {
 	}
 	feasible := false
 	if homog != nil {
-		feasible = s.mgr.CanAllocateHomog(*homog)
+		feasible = mgr.CanAllocateHomog(*homog)
 	} else {
-		feasible = s.mgr.CanAllocateHetero(*hetero)
+		feasible = mgr.CanAllocateHetero(*hetero)
 	}
 	writeJSON(w, http.StatusOK, DryRunResponse{Feasible: feasible})
 }
 
 func (s *Server) handleHeadroom(w http.ResponseWriter, req *http.Request) {
+	mgr := s.manager()
 	var wire HeadroomRequest
 	if err := decodeJSON(req, &wire); err != nil {
 		writeError(w, decodeStatus(err), err)
@@ -374,7 +430,7 @@ func (s *Server) handleHeadroom(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	fits, err := s.mgr.Headroom(hreq, wire.Limit)
+	fits, err := mgr.Headroom(hreq, wire.Limit)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -383,16 +439,17 @@ func (s *Server) handleHeadroom(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
-	topo := s.mgr.Topology()
-	fstats := s.mgr.FailureStats()
-	adm := s.mgr.AdmissionStats()
+	mgr := s.manager()
+	topo := mgr.Topology()
+	fstats := mgr.FailureStats()
+	adm := mgr.AdmissionStats()
 	st := Status{
 		Machines:     len(topo.Machines()),
 		TotalSlots:   topo.TotalSlots(),
-		FreeSlots:    s.mgr.FreeSlots(),
-		RunningJobs:  s.mgr.Running(),
-		MaxOccupancy: s.mgr.MaxOccupancy(),
-		Epsilon:      s.mgr.Epsilon(),
+		FreeSlots:    mgr.FreeSlots(),
+		RunningJobs:  mgr.Running(),
+		MaxOccupancy: mgr.MaxOccupancy(),
+		Epsilon:      mgr.Epsilon(),
 		MachinesDown: fstats.MachinesDown,
 		LinksDown:    fstats.LinksDown,
 		DegradedJobs: fstats.DegradedJobs,
@@ -416,14 +473,18 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 			MeanBatch:    adm.Batch.Mean(),
 		},
 	}
-	if s.walStatus != nil {
-		ws := s.walStatus()
+	if fn := s.walStatus.Load(); fn != nil {
+		ws := (*fn)()
 		st.WAL = &ws
+	}
+	if fn := s.replication.Load(); fn != nil {
+		st.Replication = (*fn)()
 	}
 	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleFault(w http.ResponseWriter, req *http.Request) {
+	mgr := s.manager()
 	var wire FaultRequest
 	if err := decodeJSON(req, &wire); err != nil {
 		writeError(w, decodeStatus(err), err)
@@ -433,7 +494,7 @@ func (s *Server) handleFault(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("set exactly one of machine and link"))
 		return
 	}
-	topo := s.mgr.Topology()
+	topo := mgr.Topology()
 	key := core.WithIdemKey(req.Header.Get(IdempotencyHeader))
 	var (
 		affected []core.JobID
@@ -447,9 +508,9 @@ func (s *Server) handleFault(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 		if wire.Restore {
-			err = s.mgr.RestoreMachine(id, key)
+			err = mgr.RestoreMachine(id, key)
 		} else {
-			affected, err = s.mgr.FailMachine(id, key)
+			affected, err = mgr.FailMachine(id, key)
 		}
 	default:
 		id := topology.LinkID(*wire.Link)
@@ -458,9 +519,9 @@ func (s *Server) handleFault(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 		if wire.Restore {
-			err = s.mgr.RestoreLink(id, key)
+			err = mgr.RestoreLink(id, key)
 		} else {
-			affected, err = s.mgr.FailLink(id, key)
+			affected, err = mgr.FailLink(id, key)
 		}
 	}
 	if err != nil {
@@ -472,7 +533,7 @@ func (s *Server) handleFault(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if wire.Restore {
-		affected = s.mgr.AffectedJobs()
+		affected = mgr.AffectedJobs()
 	}
 	resp := FaultResponse{AffectedJobs: make([]int64, 0, len(affected))}
 	for _, id := range affected {
@@ -499,13 +560,14 @@ func wireRepair(res core.RepairResult) RepairResult {
 }
 
 func (s *Server) handleRepair(w http.ResponseWriter, req *http.Request) {
+	mgr := s.manager()
 	var wire RepairRequest
 	if err := decodeJSON(req, &wire); err != nil && !errors.Is(err, io.EOF) {
 		writeError(w, decodeStatus(err), err)
 		return
 	}
 	if wire.Job != nil {
-		res, err := s.mgr.RepairJob(core.JobID(*wire.Job))
+		res, err := mgr.RepairJob(core.JobID(*wire.Job))
 		if errors.Is(err, core.ErrUnknownJob) {
 			writeError(w, http.StatusNotFound, err)
 			return
@@ -521,7 +583,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, []RepairResult{wireRepair(res)})
 		return
 	}
-	results, err := s.mgr.RepairAll()
+	results, err := mgr.RepairAll()
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, core.ErrJournal) {
@@ -538,7 +600,8 @@ func (s *Server) handleRepair(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) handleFailures(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.mgr.FailureStats())
+	mgr := s.manager()
+	writeJSON(w, http.StatusOK, mgr.FailureStats())
 }
 
 // handleState exports the manager's full serializable state — the same
@@ -547,12 +610,14 @@ func (s *Server) handleFailures(w http.ResponseWriter, _ *http.Request) {
 // bit-for-bit against an offline manager. Floats round-trip exactly
 // through JSON (see core.ManagerState).
 func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.mgr.ExportState())
+	mgr := s.manager()
+	writeJSON(w, http.StatusOK, mgr.ExportState())
 }
 
 func (s *Server) handleLinks(w http.ResponseWriter, req *http.Request) {
-	topo := s.mgr.Topology()
-	led := s.mgr.Ledger()
+	mgr := s.manager()
+	topo := mgr.Topology()
+	led := mgr.Ledger()
 	links := topo.Links()
 	out := make([]LinkStatus, 0, len(links))
 	for _, l := range links {

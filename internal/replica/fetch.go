@@ -1,0 +1,52 @@
+package replica
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/internal/wal"
+)
+
+// TailHandler adapts a journal's Tail to the httpapi replication seam;
+// svcd and the scenario harness both serve GET /v1/wal through it.
+func TailHandler(j *wal.Journal) func(ctx context.Context, q httpapi.WALTailQuery) (httpapi.WALChunk, error) {
+	return func(ctx context.Context, q httpapi.WALTailQuery) (httpapi.WALChunk, error) {
+		chunk, err := j.Tail(ctx, wal.Cursor{Gen: q.Gen, Off: q.Off},
+			q.MaxBytes, time.Duration(q.WaitMs)*time.Millisecond)
+		if err != nil {
+			return httpapi.WALChunk{}, err
+		}
+		return httpapi.WALChunk{
+			Gen: chunk.Gen, From: chunk.From, Durable: chunk.Durable,
+			Records: chunk.Records, Epoch: chunk.Epoch, Reset: chunk.Reset,
+			Snap: chunk.Snap, Data: chunk.Data,
+		}, nil
+	}
+}
+
+// ClientFetcher follows a primary over HTTP.
+func ClientFetcher(c *httpapi.Client) Fetch {
+	return func(ctx context.Context, cur wal.Cursor, maxBytes int, wait time.Duration) (wal.TailChunk, error) {
+		ch, err := c.WALTail(ctx, httpapi.WALTailQuery{
+			Gen: cur.Gen, Off: cur.Off,
+			WaitMs: int(wait / time.Millisecond), MaxBytes: maxBytes,
+		})
+		if err != nil {
+			return wal.TailChunk{}, err
+		}
+		return wal.TailChunk{
+			Gen: ch.Gen, From: ch.From, Durable: ch.Durable,
+			Records: ch.Records, Epoch: ch.Epoch, Reset: ch.Reset,
+			Snap: ch.Snap, Data: ch.Data,
+		}, nil
+	}
+}
+
+// JournalFetcher follows a journal in the same process — the zero-copy
+// seam tests and simulations use.
+func JournalFetcher(j *wal.Journal) Fetch {
+	return func(ctx context.Context, cur wal.Cursor, maxBytes int, wait time.Duration) (wal.TailChunk, error) {
+		return j.Tail(ctx, cur, maxBytes, wait)
+	}
+}

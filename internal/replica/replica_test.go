@@ -1,0 +1,454 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/wal"
+)
+
+// testTopo: 2 racks x 2 machines x 3 slots, the same shape the wal and
+// core tests use.
+func testTopo(t testing.TB) *topology.Topology {
+	t.Helper()
+	rack := func() topology.Spec {
+		return topology.Spec{UpCap: 40, Children: []topology.Spec{
+			{UpCap: 30, Slots: 3},
+			{UpCap: 30, Slots: 3},
+		}}
+	}
+	topo, err := topology.NewFromSpec(topology.Spec{Children: []topology.Spec{rack(), rack()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+const testEps = 0.05
+
+func homog(n int, mu, sigma float64) core.Homogeneous {
+	return core.Homogeneous{N: n, Demand: stats.Normal{Mu: mu, Sigma: sigma}}
+}
+
+func mustPrimary(t testing.TB, dir string) (*core.Manager, *wal.Journal) {
+	t.Helper()
+	m, j, err := wal.Recover(dir, testTopo(t), testEps, nil, wal.WithNoSync())
+	if err != nil {
+		t.Fatalf("Recover(%s): %v", dir, err)
+	}
+	return m, j
+}
+
+func newStandby(t testing.TB, j *wal.Journal) *Standby {
+	t.Helper()
+	s, err := New(Config{
+		Dir:    t.TempDir(),
+		Topo:   testTopo(t),
+		Eps:    testEps,
+		Fetch:  JournalFetcher(j),
+		NoSync: true,
+		WALOpts: []wal.Option{
+			wal.WithNoSync(),
+		},
+	})
+	if err != nil {
+		t.Fatalf("replica.New: %v", err)
+	}
+	return s
+}
+
+// syncToFrontier pulls until the standby reports caught up.
+func syncToFrontier(t testing.TB, s *Standby) {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		caught, err := s.SyncOnce(context.Background(), 0)
+		if err != nil {
+			t.Fatalf("SyncOnce: %v", err)
+		}
+		if caught {
+			return
+		}
+	}
+	t.Fatal("standby never caught up")
+}
+
+// workload drives a deterministic mixed op sequence on the primary.
+func workload(t testing.TB, m *core.Manager) {
+	t.Helper()
+	machines := m.Topology().Machines()
+	var jobs []core.JobID
+	alloc := func(n int, mu, sigma float64, opts ...core.CallOption) {
+		if a, err := m.AllocateHomog(homog(n, mu, sigma), opts...); err == nil {
+			jobs = append(jobs, a.ID)
+		}
+	}
+	alloc(3, 5, 2, core.WithIdemKey("repl-a"))
+	alloc(2, 4, 1)
+	alloc(1, 8, 3)
+	m.FailMachine(machines[0], core.WithIdemKey("repl-fail"))
+	m.RepairAll()
+	m.RestoreMachine(machines[0])
+	if len(jobs) > 1 {
+		m.Release(jobs[1], core.WithIdemKey("repl-rel"))
+	}
+	m.SetOffline(machines[1], true)
+	alloc(2, 3, 1)
+	m.SetOffline(machines[1], false)
+	links := m.Topology().Links()
+	m.FailLink(links[len(links)-1])
+	m.RepairAll()
+	m.RestoreLink(links[len(links)-1])
+	alloc(1, 2, 1)
+}
+
+// TestStandbyFollowsBitIdentical: the follower converges to the
+// primary's exact state, across commits and a checkpoint rotation.
+func TestStandbyFollowsBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	m, j := mustPrimary(t, dir)
+	defer j.Close()
+	workload(t, m)
+
+	s := newStandby(t, j)
+	defer s.Close()
+	syncToFrontier(t, s)
+	if !reflect.DeepEqual(s.Manager().ExportState(), m.ExportState()) {
+		t.Fatal("followed state differs from primary")
+	}
+	if lag := s.Lag(); lag.Bytes != 0 || lag.Records != 0 {
+		t.Fatalf("caught-up standby reports lag %+v", lag)
+	}
+
+	// Rotation: the follower resets onto the new generation's snapshot.
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	workload(t, m)
+	syncToFrontier(t, s)
+	if !reflect.DeepEqual(s.Manager().ExportState(), m.ExportState()) {
+		t.Fatal("followed state differs after checkpoint rotation")
+	}
+	if cur := s.Cursor(); cur.Gen != j.Gen() {
+		t.Fatalf("follower generation %d, primary %d", cur.Gen, j.Gen())
+	}
+}
+
+// TestStandbyLagReporting: a standby that has not yet pulled sees the
+// primary frontier on its first fetch and reports shrinking lag.
+func TestStandbyLagReporting(t *testing.T) {
+	dir := t.TempDir()
+	m, j := mustPrimary(t, dir)
+	defer j.Close()
+	workload(t, m)
+
+	s := newStandby(t, j)
+	defer s.Close()
+	if _, err := s.SyncOnce(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	// One bootstrap round at default chunk size swallows this small log.
+	if lag := s.Lag(); lag.Bytes != 0 {
+		t.Fatalf("lag after bootstrap = %+v, want 0 bytes", lag)
+	}
+	if v := s.Lag().Version; v != s.Manager().Version() {
+		t.Fatalf("lag version %d != manager version %d", v, s.Manager().Version())
+	}
+}
+
+// TestPromoteRefusesWhileLagging: promotion is legal only at the
+// durable tail. A standby that knows about durable bytes it has not
+// applied must refuse, even when the primary is unreachable for the
+// final catch-up fetch.
+func TestPromoteRefusesWhileLagging(t *testing.T) {
+	dir := t.TempDir()
+	m, j := mustPrimary(t, dir)
+	defer j.Close()
+	// A log larger than one 64KiB page, so a capped fetch leaves a tail.
+	for i := 0; i < 1500; i++ {
+		a, err := m.AllocateHomog(homog(1, 1, 0.2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Release(a.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var dead bool
+	fetch := func(ctx context.Context, cur wal.Cursor, maxBytes int, wait time.Duration) (wal.TailChunk, error) {
+		if dead {
+			return wal.TailChunk{}, errors.New("primary unreachable")
+		}
+		return j.Tail(ctx, cur, minPage, wait)
+	}
+	s, err := New(Config{
+		Dir: t.TempDir(), Topo: testTopo(t), Eps: testEps,
+		Fetch: fetch, NoSync: true,
+		WALOpts: []wal.Option{wal.WithNoSync()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// One capped page: the standby now knows the frontier but trails it.
+	if caught, err := s.SyncOnce(context.Background(), 0); err != nil || caught {
+		t.Fatalf("first page: caught=%v err=%v, want partial progress", caught, err)
+	}
+	if lag := s.Lag(); lag.Bytes == 0 {
+		t.Fatal("test setup: standby not lagging")
+	}
+	dead = true
+	if _, err := s.Promote(context.Background()); !errors.Is(err, ErrLagging) {
+		t.Fatalf("promote while lagging: %v, want ErrLagging", err)
+	}
+
+	// Once the primary is reachable again and the tail is drained,
+	// promotion succeeds.
+	dead = false
+	syncToFrontier(t, s)
+	prom, err := s.Promote(context.Background())
+	if err != nil {
+		t.Fatalf("promote at frontier: %v", err)
+	}
+	defer prom.Journal.Close()
+	if !reflect.DeepEqual(prom.Mgr.ExportState(), m.ExportState()) {
+		t.Fatal("promoted state differs from primary")
+	}
+}
+
+// minPage mirrors wal's minimum tail page size (the clamp floor).
+const minPage = 64 << 10
+
+// TestPromoteFencesOldPrimary: after promotion, fencing the deposed
+// primary's journal vetoes every mutation class it can attempt.
+func TestPromoteFencesOldPrimary(t *testing.T) {
+	dir := t.TempDir()
+	m, j := mustPrimary(t, dir)
+	defer j.Close()
+	workload(t, m)
+
+	s := newStandby(t, j)
+	syncToFrontier(t, s)
+	prom, err := s.Promote(context.Background())
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	defer prom.Journal.Close()
+	if prom.Epoch <= j.Epoch() {
+		t.Fatalf("promotion epoch %d does not supersede primary epoch %d", prom.Epoch, j.Epoch())
+	}
+	if err := j.Fence(prom.Epoch); err != nil {
+		t.Fatalf("fence old primary: %v", err)
+	}
+
+	// Every commit class on the deposed primary must be vetoed by its
+	// journal seam before any state changes.
+	before := m.ExportState()
+	if _, err := m.AllocateHomog(homog(1, 1, 0.5)); !errors.Is(err, wal.ErrFenced) {
+		t.Fatalf("stale allocate: %v, want ErrFenced", err)
+	}
+	mc := m.Topology().Machines()[0]
+	if _, err := m.FailMachine(mc); !errors.Is(err, wal.ErrFenced) {
+		t.Fatalf("stale fault: %v, want ErrFenced", err)
+	}
+	if err := m.SetOffline(mc, true); !errors.Is(err, wal.ErrFenced) {
+		t.Fatalf("stale offline: %v, want ErrFenced", err)
+	}
+	if err := m.Checkpoint(); !errors.Is(err, wal.ErrFenced) {
+		t.Fatalf("stale checkpoint: %v, want ErrFenced", err)
+	}
+	if got := m.ExportState(); !reflect.DeepEqual(got, before) {
+		t.Fatal("a vetoed mutation changed state")
+	}
+
+	// The new primary keeps committing at its higher epoch.
+	if _, err := prom.Mgr.AllocateHomog(homog(1, 1, 0.5)); err != nil {
+		t.Fatalf("new primary allocate: %v", err)
+	}
+
+	// The standby is done: further syncs and promotes refuse.
+	if _, err := s.SyncOnce(context.Background(), 0); !errors.Is(err, ErrPromoted) {
+		t.Fatalf("sync after promotion: %v, want ErrPromoted", err)
+	}
+	if _, err := s.Promote(context.Background()); !errors.Is(err, ErrPromoted) {
+		t.Fatalf("double promote: %v, want ErrPromoted", err)
+	}
+}
+
+// TestChaosKillPrimaryAtEveryBoundary is the headline failover proof:
+// for every record-boundary crash image of the primary's log, a standby
+// that replicated that durable prefix and promotes must hold EXACTLY the
+// state a direct wal.Recover of the crash image yields — bit for bit —
+// and the promoted journal must be usable at a higher epoch.
+func TestChaosKillPrimaryAtEveryBoundary(t *testing.T) {
+	srcDir := t.TempDir()
+	m, j := mustPrimary(t, srcDir)
+	workload(t, m)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(srcDir, "wal-1.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _, err := wal.ScanLog(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for k, fr := range frames {
+		k, fr := k, fr
+		t.Run(fmt.Sprintf("boundary-%02d", k), func(t *testing.T) {
+			// The primary's crash image: the durable prefix up to this
+			// record boundary.
+			crashDir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(crashDir, "wal-1.log"), data[:fr.End], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			pm, pj := mustPrimary(t, crashDir)
+
+			// Reference: what direct crash recovery yields.
+			want := pm.ExportState()
+
+			// A standby that replicated exactly this durable prefix,
+			// then promotes after the primary dies.
+			s := newStandby(t, pj)
+			syncToFrontier(t, s)
+			pj.Close() // the primary is dead; the final fetch fails
+			prom, err := s.Promote(context.Background())
+			if err != nil {
+				t.Fatalf("promote after crash at boundary %d: %v", k, err)
+			}
+			defer prom.Journal.Close()
+			if got := prom.Mgr.ExportState(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("promoted state at boundary %d differs from durable-prefix recovery", k)
+			}
+
+			// The promoted journal is live: it commits at a higher epoch.
+			if prom.Epoch < 2 {
+				t.Fatalf("promotion epoch %d, want >= 2", prom.Epoch)
+			}
+			if a, err := prom.Mgr.AllocateHomog(homog(1, 1, 0.5)); err == nil {
+				if err := prom.Mgr.Release(a.ID); err != nil {
+					t.Fatalf("post-promotion release: %v", err)
+				}
+			} else if !errors.Is(err, core.ErrNoCapacity) {
+				t.Fatalf("post-promotion allocate: %v", err)
+			}
+		})
+	}
+}
+
+// TestChaosKillPrimaryMidGroupCommit drives concurrent commits so
+// multi-record group-commit batches form, then runs the same
+// standby-vs-direct-recovery equivalence at every boundary of the
+// resulting log — covering kills that land between the records of one
+// batched fsync.
+func TestChaosKillPrimaryMidGroupCommit(t *testing.T) {
+	srcDir := t.TempDir()
+	m, j := mustPrimary(t, srcDir)
+	for round := 0; round < 20; round++ {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				if a, err := m.AllocateHomog(homog(1, 1, 0.3)); err == nil {
+					m.Release(a.ID)
+				}
+			}(g)
+		}
+		wg.Wait()
+		if j.GroupCommitStats().MaxBatch >= 2 {
+			break
+		}
+	}
+	if j.GroupCommitStats().MaxBatch < 2 {
+		t.Skip("no multi-record batch formed; mid-batch coverage unavailable on this run")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(srcDir, "wal-1.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _, err := wal.ScanLog(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for k, fr := range frames {
+		crashDir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(crashDir, "wal-1.log"), data[:fr.End], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		pm, pj := mustPrimary(t, crashDir)
+		want := pm.ExportState()
+		s := newStandby(t, pj)
+		syncToFrontier(t, s)
+		pj.Close()
+		prom, err := s.Promote(context.Background())
+		if err != nil {
+			t.Fatalf("promote at boundary %d: %v", k, err)
+		}
+		if got := prom.Mgr.ExportState(); !reflect.DeepEqual(got, want) {
+			prom.Journal.Close()
+			t.Fatalf("promoted state at boundary %d differs from durable-prefix recovery", k)
+		}
+		prom.Journal.Close()
+	}
+}
+
+// TestStandbyRunFollowsLive: the Run loop keeps a standby converged
+// while the primary commits, and stops cleanly on promotion.
+func TestStandbyRunFollowsLive(t *testing.T) {
+	dir := t.TempDir()
+	m, j := mustPrimary(t, dir)
+	defer j.Close()
+
+	s := newStandby(t, j)
+	s.cfg.PollWait = 50 * time.Millisecond
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+
+	workload(t, m)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s.Lag().Bytes == 0 && s.Cursor().Off > 0 &&
+			reflect.DeepEqual(s.Manager().ExportState(), m.ExportState()) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("running standby never converged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	prom, err := s.Promote(ctx)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	defer prom.Journal.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run loop exit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run loop did not stop after promotion")
+	}
+}

@@ -32,6 +32,16 @@ type Backend interface {
 	Close() error
 }
 
+// Failoverer is the optional backend capability behind chaos.failovers:
+// crash the controller's primary and promote its hot standby. The
+// datacenter state (jobs, placements, reservations, idempotency table)
+// must survive the switch bit-identically; a backend whose failover
+// loses or doubles state will trip the engine's conservation mirror at
+// the next sample.
+type Failoverer interface {
+	Failover() error
+}
+
 // AdmitResult is one admission outcome.
 type AdmitResult struct {
 	Admitted  bool
@@ -65,6 +75,10 @@ type Stats struct {
 type SimBackend struct {
 	mgr     *core.Manager
 	batcher *core.Batcher
+
+	topo      *topology.Topology
+	eps       float64
+	admission string
 }
 
 // NewSimBackend builds the offline backend with svcd's admission modes
@@ -78,11 +92,32 @@ func NewSimBackend(topo *topology.Topology, eps float64, admission string) (*Sim
 	if err != nil {
 		return nil, err
 	}
-	b := &SimBackend{mgr: mgr}
+	b := &SimBackend{mgr: mgr, topo: topo, eps: eps, admission: admission}
 	if admission == "batch" {
 		b.batcher = core.NewBatcher(mgr, 0)
 	}
 	return b, nil
+}
+
+// Failover models a controller switch offline: the successor is rebuilt
+// from the predecessor's exported state, exactly as a promoted standby
+// reconstructs it from the replicated WAL. Job IDs, reservations, and
+// the idempotency table all carry over, so admissions after the switch
+// are indistinguishable from a run without one.
+func (b *SimBackend) Failover() error {
+	var opts []core.ManagerOption
+	if b.admission == "locked" {
+		opts = append(opts, core.WithLockedAdmission())
+	}
+	mgr, err := core.NewManagerFromState(b.topo, b.eps, b.mgr.ExportState(), opts...)
+	if err != nil {
+		return fmt.Errorf("scenario: sim failover: %w", err)
+	}
+	b.mgr = mgr
+	if b.admission == "batch" {
+		b.batcher = core.NewBatcher(mgr, 0)
+	}
+	return nil
 }
 
 // Manager exposes the backing manager (differential tests compare it to
@@ -168,6 +203,10 @@ func (b *SimBackend) Close() error { return nil }
 type LiveBackend struct {
 	client *httpapi.Client
 	ctx    context.Context
+
+	// failover crashes the current primary, promotes its standby, and
+	// returns the new primary's base URL (see LocalPair.Failover).
+	failover func() (string, error)
 }
 
 // NewLiveBackend wraps an svcd base URL ("http://host:port").
@@ -176,6 +215,23 @@ func NewLiveBackend(base string) *LiveBackend {
 		client: httpapi.NewClient(base, &http.Client{}),
 		ctx:    context.Background(),
 	}
+}
+
+// SetFailover arms the failover seam. The callback must complete the
+// switch — drain, promote, crash — and return the successor's URL; the
+// backend re-points its client there for every subsequent call.
+func (b *LiveBackend) SetFailover(fn func() (string, error)) { b.failover = fn }
+
+func (b *LiveBackend) Failover() error {
+	if b.failover == nil {
+		return errors.New("scenario: live backend has no standby to fail over to")
+	}
+	url, err := b.failover()
+	if err != nil {
+		return err
+	}
+	b.client = httpapi.NewClient(url, &http.Client{})
+	return nil
 }
 
 func (b *LiveBackend) Name() string { return "live" }

@@ -54,6 +54,9 @@ const (
 	EvRestoreMachine
 	EvFailLink
 	EvRestoreLink
+	// EvFailover crashes the controller's primary and promotes its
+	// hot standby; the datacenter state must survive bit-identically.
+	EvFailover
 )
 
 func (k EventKind) String() string {
@@ -66,6 +69,8 @@ func (k EventKind) String() string {
 		return "fail-link"
 	case EvRestoreLink:
 		return "restore-link"
+	case EvFailover:
+		return "failover"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -298,6 +303,9 @@ func (p *Plan) compileChaos(rng *stats.Rand) {
 			events = append(events, Event{At: restore, Kind: EvRestoreLink, Node: node, Drain: true})
 		}
 	}
+	for _, at := range c.Failovers {
+		events = append(events, Event{At: at, Kind: EvFailover})
+	}
 	sortEvents(events)
 	if len(events) > maxChaosEvents {
 		p.TruncatedEvents = len(events) - maxChaosEvents
@@ -345,12 +353,15 @@ func atLeastSecond(x float64) int {
 // sortEvents orders the schedule by (At, Kind, Node): restores before
 // failures at the same second would resurrect state the failure is about
 // to take down, so failures (lower Kind values sort via explicit rank)
-// apply first, then restores, each in NodeID order.
+// apply first, then restores, each in NodeID order. Failovers run last:
+// the promoted controller must carry the second's settled fault state.
 func sortEvents(events []Event) {
 	rank := func(k EventKind) int {
 		switch k {
 		case EvFailMachine, EvFailLink:
 			return 0
+		case EvFailover:
+			return 2
 		default:
 			return 1
 		}

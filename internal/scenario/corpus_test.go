@@ -18,6 +18,7 @@ var corpusExpect = map[string]bool{
 	"zone-drain":       true,
 	"heavy-tail":       true,
 	"batch-storm":      true,
+	"failover-soak":    true,
 	"negative-control": false,
 }
 

@@ -171,6 +171,21 @@ func (e *engine) removeJob(j *liveJob) {
 // and spurious restores in a compiled cascade schedule are no-ops) and
 // forwards real transitions to the backend.
 func (e *engine) applyEvent(ev Event) (bool, error) {
+	if ev.Kind == EvFailover {
+		// A controller failover displaces no tenants and touches no
+		// fault state; it must be invisible to everything but the
+		// report counter. The conservation cross-check at the next
+		// sample holds the promoted controller to that.
+		fo, ok := e.backend.(Failoverer)
+		if !ok {
+			return false, fmt.Errorf("scenario: backend %q cannot fail over", e.backend.Name())
+		}
+		if err := fo.Failover(); err != nil {
+			return false, fmt.Errorf("scenario: failover at t=%d: %w", ev.At, err)
+		}
+		e.report.Failovers++
+		return false, nil
+	}
 	// The mirror is the engine's own standalone overlay (built by
 	// topology.NewFaults, never attached to a Manager); mutating it
 	// cannot bypass any journal, so the seam rule does not apply.

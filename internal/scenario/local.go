@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/httpapi"
+	"repro/internal/replica"
 	"repro/internal/topology"
 	"repro/internal/wal"
 )
@@ -42,39 +44,65 @@ type LocalConfig struct {
 	StateDir string
 }
 
-// StartLocal builds and serves an in-process daemon.
-func StartLocal(cfg LocalConfig) (*LocalServer, error) {
-	var mgrOpts []core.ManagerOption
-	batch := false
-	switch cfg.Admission {
+// admissionOpts maps the admission mode onto manager options plus the
+// batch flag the API layer needs.
+func admissionOpts(admission string) (opts []core.ManagerOption, batch bool, err error) {
+	switch admission {
 	case "", "optimistic":
 	case "batch":
 		batch = true
 	case "locked":
-		mgrOpts = append(mgrOpts, core.WithLockedAdmission())
+		opts = append(opts, core.WithLockedAdmission())
 	default:
-		return nil, fmt.Errorf("scenario: unknown admission mode %q", cfg.Admission)
+		err = fmt.Errorf("scenario: unknown admission mode %q", admission)
 	}
-	ls := &LocalServer{serveErr: make(chan error, 1)}
-	var err error
+	return opts, batch, err
+}
+
+// StartLocal builds and serves an in-process daemon.
+func StartLocal(cfg LocalConfig) (*LocalServer, error) {
+	mgrOpts, _, err := admissionOpts(cfg.Admission)
+	if err != nil {
+		return nil, err
+	}
+	var mgr *core.Manager
+	var journal *wal.Journal
 	if cfg.StateDir != "" {
-		ls.Mgr, ls.journal, err = wal.Recover(cfg.StateDir, cfg.Topo, cfg.Eps, mgrOpts, wal.WithNoSync())
+		mgr, journal, err = wal.Recover(cfg.StateDir, cfg.Topo, cfg.Eps, mgrOpts, wal.WithNoSync())
 	} else {
-		ls.Mgr, err = core.NewManager(cfg.Topo, cfg.Eps, mgrOpts...)
+		mgr, err = core.NewManager(cfg.Topo, cfg.Eps, mgrOpts...)
 	}
 	if err != nil {
 		return nil, err
 	}
-	ls.api = httpapi.NewServer(ls.Mgr)
+	ls, err := serveLocal(mgr, journal, cfg.Admission)
+	if err != nil && journal != nil {
+		journal.Close()
+	}
+	return ls, err
+}
+
+// serveLocal puts an existing manager (and journal, when non-nil) behind
+// a fresh loopback HTTP server. A journaled server exposes the WAL tail
+// and fence endpoints, so a replica.Standby can follow it and a later
+// failover can fence it — exactly the surface a real svcd primary has.
+func serveLocal(mgr *core.Manager, journal *wal.Journal, admission string) (*LocalServer, error) {
+	_, batch, err := admissionOpts(admission)
+	if err != nil {
+		return nil, err
+	}
+	ls := &LocalServer{Mgr: mgr, journal: journal, serveErr: make(chan error, 1)}
+	ls.api = httpapi.NewServer(mgr)
 	if batch {
-		ls.api.SetBatcher(core.NewBatcher(ls.Mgr, 0))
+		ls.api.SetBatcher(core.NewBatcher(mgr, 0))
+	}
+	if journal != nil {
+		ls.api.SetWALTail(replica.TailHandler(journal))
+		ls.api.SetFence(journal.Fence)
 	}
 	ls.server = &http.Server{Handler: ls.api.Handler()}
 	ls.listener, err = net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		if ls.journal != nil {
-			ls.journal.Close()
-		}
 		return nil, err
 	}
 	ls.URL = "http://" + ls.listener.Addr().String()
@@ -97,6 +125,121 @@ func (ls *LocalServer) Close() error {
 		}
 		ls.Mgr.SetJournal(nil)
 		if cerr := ls.journal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Crash kills the server abruptly: no drain, no checkpoint, no journal
+// close. Whatever the group commit made durable is what a successor
+// gets — the failover path must cope with exactly this.
+func (ls *LocalServer) Crash() {
+	ls.server.Close()
+	<-ls.serveErr
+}
+
+// LocalPair is a primary LocalServer with a hot standby following its
+// WAL over HTTP — the in-process replication deployment the failover
+// scenarios run against. The standby keeps no background loop; it
+// catches up synchronously during Failover, which keeps scenario runs
+// deterministic.
+type LocalPair struct {
+	URL     string // current primary's base URL
+	Primary *LocalServer
+
+	cfg     LocalConfig
+	standby *replica.Standby
+	gen     int // standby mirror directories: standby-1, standby-2, ...
+}
+
+// StartLocalPair serves a journaled primary plus a following standby.
+// cfg.StateDir must be set; the pair lays out primary/ and standby-N/
+// subdirectories beneath it.
+func StartLocalPair(cfg LocalConfig) (*LocalPair, error) {
+	if cfg.StateDir == "" {
+		return nil, errors.New("scenario: a failover pair needs a state dir (the WAL is the replication stream)")
+	}
+	pcfg := cfg
+	pcfg.StateDir = filepath.Join(cfg.StateDir, "primary")
+	primary, err := StartLocal(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	lp := &LocalPair{URL: primary.URL, Primary: primary, cfg: cfg}
+	if err := lp.startStandby(); err != nil {
+		primary.Close()
+		return nil, err
+	}
+	return lp, nil
+}
+
+func (lp *LocalPair) startStandby() error {
+	mgrOpts, _, err := admissionOpts(lp.cfg.Admission)
+	if err != nil {
+		return err
+	}
+	lp.gen++
+	s, err := replica.New(replica.Config{
+		Dir:     filepath.Join(lp.cfg.StateDir, fmt.Sprintf("standby-%d", lp.gen)),
+		Topo:    lp.cfg.Topo,
+		Eps:     lp.cfg.Eps,
+		Fetch:   replica.ClientFetcher(httpapi.NewClient(lp.Primary.URL, nil)),
+		MgrOpts: mgrOpts,
+		WALOpts: []wal.Option{wal.WithNoSync()},
+		NoSync:  true,
+	})
+	if err != nil {
+		return err
+	}
+	lp.standby = s
+	return nil
+}
+
+// Failover switches controllers: drain the primary, replay its durable
+// tail on the standby, promote at the frontier, crash the old primary,
+// serve the promoted manager, and start a fresh standby behind it (so
+// the next failover has somewhere to go). Returns the new primary URL.
+func (lp *LocalPair) Failover() (string, error) {
+	ctx := context.Background()
+	lp.Primary.api.SetDraining(true)
+	for i := 0; i < 64; i++ {
+		caught, err := lp.standby.SyncOnce(ctx, 0)
+		if err != nil {
+			return "", fmt.Errorf("scenario: standby catch-up: %w", err)
+		}
+		if caught {
+			break
+		}
+	}
+	prom, err := lp.standby.Promote(ctx)
+	if err != nil {
+		return "", fmt.Errorf("scenario: promote standby: %w", err)
+	}
+	lp.Primary.Crash()
+	srv, err := serveLocal(prom.Mgr, prom.Journal, lp.cfg.Admission)
+	if err != nil {
+		prom.Journal.Close()
+		return "", err
+	}
+	lp.Primary = srv
+	lp.URL = srv.URL
+	if err := lp.startStandby(); err != nil {
+		return "", err
+	}
+	return srv.URL, nil
+}
+
+// Close stops the standby and drains the surviving primary.
+func (lp *LocalPair) Close() error {
+	var err error
+	if lp.standby != nil {
+		if cerr := lp.standby.Close(); cerr != nil {
+			err = cerr
+		}
+	}
+	if lp.Primary != nil {
+		if cerr := lp.Primary.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}

@@ -35,6 +35,8 @@ type Report struct {
 	Drains          int `json:"drains,omitempty"`
 	MovedRepairs    int `json:"movedRepairs,omitempty"`
 	DegradedRepairs int `json:"degradedRepairs,omitempty"`
+	// Failovers counts controller crash/promote switches survived.
+	Failovers       int `json:"failovers,omitempty"`
 	TruncatedEvents int `json:"truncatedEvents,omitempty"`
 
 	EndSeconds       int     `json:"endSeconds"`
@@ -201,6 +203,9 @@ func (r *Report) Render() string {
 		fmt.Fprintf(&b, "  chaos: %d machine fails (%d restored), %d link fails (%d restored, %d drains), %d moved, %d degraded, %d evicted, %d killed\n",
 			r.MachineFailures, r.MachineRestores, r.LinkFailures, r.LinkRestores, r.Drains,
 			r.MovedRepairs, r.DegradedRepairs, r.Evicted, r.Killed)
+	}
+	if r.Failovers > 0 {
+		fmt.Fprintf(&b, "  failovers: controller crashed and re-promoted %d time(s), state carried\n", r.Failovers)
 	}
 	if r.TruncatedEvents > 0 {
 		fmt.Fprintf(&b, "  warning: chaos schedule truncated, %d events dropped\n", r.TruncatedEvents)

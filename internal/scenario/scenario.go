@@ -17,6 +17,7 @@ const (
 	maxSeconds    = 100000
 	maxVMs        = 1000
 	maxDrains     = 64
+	maxFailovers  = 16
 	maxMCSamples  = 200000
 	maxConcurrent = 64
 )
@@ -115,6 +116,10 @@ type ChaosSpec struct {
 	// Drains schedules zone maintenance: the uplink of the Index-th node
 	// at Level fails at At and is restored Duration seconds later.
 	Drains []DrainSpec
+	// Failovers schedules controller failovers: at each listed second
+	// the primary crashes and its hot standby is promoted. Admissions,
+	// placements, and the guarantee must be unaffected.
+	Failovers []int
 }
 
 // RenewalSpec is an exponential fail/restore renewal process.
@@ -332,6 +337,28 @@ func (d *decoder) floatList(m map[string]any, key, ctx string, dst *[]float64) {
 	*dst = out
 }
 
+func (d *decoder) intList(m map[string]any, key, ctx string, dst *[]int) {
+	v, ok := take(m, key)
+	if !ok || d.err != nil {
+		return
+	}
+	list, ok := v.([]any)
+	if !ok {
+		d.fail("%s.%s: expected a list, got %T", ctx, key, v)
+		return
+	}
+	out := make([]int, len(list))
+	for i, e := range list {
+		n, ok := e.(int64)
+		if !ok {
+			d.fail("%s.%s[%d]: expected an integer, got %T", ctx, key, i, e)
+			return
+		}
+		out[i] = int(n)
+	}
+	*dst = out
+}
+
 func (d *decoder) scenario(root any) *Scenario {
 	m := d.obj(root, "document")
 	if m == nil {
@@ -503,6 +530,7 @@ func (d *decoder) chaosSpec(v any, c *ChaosSpec) {
 			d.checkUnknown(dm, ctx)
 		}
 	}
+	d.intList(m, "failovers", "chaos", &c.Failovers)
 	d.checkUnknown(m, "chaos")
 }
 
@@ -808,6 +836,17 @@ func (s *Scenario) validateChaos() error {
 		}
 		if n := s.Topology.nodesAtLevel(dr.Level); dr.Index < 0 || dr.Index >= n {
 			return fmt.Errorf("scenario: chaos.drains[%d].index %d outside [0, %d)", i, dr.Index, n)
+		}
+	}
+	if len(c.Failovers) > maxFailovers {
+		return fmt.Errorf("scenario: %d failovers exceeds %d", len(c.Failovers), maxFailovers)
+	}
+	for i, at := range c.Failovers {
+		if at < 0 || at > s.Run.MaxSeconds {
+			return fmt.Errorf("scenario: chaos.failovers[%d] %d outside [0, max_seconds]", i, at)
+		}
+		if i > 0 && at <= c.Failovers[i-1] {
+			return fmt.Errorf("scenario: chaos.failovers must be strictly increasing (entry %d: %d)", i, at)
 		}
 	}
 	return nil

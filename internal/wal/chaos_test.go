@@ -377,3 +377,56 @@ func TestChaosMidGroupCommitBatch(t *testing.T) {
 	}
 	runChaos(t, dir, 1, data, nil, finalWant)
 }
+
+// TestChaosOrphanedRotationAtEveryBoundary models the crash window
+// between a checkpoint's directory mutations and the directory fsync
+// that makes them durable: the surviving view has wal-2.log (truncated
+// at any record boundary) but no snap-2.snap, with generation 1 still
+// fully on disk. Recovery must rebuild generation 1 and replay the
+// orphaned gen-2 prefix on top, bit for bit.
+func TestChaosOrphanedRotationAtEveryBoundary(t *testing.T) {
+	srcDir := t.TempDir()
+	m, j := mustRecover(t, srcDir)
+	chaosWorkload(t, m)
+	oldLog, err := os.ReadFile(walPath(srcDir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	base := m.ExportState()
+	chaosWorkload(t, m) // records that live only in the orphaned wal-2
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(walPath(srcDir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	states, frames := referenceStates(t, data, base)
+	for k, fr := range frames {
+		dir := t.TempDir()
+		if err := os.WriteFile(walPath(dir, 1), oldLog, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(walPath(dir, 2), data[:fr.end], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m2, j2, err := Recover(dir, testTopo(t), testEps, nil, WithNoSync())
+		if err != nil {
+			t.Fatalf("orphan recovery at record %d: %v", k, err)
+		}
+		want := states[0]
+		if k > 0 {
+			want = states[k]
+		}
+		if got := m2.ExportState(); !reflect.DeepEqual(got, want) {
+			j2.Close()
+			t.Fatalf("orphan crash at record %d boundary: state differs", k)
+		}
+		assertUsable(t, m2, j2)
+		j2.Close()
+	}
+}

@@ -21,6 +21,12 @@ import (
 // current log before NeedsCheckpoint starts reporting true.
 const defaultSnapshotEvery = 4096
 
+// ErrFenced marks a journal whose commits are vetoed because a
+// higher-epoch primary exists: a standby was promoted, and this deposed
+// primary's writes must not diverge from the new timeline. The journal
+// keeps serving reads and Tail so the promoted side can drain it.
+var ErrFenced = errors.New("wal: journal fenced by a newer epoch")
+
 // maxBatchYields bounds how many scheduling rounds a batch leader grants
 // concurrent committers to join its batch before sealing it (see
 // flushBatch). The loop also stops the first round the batch does not
@@ -57,6 +63,20 @@ type Journal struct {
 	snapshotEvery int
 	noSync        bool
 	err           error // sticky: first append failure poisons the journal
+
+	// Replication state (guarded by mu). epoch is the fencing epoch this
+	// journal commits under (1 when no epoch record exists — every
+	// pre-replication log). fenced, when nonzero, is a higher epoch that
+	// has vetoed this journal: a promoted standby took over and this
+	// deposed primary must not commit again. durable is the byte offset
+	// of the current log file up to which frames are flushed (and synced,
+	// unless noSync) — always a frame boundary, the frontier Tail serves.
+	// tailers is closed and replaced whenever durable, the generation, or
+	// the epoch advances, waking long-polling Tail calls.
+	epoch   uint64
+	fenced  uint64
+	durable int64
+	tailers chan struct{}
 
 	// Group commit: frames staged since the last flush accumulate in batch
 	// (guarded by mu); writeMu serializes the flushes themselves so batches
@@ -146,7 +166,7 @@ func Recover(dir string, topo *topology.Topology, eps float64, mgrOpts []core.Ma
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: create state dir: %w", err)
 	}
-	j := &Journal{dir: dir, snapshotEvery: defaultSnapshotEvery}
+	j := &Journal{dir: dir, snapshotEvery: defaultSnapshotEvery, epoch: 1, tailers: make(chan struct{})}
 	for _, o := range opts {
 		o(j)
 	}
@@ -164,17 +184,23 @@ func Recover(dir string, topo *topology.Topology, eps float64, mgrOpts []core.Ma
 		}
 		j.meta = want
 		j.meta.Gen = 1
-		if j.f, err = j.createWAL(j.meta); err != nil {
+		if j.f, j.durable, err = j.createWAL(j.meta, j.epoch); err != nil {
 			return nil, nil, err
 		}
 		m.SetJournal(j)
 		return m, j, nil
 	}
 
-	// Restore the snapshot base. Generation 1 legitimately has none; any
-	// later generation was created by a checkpoint, so its snapshot must
-	// exist and parse.
+	// Restore the snapshot base. Generation 1 legitimately has none; a
+	// later generation without one is an orphaned rotation: the crash (or
+	// a platform where directory fsync is a no-op) hit between the
+	// snapshot's rename and the directory sync, so wal-<gen>.log became
+	// durable but snap-<gen>.snap did not. The previous generation is
+	// still complete on disk — a checkpoint deletes it only after the new
+	// files are synced — so rebuild the checkpoint state by recovering
+	// generation gen-1 in full, then replay the orphan log on top.
 	var m *core.Manager
+	orphan := false
 	st, err := readSnapshot(snapPath(dir, gen), want, gen)
 	switch {
 	case err == nil:
@@ -186,6 +212,12 @@ func Recover(dir string, topo *topology.Topology, eps float64, mgrOpts []core.Ma
 		if m, err = core.NewManager(topo, eps, mgrOpts...); err != nil {
 			return nil, nil, err
 		}
+	case errors.Is(err, os.ErrNotExist):
+		m, err = j.recoverPrevious(topo, eps, want, gen-1, mgrOpts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: orphaned generation %d: %w", gen, err)
+		}
+		orphan = true
 	default:
 		return nil, nil, err
 	}
@@ -203,7 +235,7 @@ func Recover(dir string, topo *topology.Topology, eps float64, mgrOpts []core.Ma
 		// The log is missing or torn before its meta frame: the crash hit
 		// between the snapshot rename and the log creation, so the
 		// snapshot alone is the state. Recreate the log from scratch.
-		if j.f, err = j.createWAL(j.meta); err != nil {
+		if j.f, j.durable, err = j.createWAL(j.meta, j.epoch); err != nil {
 			return nil, nil, err
 		}
 		m.SetJournal(j)
@@ -217,6 +249,13 @@ func Recover(dir string, topo *topology.Topology, eps float64, mgrOpts []core.Ma
 		return nil, nil, fmt.Errorf("wal: log meta %+v does not match datacenter %+v", got, j.meta)
 	}
 	for _, fr := range frames[1:] {
+		if epoch, ok := decodeEpochRecord(fr.payload); ok {
+			if epoch > j.epoch {
+				j.epoch = epoch
+			}
+			clean = fr.end
+			continue
+		}
 		mut, err := decodeMutation(fr.payload)
 		if err != nil {
 			// Checksummed but semantically unreadable: stop replay here
@@ -245,9 +284,73 @@ func Recover(dir string, topo *topology.Topology, eps float64, mgrOpts []core.Ma
 		return nil, nil, fmt.Errorf("wal: seek log end: %w", err)
 	}
 	j.f = f
-	removeStale(dir, gen)
+	j.durable = int64(clean)
+	if !orphan {
+		// On the orphan path gen-1 is NOT stale: it is the only durable
+		// base for gen's log until a later checkpoint supersedes both.
+		removeStale(dir, gen)
+	}
 	m.SetJournal(j)
 	return m, j, nil
+}
+
+// recoverPrevious rebuilds the checkpoint state an orphaned generation
+// was rotated from: generation gen's snapshot plus every intact record
+// of wal-<gen>.log. Two consecutive incomplete checkpoints (gen > 1 with
+// its own snapshot missing too) are treated as corruption — a checkpoint
+// only starts deleting a generation after its successor's files are
+// synced, so that state cannot arise from a single crash.
+func (j *Journal) recoverPrevious(topo *topology.Topology, eps float64, want meta, gen uint64, mgrOpts []core.ManagerOption) (*core.Manager, error) {
+	var m *core.Manager
+	st, err := readSnapshot(snapPath(j.dir, gen), want, gen)
+	switch {
+	case err == nil:
+		if m, err = core.NewManagerFromState(topo, eps, st, mgrOpts...); err != nil {
+			return nil, fmt.Errorf("wal: restore snapshot: %w", err)
+		}
+	case errors.Is(err, os.ErrNotExist) && gen == 1:
+		if m, err = core.NewManager(topo, eps, mgrOpts...); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, err
+	}
+	data, err := os.ReadFile(walPath(j.dir, gen))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return m, nil // snapshot-only generation
+		}
+		return nil, fmt.Errorf("wal: read log: %w", err)
+	}
+	frames, _, _ := scanFrames(data, walMagic)
+	if len(frames) == 0 {
+		return m, nil
+	}
+	wantGen := want
+	wantGen.Gen = gen
+	var got meta
+	if err := json.Unmarshal(frames[0].payload, &got); err != nil {
+		return nil, fmt.Errorf("wal: log meta: %w", err)
+	}
+	if got != wantGen {
+		return nil, fmt.Errorf("wal: log meta %+v does not match datacenter %+v", got, wantGen)
+	}
+	for _, fr := range frames[1:] {
+		if epoch, ok := decodeEpochRecord(fr.payload); ok {
+			if epoch > j.epoch {
+				j.epoch = epoch
+			}
+			continue
+		}
+		mut, err := decodeMutation(fr.payload)
+		if err != nil {
+			break
+		}
+		if err := m.Replay(mut); err != nil {
+			break
+		}
+	}
+	return m, nil
 }
 
 // previousEnd returns the end offset of the frame before fr.
@@ -298,12 +401,18 @@ func readSnapshot(path string, want meta, gen uint64) (*core.ManagerState, error
 	if err != nil {
 		return nil, err
 	}
+	return decodeSnapshot(data, want, gen, filepath.Base(path))
+}
+
+// decodeSnapshot validates a snapshot image (from disk or the
+// replication stream) and returns the state it carries.
+func decodeSnapshot(data []byte, want meta, gen uint64, name string) (*core.ManagerState, error) {
 	frames, _, scanErr := scanFrames(data, snapMagic)
 	if len(frames) < 2 {
 		if scanErr == nil {
 			scanErr = fmt.Errorf("%w: snapshot has %d frames, want 2", ErrCorrupt, len(frames))
 		}
-		return nil, fmt.Errorf("wal: snapshot %s: %w", filepath.Base(path), scanErr)
+		return nil, fmt.Errorf("wal: snapshot %s: %w", name, scanErr)
 	}
 	var got meta
 	if err := json.Unmarshal(frames[0].payload, &got); err != nil {
@@ -318,7 +427,7 @@ func readSnapshot(path string, want meta, gen uint64) (*core.ManagerState, error
 		return nil, fmt.Errorf("wal: snapshot state: %w", err)
 	}
 	if body.State == nil {
-		return nil, fmt.Errorf("wal: snapshot %s has no state", filepath.Base(path))
+		return nil, fmt.Errorf("wal: snapshot %s has no state", name)
 	}
 	return body.State, nil
 }
@@ -345,29 +454,39 @@ func removeStale(dir string, keep uint64) {
 	}
 }
 
-// createWAL writes a fresh log file for m.Gen: magic, meta frame, synced
-// to disk before use.
-func (j *Journal) createWAL(m meta) (*os.File, error) {
+// createWAL writes a fresh log file for m.Gen — magic, meta frame, and
+// (past epoch 1) the generation's epoch record — synced to disk before
+// use. It returns the file and its size, the caller's new durable
+// frontier. At epoch 1 the file is byte-identical to pre-replication
+// logs.
+func (j *Journal) createWAL(m meta, epoch uint64) (*os.File, int64, error) {
 	payload, err := json.Marshal(m)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	buf := appendFrame([]byte(walMagic), payload)
+	if epoch > 1 {
+		ep, err := encodeEpochRecord(epoch)
+		if err != nil {
+			return nil, 0, err
+		}
+		buf = appendFrame(buf, ep)
+	}
 	path := walPath(j.dir, m.Gen)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("wal: create log: %w", err)
+		return nil, 0, fmt.Errorf("wal: create log: %w", err)
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("wal: write log header: %w", err)
+		return nil, 0, fmt.Errorf("wal: write log header: %w", err)
 	}
 	if err := j.sync(f); err != nil {
 		f.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	j.syncDir()
-	return f, nil
+	return f, int64(len(buf)), nil
 }
 
 // Commit appends one mutation record, durably unless WithNoSync. An
@@ -404,6 +523,11 @@ func (j *Journal) StageCommit(mut core.Mutation) (func() error, error) {
 	j.mu.Lock()
 	if j.err != nil {
 		err := j.err
+		j.mu.Unlock()
+		return nil, err
+	}
+	if j.fenced != 0 {
+		err := fmt.Errorf("%w: epoch %d supersedes %d", ErrFenced, j.fenced, j.epoch)
 		j.mu.Unlock()
 		return nil, err
 	}
@@ -453,6 +577,11 @@ func (j *Journal) StageCommitBatch(muts []core.Mutation) (func() error, error) {
 	j.mu.Lock()
 	if j.err != nil {
 		err := j.err
+		j.mu.Unlock()
+		return nil, err
+	}
+	if j.fenced != 0 {
+		err := fmt.Errorf("%w: epoch %d supersedes %d", ErrFenced, j.fenced, j.epoch)
 		j.mu.Unlock()
 		return nil, err
 	}
@@ -545,9 +674,23 @@ func (j *Journal) flushBatch(b *groupBatch) {
 			j.err = err
 		}
 		j.mu.Unlock()
+	} else if len(b.buf) > 0 {
+		// The batch's frames are flushed (and synced, unless noSync):
+		// advance the durable frontier and wake long-polling tailers.
+		j.mu.Lock()
+		j.durable += int64(len(b.buf))
+		j.notifyTailLocked()
+		j.mu.Unlock()
 	}
 	b.err = err
 	close(b.done)
+}
+
+// notifyTailLocked wakes every Tail call blocked on new durable bytes.
+// Callers hold j.mu.
+func (j *Journal) notifyTailLocked() {
+	close(j.tailers)
+	j.tailers = make(chan struct{})
 }
 
 // flushOpen flushes the open batch, if any. Callers that are about to
@@ -578,6 +721,9 @@ func (j *Journal) Checkpoint(st *core.ManagerState) error {
 	defer j.mu.Unlock()
 	if j.err != nil {
 		return j.err
+	}
+	if j.fenced != 0 {
+		return fmt.Errorf("%w: epoch %d supersedes %d", ErrFenced, j.fenced, j.epoch)
 	}
 	next := j.meta
 	next.Gen++
@@ -618,7 +764,7 @@ func (j *Journal) Checkpoint(st *core.ManagerState) error {
 	}
 	j.syncDir()
 
-	nf, err := j.createWAL(next)
+	nf, size, err := j.createWAL(next, j.epoch)
 	if err != nil {
 		// The new snapshot is already durable; the old log keeps the
 		// journal usable, and the next recovery starts from the snapshot.
@@ -628,9 +774,14 @@ func (j *Journal) Checkpoint(st *core.ManagerState) error {
 	j.f = nf
 	j.meta = next
 	j.appended = 0
+	j.durable = size
+	j.notifyTailLocked()
 	old.Close()
-	os.Remove(walPath(j.dir, next.Gen-1))
-	os.Remove(snapPath(j.dir, next.Gen-1))
+	// Remove every superseded generation, not just the immediate
+	// predecessor: an orphaned rotation (recovered around a missing
+	// snapshot) can leave two generations on disk, and this checkpoint's
+	// snapshot supersedes them all.
+	removeStale(j.dir, next.Gen)
 	j.syncDir()
 	return nil
 }
@@ -661,6 +812,92 @@ func (j *Journal) Gen() uint64 {
 // Dir returns the state directory.
 func (j *Journal) Dir() string { return j.dir }
 
+// Epoch returns the fencing epoch this journal commits under.
+func (j *Journal) Epoch() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch
+}
+
+// Fence vetoes every future commit and checkpoint: a standby was
+// promoted at a higher epoch, and this deposed primary must not extend
+// its timeline. The journal stays readable — Tail keeps serving so the
+// promoted side can drain any durable records it has not streamed yet.
+// Fencing at or below the journal's own epoch is refused (a stale fence
+// from an even older primary must not stop the current one); re-fencing
+// at the same or a higher superseding epoch is idempotent.
+func (j *Journal) Fence(epoch uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if epoch <= j.epoch {
+		return fmt.Errorf("wal: fence epoch %d not above current epoch %d", epoch, j.epoch)
+	}
+	if epoch > j.fenced {
+		j.fenced = epoch
+	}
+	return nil
+}
+
+// AdvanceEpoch durably appends an epoch record and raises the journal's
+// epoch. Promotion calls it on the recovered standby's journal before
+// the first new commit, so the log itself records where the new
+// primary's timeline begins — a later recovery (or a follower of the
+// new primary) learns the epoch from the bytes, not from config.
+func (j *Journal) AdvanceEpoch(to uint64) error {
+	j.flushOpen()
+	j.writeMu.Lock()
+	defer j.writeMu.Unlock()
+	j.mu.Lock()
+	if j.err != nil {
+		err := j.err
+		j.mu.Unlock()
+		return err
+	}
+	if j.fenced != 0 {
+		err := fmt.Errorf("%w: epoch %d supersedes %d", ErrFenced, j.fenced, j.epoch)
+		j.mu.Unlock()
+		return err
+	}
+	if to <= j.epoch {
+		err := fmt.Errorf("wal: epoch %d not above current epoch %d", to, j.epoch)
+		j.mu.Unlock()
+		return err
+	}
+	f := j.f
+	j.mu.Unlock()
+
+	payload, err := encodeEpochRecord(to)
+	if err != nil {
+		return err
+	}
+	buf := appendFrame(nil, payload)
+	if _, err := f.Write(buf); err != nil {
+		err = fmt.Errorf("wal: append epoch: %w", err)
+	} else {
+		err = j.sync(f)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		if j.err == nil {
+			j.err = err
+		}
+		return err
+	}
+	j.epoch = to
+	j.durable += int64(len(buf))
+	j.notifyTailLocked()
+	return nil
+}
+
+// DurableCursor returns the current durable frontier: the position a
+// standby is fully caught up at.
+func (j *Journal) DurableCursor() Cursor {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Cursor{Gen: j.meta.Gen, Off: j.durable}
+}
+
 // Close flushes and closes the log file. The journal must not be used
 // afterwards; detach it from the manager first.
 func (j *Journal) Close() error {
@@ -680,6 +917,7 @@ func (j *Journal) Close() error {
 	if j.err == nil {
 		j.err = errors.New("wal: journal closed")
 	}
+	j.notifyTailLocked() // long-polling tailers must observe the close
 	return err
 }
 

@@ -25,6 +25,30 @@ type record struct {
 	Outcome   string              `json:"outcome,omitempty"`
 	Eps       float64             `json:"eps,omitempty"`
 	IdemKey   string              `json:"idem_key,omitempty"`
+	Epoch     uint64              `json:"epoch,omitempty"`
+}
+
+// epochOp marks a journal-level fencing record: "every mutation after
+// this point was committed by the primary of epoch N". Epoch records
+// never reach the manager — they carry no state — so the exported
+// ManagerState stays bit-identical with or without them. An unfenced
+// log with no epoch record is implicitly epoch 1, which keeps every
+// pre-replication log byte-compatible.
+const epochOp = "epoch"
+
+// encodeEpochRecord serializes an epoch advance to a frame payload.
+func encodeEpochRecord(epoch uint64) ([]byte, error) {
+	return json.Marshal(record{Op: epochOp, Epoch: epoch})
+}
+
+// decodeEpochRecord reports whether payload is an epoch record, and its
+// epoch when it is. Replay loops check this before decodeMutation.
+func decodeEpochRecord(payload []byte) (uint64, bool) {
+	var rec record
+	if err := json.Unmarshal(payload, &rec); err != nil || rec.Op != epochOp {
+		return 0, false
+	}
+	return rec.Epoch, true
 }
 
 var opNames = map[core.MutationOp]string{

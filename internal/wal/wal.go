@@ -72,7 +72,12 @@ func scanFrames(data []byte, magic string) (frames []frameInfo, clean int, err e
 	if len(data) < magicLen || string(data[:magicLen]) != magic {
 		return nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	off := magicLen
+	return scanFramesAt(data, magicLen)
+}
+
+// scanFramesAt is the frame walk itself, starting at off (which must be
+// a frame boundary). Frame end offsets are relative to the start of data.
+func scanFramesAt(data []byte, off int) (frames []frameInfo, clean int, err error) {
 	clean = off
 	for off < len(data) {
 		if len(data)-off < headerLen {
