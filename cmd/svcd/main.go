@@ -52,6 +52,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/httpapi"
 	"repro/internal/replica"
+	"repro/internal/shard"
 	"repro/internal/topology"
 	"repro/internal/wal"
 )
@@ -76,12 +77,15 @@ type config struct {
 	admission       string
 	role            string // "primary" (default) or "standby"
 	follow          string // primary base URL, required for a standby
+	shards          int    // 0: unsharded; N: one pod-local shard per aggregation subtree
+	shardMode       string // "strict" (default) or "fast"
 }
 
 // daemon is one running svcd instance: manager, optional journal, HTTP
 // server. Split from run so tests can start and stop instances in-process.
 type daemon struct {
 	mgr      *core.Manager
+	router   *shard.Router // non-nil with -shards; mgr is nil then
 	api      *httpapi.Server
 	journal  *wal.Journal // nil without -state-dir
 	server   *http.Server
@@ -137,6 +141,30 @@ func newDaemon(cfg config) (*daemon, error) {
 		if cfg.follow != "" {
 			return nil, errors.New("-follow requires -role standby")
 		}
+		if cfg.shards > 0 {
+			if cfg.stateDir == "" {
+				return nil, errors.New("-shards needs -state-dir (each pod keeps its own write-ahead log)")
+			}
+			if batch {
+				return nil, errors.New("-shards is incompatible with -admission batch (the router already groups commits per pod)")
+			}
+			mode, merr := shard.ParseMode(cfg.shardMode)
+			if merr != nil {
+				return nil, merr
+			}
+			d.router, err = shard.Open(cfg.stateDir, topo, cfg.eps, cfg.shards, shard.Options{
+				Mode:          mode,
+				MgrOpts:       mgrOpts,
+				NoSync:        cfg.noSync,
+				SnapshotEvery: cfg.checkpointEvery,
+			})
+			if err != nil {
+				return nil, err
+			}
+			d.api = httpapi.NewControllerServer(d.router)
+			d.wireShards(d.router)
+			break
+		}
 		if cfg.stateDir != "" {
 			d.mgr, d.journal, err = wal.Recover(cfg.stateDir, topo, cfg.eps, mgrOpts, walOpts...)
 			if err != nil {
@@ -155,6 +183,9 @@ func newDaemon(cfg config) (*daemon, error) {
 			d.wireJournal(d.mgr, d.journal)
 		}
 	case "standby":
+		if cfg.shards > 0 {
+			return nil, errors.New("-shards requires -role primary (standbys follow one unsharded WAL)")
+		}
 		if cfg.stateDir == "" || cfg.follow == "" {
 			return nil, errors.New("-role standby needs -state-dir (the mirror) and -follow (the primary URL)")
 		}
@@ -232,6 +263,49 @@ func (d *daemon) wireJournal(mgr *core.Manager, j *wal.Journal) {
 	})
 }
 
+// wireShards installs the sharded control plane's status seams: the
+// per-pod WAL counters merged into one WAL section, and the sharding
+// section with the per-pod layout.
+func (d *daemon) wireShards(r *shard.Router) {
+	d.api.SetWALStatus(func() httpapi.WALStatus {
+		var ws httpapi.WALStatus
+		for i := 0; i < r.Shards(); i++ {
+			j := r.PodJournal(i)
+			gs := j.GroupCommitStats()
+			ws.Appended += j.Appended()
+			ws.Batches += gs.Batches
+			ws.Records += gs.Records
+			if gs.MaxBatch > ws.MaxBatch {
+				ws.MaxBatch = gs.MaxBatch
+			}
+			if g := j.Gen(); g > ws.Gen {
+				ws.Gen = g
+			}
+		}
+		if ws.Batches > 0 {
+			ws.MeanBatch = float64(ws.Records) / float64(ws.Batches)
+		}
+		return ws
+	})
+	d.api.SetSharding(func() *httpapi.ShardingStatus {
+		ss := &httpapi.ShardingStatus{
+			Mode:         r.Mode().String(),
+			Shards:       r.Shards(),
+			CrossPodJobs: r.CrossPodJobs(),
+		}
+		for _, st := range r.ShardStatuses() {
+			ss.Pods = append(ss.Pods, httpapi.PodStatus{
+				Shard:        st.Shard,
+				Root:         st.Root,
+				Jobs:         st.Jobs,
+				FreeSlots:    st.FreeSlots,
+				MaxOccupancy: st.MaxOccupancy,
+			})
+		}
+		return ss
+	})
+}
+
 // start begins serving and, when journaled, compacting the log in the
 // background; a standby starts its follow loop instead.
 func (d *daemon) start() {
@@ -240,8 +314,33 @@ func (d *daemon) start() {
 		d.startFollow(d.standby)
 		return
 	}
+	if d.router != nil {
+		go d.shardCheckpointLoop(d.router)
+		return
+	}
 	if d.journal != nil {
 		go d.checkpointLoop(d.mgr, d.journal)
+	}
+}
+
+// shardCheckpointLoop compacts each pod's log independently: a hot pod
+// snapshots on its own cadence without stalling its siblings.
+func (d *daemon) shardCheckpointLoop(r *shard.Router) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stopTick:
+			return
+		case <-t.C:
+			for i := 0; i < r.Shards(); i++ {
+				if r.PodJournal(i).NeedsCheckpoint() {
+					if err := r.Pod(i).Checkpoint(); err != nil {
+						log.Printf("svcd: checkpoint pod %d: %v", i, err)
+					}
+				}
+			}
+		}
 	}
 }
 
@@ -358,6 +457,21 @@ func (d *daemon) shutdown(ctx context.Context) error {
 			err = cerr
 		}
 	}
+	if d.router != nil {
+		// Seal each pod: snapshot logs that grew since the last rotation,
+		// then close the pod journals and the router's intent log.
+		for i := 0; i < d.router.Shards(); i++ {
+			if d.router.PodJournal(i).Appended() > 0 {
+				if cerr := d.router.Pod(i).Checkpoint(); cerr != nil && !errors.Is(cerr, wal.ErrFenced) && err == nil {
+					err = cerr
+				}
+			}
+		}
+		if cerr := d.router.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		return err
+	}
 	if journal != nil {
 		// Skip the final checkpoint when the log has nothing new since
 		// the last one (an empty rotation buys no recovery time) or the
@@ -388,6 +502,8 @@ func run(args []string) error {
 	fs.StringVar(&cfg.admission, "admission", "optimistic", "admission pipeline: optimistic (plan outside the lock) | batch (optimistic + coalesced batch planning) | locked (serialized)")
 	fs.StringVar(&cfg.role, "role", "primary", "primary serves writes; standby follows a primary's WAL and serves reads until promoted")
 	fs.StringVar(&cfg.follow, "follow", "", "primary base URL a standby replicates from (e.g. http://10.0.0.1:8080)")
+	fs.IntVar(&cfg.shards, "shards", 0, "shard the control plane into one ledger+WAL per aggregation subtree; must equal the topology's pod count (0: unsharded)")
+	fs.StringVar(&cfg.shardMode, "shard-mode", "strict", "sharded admission mode: strict (serialized, bit-identical to unsharded) | fast (pod-parallel, no cross-pod placements)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -403,9 +519,16 @@ func run(args []string) error {
 	if cfg.role == "standby" {
 		durable = "standby following " + cfg.follow + ", mirroring to " + cfg.stateDir
 	}
-	log.Printf("svcd: serving %d machines (%d slots, %d jobs recovered) at eps=%v on %s, %s",
-		len(d.mgr.Topology().Machines()), d.mgr.Topology().TotalSlots(),
-		d.mgr.Running(), cfg.eps, d.listener.Addr(), durable)
+	if d.router != nil {
+		durable = fmt.Sprintf("%d pod shards (%s mode) journaled to %s", d.router.Shards(), d.router.Mode(), cfg.stateDir)
+		topo := d.router.Topology()
+		log.Printf("svcd: serving %d machines (%d slots, %d jobs recovered) at eps=%v on %s, %s",
+			len(topo.Machines()), topo.TotalSlots(), d.router.Running(), cfg.eps, d.listener.Addr(), durable)
+	} else {
+		log.Printf("svcd: serving %d machines (%d slots, %d jobs recovered) at eps=%v on %s, %s",
+			len(d.mgr.Topology().Machines()), d.mgr.Topology().TotalSlots(),
+			d.mgr.Running(), cfg.eps, d.listener.Addr(), durable)
+	}
 	d.start()
 
 	// Serve until interrupted, then drain connections and seal the journal.

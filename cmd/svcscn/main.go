@@ -169,6 +169,19 @@ func runOne(s *scenario.Scenario, seed uint64, backend, addr string) (*scenario.
 	var b scenario.Backend
 	switch backend {
 	case "sim":
+		if s.Run.Shards > 0 {
+			dir, err := os.MkdirTemp("", "svcscn-shard-*")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			cfg := scenario.LocalConfig{Topo: plan.Topo, Eps: s.Eps, Admission: s.Run.Admission}
+			b, err = scenario.NewShardBackend(dir, cfg, s.Run.Shards, s.Run.ShardMode)
+			if err != nil {
+				return nil, err
+			}
+			break
+		}
 		b, err = scenario.NewSimBackend(plan.Topo, s.Eps, s.Run.Admission)
 		if err != nil {
 			return nil, err
@@ -177,6 +190,9 @@ func runOne(s *scenario.Scenario, seed uint64, backend, addr string) (*scenario.
 		failovers := s.Chaos != nil && len(s.Chaos.Failovers) > 0
 		if failovers && addr != "" {
 			return nil, fmt.Errorf("chaos.failovers needs the runner to own the daemon; drop -addr")
+		}
+		if failovers && s.Run.Shards > 0 {
+			return nil, fmt.Errorf("sharded failovers crash-recover the router in-process; run them with -backend sim")
 		}
 		base := addr
 		var lb *scenario.LiveBackend
@@ -188,6 +204,7 @@ func runOne(s *scenario.Scenario, seed uint64, backend, addr string) (*scenario.
 			defer os.RemoveAll(dir)
 			cfg := scenario.LocalConfig{
 				Topo: plan.Topo, Eps: s.Eps, Admission: s.Run.Admission, StateDir: dir,
+				Shards: s.Run.Shards, ShardMode: s.Run.ShardMode,
 			}
 			if failovers {
 				pair, err := scenario.StartLocalPair(cfg)

@@ -18,6 +18,17 @@
 // call of a mutating method on *core.Ledger or *topology.Faults: other
 // packages must go through Manager's journaled API, never poke the
 // ledger or fault overlay directly.
+//
+// The sharded control plane gets the same treatment at the router
+// layer. Inside repro/internal/shard, the Router's recovered tables
+// (jobPods, crossMut, idem) are rebuilt from the pod WALs plus the
+// intent log on every reopen, so a write outside the functions that
+// mirror journaled commits silently diverges the live maps from what
+// recovery will reconstruct; such writes are flagged outside the shard
+// seam functions. And Manager.CommitExternal — the commit half with no
+// planning half — is the router's private escape hatch: any other
+// package calling it bypasses admission entirely, so outside
+// internal/shard it is flagged like a direct ledger poke.
 package journalseam
 
 import (
@@ -39,8 +50,9 @@ var Analyzer = &analysis.Analyzer{
 // fault overlay. Vars so the analyzer tests can run on fixture packages
 // loaded under the same paths.
 var (
-	CorePath = "repro/internal/core"
-	TopoPath = "repro/internal/topology"
+	CorePath  = "repro/internal/core"
+	TopoPath  = "repro/internal/topology"
+	ShardPath = "repro/internal/shard"
 )
 
 // journaledFields are the Manager fields whose every change must be a
@@ -72,12 +84,35 @@ func seamFunc(name string) bool {
 		strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
 }
 
+// routerTables are the Router fields recovery rebuilds from the pod
+// WALs plus the intent log; every live write must mirror a journaled
+// commit or replay, which only the shard seam functions do.
+var routerTables = map[string]bool{
+	"jobPods": true, "crossMut": true, "idem": true,
+}
+
+// shardSeamFunc lists the Router methods allowed to write the recovered
+// tables: the strict and fast commit paths, release, the fault/repair
+// appliers, the cross-pod intent bookkeeping, and recovery itself (plus
+// constructors, as in core).
+func shardSeamFunc(name string) bool {
+	switch name {
+	case "Release", "commitStrict", "fastDispatch", "fastRelease",
+		"fault", "repairOne", "recordCrossAlloc", "recordCrossRelease",
+		"rebuildTables", "resolveInDoubt", "Open":
+		return true
+	}
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}
+
 func run(pass *analysis.Pass) error {
 	switch pass.Pkg.Path() {
 	case CorePath:
 		runCore(pass)
 	case TopoPath:
 		// The overlay's own package implements the mutators.
+	case ShardPath:
+		runShard(pass)
 	default:
 		runConsumer(pass)
 	}
@@ -232,9 +267,73 @@ func isNamed(t types.Type, path, name string) bool {
 	return obj.Pkg() != nil && obj.Pkg().Path() == path && obj.Name() == name
 }
 
+// --- inside internal/shard ---
+
+func runShard(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || shardSeamFunc(fn.Name.Name) {
+				continue
+			}
+			checkShardFunc(pass, fn)
+		}
+	}
+	// The ledger and fault overlay stay off-limits here too: the router
+	// mutates pods only through their managers.
+	runConsumer(pass)
+}
+
+func checkShardFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if field, ok := routerTableWrite(pass, lhs); ok {
+					pass.Reportf(lhs.Pos(), "write to Router.%s outside the shard commit seam diverges the recovered tables", field)
+				}
+			}
+		case *ast.IncDecStmt:
+			if field, ok := routerTableWrite(pass, v.X); ok {
+				pass.Reportf(v.X.Pos(), "write to Router.%s outside the shard commit seam diverges the recovered tables", field)
+			}
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok && (id.Name == "delete" || id.Name == "clear") && len(v.Args) > 0 {
+				if field, ok := routerTableWrite(pass, v.Args[0]); ok {
+					pass.Reportf(v.Pos(), "%s of Router.%s outside the shard commit seam diverges the recovered tables", id.Name, field)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// routerTableWrite reports whether the expression writes (through) a
+// recovered table of a shard.Router value, returning the field name.
+func routerTableWrite(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			if isNamed(pass.Info.TypeOf(v.X), ShardPath, "Router") && routerTables[v.Sel.Name] {
+				return v.Sel.Name, true
+			}
+			e = v.X
+		default:
+			return "", false
+		}
+	}
+}
+
 // --- outside internal/core ---
 
 func runConsumer(pass *analysis.Pass) {
+	inShard := pass.Pkg.Path() == ShardPath
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -251,6 +350,8 @@ func runConsumer(pass *analysis.Pass) {
 				pass.Reportf(call.Pos(), "direct Ledger.%s outside internal/core bypasses the journal seam; use the Manager API", sel.Sel.Name)
 			case faultMutators[sel.Sel.Name] && isNamed(recv, TopoPath, "Faults"):
 				pass.Reportf(call.Pos(), "direct Faults.%s outside internal/core bypasses the journal seam; use the Manager API", sel.Sel.Name)
+			case sel.Sel.Name == "CommitExternal" && !inShard && isNamed(recv, CorePath, "Manager"):
+				pass.Reportf(call.Pos(), "CommitExternal outside internal/shard commits an unplanned mutation; use the Manager admission API")
 			}
 			return true
 		})

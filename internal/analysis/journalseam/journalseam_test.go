@@ -9,5 +9,6 @@ import (
 
 func TestJournalseam(t *testing.T) {
 	analysistest.Run(t, "testdata", journalseam.Analyzer,
-		"repro/internal/topology", "repro/internal/core", "consumer", "replica")
+		"repro/internal/topology", "repro/internal/core", "repro/internal/shard",
+		"consumer", "replica")
 }

@@ -36,3 +36,10 @@ func Drain(led *core.Ledger) {
 func Kill(f *topology.Faults, id topology.MachineID) {
 	f.FailMachine(id) // want `direct Faults\.FailMachine outside internal/core`
 }
+
+// --- positive: committing a hand-built mutation from outside the
+// sharded router bypasses admission planning entirely ---
+
+func Inject(m *core.Manager, mut core.Mutation) error {
+	return m.CommitExternal(mut) // want `CommitExternal outside internal/shard`
+}

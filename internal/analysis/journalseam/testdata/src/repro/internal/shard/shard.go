@@ -1,0 +1,89 @@
+// Package shard is a fixture shadowing repro/internal/shard: a
+// miniature Router with the recovered tables (jobPods, crossMut, idem)
+// and the same commit-seam shape as the real one.
+package shard
+
+import "repro/internal/core"
+
+type Router struct {
+	mgrs     []*core.Manager
+	jobPods  map[core.JobID][]int
+	crossMut map[core.JobID]core.Mutation
+	idem     map[string]bool
+}
+
+// --- negative: constructors may initialise the tables directly ---
+
+func NewRouter() *Router {
+	return &Router{
+		jobPods:  map[core.JobID][]int{},
+		crossMut: map[core.JobID]core.Mutation{},
+		idem:     map[string]bool{},
+	}
+}
+
+// --- negative: the strict commit path records the owning pods ---
+
+func (r *Router) commitStrict(mut core.Mutation) error {
+	if err := r.mgrs[0].CommitExternal(mut); err != nil {
+		return err
+	}
+	r.jobPods[mut.Job] = []int{0}
+	return nil
+}
+
+// --- negative: cross-pod bookkeeping mirrors the intent log ---
+
+func (r *Router) recordCrossAlloc(mut core.Mutation) {
+	r.crossMut[mut.Job] = mut
+	r.jobPods[mut.Job] = []int{0, 1}
+}
+
+// --- negative: recovery rebuilds the tables from the pod WALs ---
+
+func (r *Router) rebuildTables(jobs []core.JobID) {
+	for _, id := range jobs {
+		r.jobPods[id] = append(r.jobPods[id], 0)
+	}
+}
+
+// --- negative: release retires every table entry through the seam ---
+
+func (r *Router) Release(id core.JobID) error {
+	if err := r.mgrs[0].Release(id); err != nil {
+		return err
+	}
+	delete(r.jobPods, id)
+	delete(r.crossMut, id)
+	return nil
+}
+
+// --- negative: reads of the tables are fine anywhere ---
+
+func (r *Router) CrossPodJobs() int {
+	n := 0
+	for id := range r.jobPods {
+		if len(r.jobPods[id]) > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// --- positive: table writes outside the commit seam ---
+
+func (r *Router) statusScrub(id core.JobID) {
+	delete(r.jobPods, id) // want `delete of Router\.jobPods outside the shard commit seam`
+}
+
+func (r *Router) adoptJob(mut core.Mutation) {
+	r.crossMut[mut.Job] = mut // want `write to Router\.crossMut outside the shard commit seam`
+}
+
+func (r *Router) forgetKey(key string) {
+	r.idem[key] = false // want `write to Router\.idem outside the shard commit seam`
+}
+
+func (r *Router) resetTables() {
+	r.jobPods = map[core.JobID][]int{} // want `write to Router\.jobPods outside the shard commit seam`
+}

@@ -17,6 +17,14 @@
 //     (field or element assignment) or passed to a mutator (UseSlots,
 //     SetOffline, FailMachine, commit, ...). Take a Clone() first —
 //     snapshot().Clone() is the sanctioned scratch pattern.
+//
+// The sharded router's recovered tables (Router.jobPods, crossMut,
+// idem in repro/internal/shard) get the snapshot treatment too: values
+// read out of them — a pod list, a stored cross-pod mutation whose
+// Placement and Contribs share backing arrays with the table — are
+// live shared state, so a variable bound to a table read (or to the
+// table itself) must not be written through or handed to a mutator;
+// copy first, as MergedState does with every Contribs slice.
 package snapshotro
 
 import (
@@ -54,6 +62,16 @@ var mutators = map[string]bool{
 // mutatorFuncs are free functions that mutate their first argument.
 var mutatorFuncs = map[string]bool{
 	"commit": true, "rollback": true,
+}
+
+// ShardPath locates the sharded router package. A var so the analyzer
+// tests can run on fixture packages loaded under the same path.
+var ShardPath = "repro/internal/shard"
+
+// routerTables are the Router fields whose values are shared with the
+// live tables: reading one hands out aliased state, never a copy.
+var routerTables = map[string]bool{
+	"jobPods": true, "crossMut": true, "idem": true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -204,7 +222,8 @@ func snapshotVars(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
 		}
 		if len(assign.Rhs) == 1 && len(assign.Lhs) >= 1 {
 			// snap := m.snapshot()   or   snap, ver := m.snapshotVer()
-			if isSnapshotCall(assign.Rhs[0]) {
+			// pods, ok := r.jobPods[id]   or   idem := r.idem
+			if isSnapshotCall(assign.Rhs[0]) || isTableRead(pass, assign.Rhs[0]) {
 				if obj := identObject(pass, assign.Lhs[0]); obj != nil {
 					out[obj] = true
 				}
@@ -212,7 +231,7 @@ func snapshotVars(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
 			return true
 		}
 		for i, rhs := range assign.Rhs {
-			if i < len(assign.Lhs) && isSnapshotCall(rhs) {
+			if i < len(assign.Lhs) && (isSnapshotCall(rhs) || isTableRead(pass, rhs)) {
 				if obj := identObject(pass, assign.Lhs[i]); obj != nil {
 					out[obj] = true
 				}
@@ -221,6 +240,36 @@ func snapshotVars(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
 		return true
 	})
 	return out
+}
+
+// isTableRead reports whether the expression reads a recovered router
+// table (r.jobPods[id], r.crossMut[id], r.idem — with or without the
+// index), whose value aliases the live table.
+func isTableRead(pass *analysis.Pass, e ast.Expr) bool {
+	if idx, ok := e.(*ast.IndexExpr); ok {
+		e = idx.X
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || !routerTables[sel.Sel.Name] {
+		return false
+	}
+	return isRouter(pass.Info.TypeOf(sel.X))
+}
+
+// isRouter reports whether t is the shard Router or a pointer to it.
+func isRouter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == ShardPath && obj.Name() == "Router"
 }
 
 func isSnapshotCall(e ast.Expr) bool {

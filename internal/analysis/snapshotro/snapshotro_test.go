@@ -8,5 +8,5 @@ import (
 )
 
 func TestSnapshotro(t *testing.T) {
-	analysistest.Run(t, "testdata", snapshotro.Analyzer, "snapshotro")
+	analysistest.Run(t, "testdata", snapshotro.Analyzer, "snapshotro", "repro/internal/shard")
 }

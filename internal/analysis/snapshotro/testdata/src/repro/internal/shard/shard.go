@@ -1,0 +1,75 @@
+// Package shard is a fixture shadowing repro/internal/shard for the
+// router-table discipline: values read out of the Router's recovered
+// tables alias live shared state and are read-only.
+package shard
+
+type Contribution struct {
+	Link int
+	Mean float64
+}
+
+type Mutation struct {
+	Job      int
+	Contribs []Contribution
+}
+
+type IdemState struct {
+	Job int64
+}
+
+type Router struct {
+	jobPods  map[int][]int
+	crossMut map[int]Mutation
+	idem     map[string]IdemState
+}
+
+// --- negative: reading a table value without mutating it ---
+
+func (r *Router) IsCross(id int) bool {
+	pods := r.jobPods[id]
+	return len(pods) > 1
+}
+
+// --- negative: a defensive copy may be edited freely ---
+
+func (r *Router) PodsCopy(id int) []int {
+	pods := r.jobPods[id]
+	cp := append([]int(nil), pods...)
+	if len(cp) > 0 {
+		cp[0] = -cp[0]
+	}
+	return cp
+}
+
+// --- negative: copying a stored mutation's contribs before sorting ---
+
+func (r *Router) ContribsCopy(id int) []Contribution {
+	mut := r.crossMut[id]
+	out := append([]Contribution(nil), mut.Contribs...)
+	return out
+}
+
+// --- positive: editing the pod list shared with the live table ---
+
+func (r *Router) badRehome(id int) {
+	pods := r.jobPods[id]
+	if len(pods) > 0 {
+		pods[0] = 0 // want `write through shared snapshot pods`
+	}
+}
+
+// --- positive: scaling a stored mutation's contributions in place ---
+
+func (r *Router) badScale(id int, f float64) {
+	mut := r.crossMut[id]
+	for i := range mut.Contribs {
+		mut.Contribs[i].Mean *= f // want `write through shared snapshot mut`
+	}
+}
+
+// --- positive: aliasing a whole table and writing through the alias ---
+
+func (r *Router) badAlias(key string) {
+	idem := r.idem
+	idem[key] = IdemState{} // want `write through shared snapshot idem`
+}

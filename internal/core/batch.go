@@ -195,7 +195,7 @@ func (m *Manager) planBatchItem(led *Ledger, idx int, req BatchRequest) (batchIt
 	switch {
 	case req.Homog != nil:
 		r := *req.Homog
-		p, contribs, err := m.plans.allocateHomog(led, r, m.policy)
+		p, contribs, err := m.plans.allocateHomog(led, r, m.policy, m.scope)
 		if err != nil {
 			return batchItem{}, err
 		}
@@ -208,13 +208,13 @@ func (m *Manager) planBatchItem(led *Ledger, idx int, req BatchRequest) (batchIt
 			contribs []linkDemand
 			err      error
 		)
-		switch m.hetero {
-		case HeteroExact:
+		switch {
+		case m.scope == nil && m.hetero == HeteroExact:
 			p, contribs, err = AllocateHeteroExact(led, r)
-		case HeteroFirstFit:
+		case m.scope == nil && m.hetero == HeteroFirstFit:
 			p, contribs, err = AllocateFirstFit(led, r)
 		default:
-			p, contribs, err = m.plans.allocateHeteroSubstring(led, r, m.policy)
+			p, contribs, err = m.plans.allocateHeteroSubstring(led, r, m.policy, m.scope)
 		}
 		if err != nil {
 			return batchItem{}, err

@@ -1,0 +1,73 @@
+package core
+
+import "repro/internal/stats"
+
+// External planning seam: the sharded control plane (internal/shard)
+// separates WHERE a job is planned from WHERE its state lives. The
+// router plans on one manager (a pod-local one, or the strict-mode
+// shadow of the whole tree) and commits the resulting frame into the
+// managers that own the touched state. PlanHomog/PlanHetero expose the
+// plan half — the same DP the Allocate* calls run, minus the commit —
+// and CommitExternal exposes the commit half: validate + journal + apply
+// of a mutation this manager did not plan itself.
+
+// PlanHomog plans a homogeneous admission against the live ledger and
+// returns the uncommitted mutation: request, placement, and the exact
+// per-link contributions a commit would charge. Job and IdemKey are left
+// zero for the caller to assign. The ledger is not modified; committing
+// the plan (CommitExternal, or Replay on a twin) is the caller's job,
+// and any mutation that lands in between invalidates the plan.
+func (m *Manager) PlanHomog(req Homogeneous) (Mutation, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start := now()
+	p, contribs, err := m.plans.allocateHomog(m.led, req, m.policy, m.scope)
+	m.adm.plan.Observe(since(start))
+	if err != nil {
+		return Mutation{}, err
+	}
+	r := req
+	return Mutation{Op: OpAlloc, Homog: &r, Placement: &p, Contribs: exportContribs(contribs)}, nil
+}
+
+// PlanHetero is PlanHomog for heterogeneous requests, running whichever
+// hetero allocator the manager is configured with.
+func (m *Manager) PlanHetero(req Heterogeneous) (Mutation, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start := now()
+	p, contribs, err := m.planHetero(m.led, req)
+	m.adm.plan.Observe(since(start))
+	if err != nil {
+		return Mutation{}, err
+	}
+	h := Heterogeneous{Demands: append([]stats.Normal(nil), req.Demands...)}
+	return Mutation{Op: OpAlloc, Hetero: &h, Placement: &p, Contribs: exportContribs(contribs)}, nil
+}
+
+// CommitExternal durably commits a mutation that was planned elsewhere.
+// The mutation is validated with the same semantic checks recovery
+// replay applies — an externally planned frame that does not fit this
+// manager's state is vetoed before anything reaches the journal. The
+// journal record is staged under the write lock (preserving log order =
+// apply order) and the durability wait runs after unlock, so concurrent
+// CommitExternal calls against different managers fsync in parallel and
+// calls against the same manager share a group commit.
+func (m *Manager) CommitExternal(mut Mutation) error {
+	m.mu.Lock()
+	if err := m.validateMutationLocked(mut); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	wait, err := m.stageLocked(mut)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	if err := m.applyLocked(mut); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	m.mu.Unlock()
+	return wait()
+}

@@ -65,6 +65,12 @@ func AllocateHeteroSubstring(led *Ledger, req Heterogeneous, policy Policy) (Pla
 // workers, <= 0 picks automatically. Both paths produce bit-identical
 // placements.
 func AllocateHeteroSubstringWorkers(led *Ledger, req Heterogeneous, policy Policy, workers int) (Placement, []linkDemand, error) {
+	return allocateHeteroSubstringScoped(led, req, policy, workers, nil)
+}
+
+// allocateHeteroSubstringScoped is the scope-aware driver behind
+// AllocateHeteroSubstringWorkers; see allocateHomogScoped.
+func allocateHeteroSubstringScoped(led *Ledger, req Heterogeneous, policy Policy, workers int, scope *planScope) (Placement, []linkDemand, error) {
 	if err := req.Validate(); err != nil {
 		return Placement{}, nil, err
 	}
@@ -78,8 +84,8 @@ func AllocateHeteroSubstringWorkers(led *Ledger, req Heterogeneous, policy Polic
 	defer putSubstrScratch(scr)
 	records := scr.records
 
-	for level := 0; level <= topo.Height(); level++ {
-		verts := topo.AtLevel(level)
+	for level := 0; level <= scopeHeight(topo, scope); level++ {
+		verts := scopeAtLevel(topo, scope, level)
 		forEachVertex(verts, w, func(slot int, v topology.NodeID) {
 			substrCompute(led, topo, v, n, prefix, records, policy, scr.arenas[slot])
 		})

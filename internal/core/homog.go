@@ -74,6 +74,14 @@ func AllocateHomog(led *Ledger, req Homogeneous, policy Policy) (Placement, []li
 // request are large enough to amortize the fan-out). Both paths produce
 // bit-identical placements.
 func AllocateHomogWorkers(led *Ledger, req Homogeneous, policy Policy, workers int) (Placement, []linkDemand, error) {
+	return allocateHomogScoped(led, req, policy, workers, nil)
+}
+
+// allocateHomogScoped is the scope-aware driver behind AllocateHomogWorkers:
+// with a non-nil scope the level loop, vertex records and selection scan are
+// confined to the scope's subtree (see planScope), so a pod-local manager
+// never places VMs outside its pod.
+func allocateHomogScoped(led *Ledger, req Homogeneous, policy Policy, workers int, scope *planScope) (Placement, []linkDemand, error) {
 	if err := req.Validate(); err != nil {
 		return Placement{}, nil, err
 	}
@@ -90,8 +98,8 @@ func AllocateHomogWorkers(led *Ledger, req Homogeneous, policy Policy, workers i
 	defer putHomogScratch(scr)
 	records := scr.records
 
-	for level := 0; level <= topo.Height(); level++ {
-		verts := topo.AtLevel(level)
+	for level := 0; level <= scopeHeight(topo, scope); level++ {
+		verts := scopeAtLevel(topo, scope, level)
 		// Fan a level out only when its records carry enough DP work to
 		// amortize the goroutine handoff; small levels (and whole small
 		// trees) run sequentially regardless of the worker count.

@@ -191,7 +191,10 @@ func (m *Manager) Checkpoint() error {
 // CallOption modifies one manager call (allocate, release, fault).
 type CallOption interface{ applyCall(*callOpts) }
 
-type callOpts struct{ idemKey string }
+type callOpts struct {
+	idemKey string
+	jobID   JobID
+}
 
 type idemKeyOption string
 
@@ -203,12 +206,40 @@ func (o idemKeyOption) applyCall(c *callOpts) { c.idemKey = string(o) }
 // is ignored.
 func WithIdemKey(key string) CallOption { return idemKeyOption(key) }
 
+type jobIDOption JobID
+
+func (o jobIDOption) applyCall(c *callOpts) { c.jobID = JobID(o) }
+
+// WithJobID admits the allocation under an externally assigned job ID
+// instead of the manager's own sequence — the sharded router allocates
+// IDs globally and pushes them down into pod-local managers so one job
+// keeps one ID across shards. The ID must be positive and unused; the
+// manager's own sequence max-merges past it, so mixing external and
+// sequential assignment on the same manager stays collision-free. A zero
+// ID is ignored.
+func WithJobID(id JobID) CallOption { return jobIDOption(id) }
+
 func evalCallOpts(opts []CallOption) callOpts {
 	var co callOpts
 	for _, o := range opts {
 		o.applyCall(&co)
 	}
 	return co
+}
+
+// CallMeta is the resolved view of a call-option list, for external
+// coordinators — the sharded router routes on the idempotency key
+// (replay, claim arbitration) before any pod manager sees the call.
+type CallMeta struct {
+	IdemKey string
+	Job     JobID
+}
+
+// ResolveCallOptions evaluates a call-option list without invoking a
+// manager.
+func ResolveCallOptions(opts ...CallOption) CallMeta {
+	co := evalCallOpts(opts)
+	return CallMeta{IdemKey: co.idemKey, Job: co.jobID}
 }
 
 // idemEntry is the durable outcome bound to an idempotency key.

@@ -95,6 +95,11 @@ type Manager struct {
 	// ledger's subtree versions (see plancache.go). Immutable pointer,
 	// internally synchronized.
 	plans *planCache
+
+	// scope, when non-nil, confines every planning DP to one subtree
+	// (WithPlanSubtree) — the pod-local planning seam the sharded control
+	// plane builds on. Immutable after construction.
+	scope *planScope
 }
 
 // ManagerOption configures a Manager.
@@ -161,9 +166,9 @@ func (m *Manager) AllocateHomog(req Homogeneous, opts ...CallOption) (*Allocatio
 	co := evalCallOpts(opts)
 	r := req
 	plan := func(led *Ledger) (Placement, []linkDemand, error) {
-		return m.plans.allocateHomog(led, req, m.policy)
+		return m.plans.allocateHomog(led, req, m.policy, m.scope)
 	}
-	return m.allocate(co, plan, Mutation{Op: OpAlloc, Homog: &r, IdemKey: co.idemKey}, req.N)
+	return m.allocate(co, plan, Mutation{Op: OpAlloc, Job: co.jobID, Homog: &r, IdemKey: co.idemKey}, req.N)
 }
 
 // AllocateHetero admits a heterogeneous SVC request using the configured
@@ -172,16 +177,24 @@ func (m *Manager) AllocateHetero(req Heterogeneous, opts ...CallOption) (*Alloca
 	co := evalCallOpts(opts)
 	r := req
 	plan := func(led *Ledger) (Placement, []linkDemand, error) {
+		return m.planHetero(led, req)
+	}
+	return m.allocate(co, plan, Mutation{Op: OpAlloc, Job: co.jobID, Hetero: &r, IdemKey: co.idemKey}, req.N())
+}
+
+// planHetero runs the configured heterogeneous allocator against a ledger
+// without committing. Scoped managers always use the substring DP (the
+// only hetero allocator with a scoped variant; see WithPlanSubtree).
+func (m *Manager) planHetero(led *Ledger, req Heterogeneous) (Placement, []linkDemand, error) {
+	if m.scope == nil {
 		switch m.hetero {
 		case HeteroExact:
 			return AllocateHeteroExact(led, req)
 		case HeteroFirstFit:
 			return AllocateFirstFit(led, req)
-		default:
-			return m.plans.allocateHeteroSubstring(led, req, m.policy)
 		}
 	}
-	return m.allocate(co, plan, Mutation{Op: OpAlloc, Hetero: &r, IdemKey: co.idemKey}, req.N())
+	return m.plans.allocateHeteroSubstring(led, req, m.policy, m.scope)
 }
 
 // idemAllocLocked resolves an allocate call's idempotency key: done is
@@ -201,16 +214,6 @@ func (m *Manager) idemAllocLocked(key string) (*Allocation, bool, error) {
 	// The replayed Allocation carries the original ID and placement only;
 	// it is a response stub, not the manager's live record.
 	return &Allocation{ID: e.job, Placement: e.placement.Clone()}, true, nil
-}
-
-// admitLocked journals and applies one admission through the shared
-// commit path.
-func (m *Manager) admitLocked(mut Mutation) (*Allocation, error) {
-	mut.Job = m.nextID + 1
-	if err := m.commitLocked(mut); err != nil {
-		return nil, err
-	}
-	return m.jobs[mut.Job], nil
 }
 
 // snapshot returns a read-only clone of the ledger reflecting every
@@ -247,7 +250,7 @@ func (m *Manager) snapshotVer() (*Ledger, uint64) {
 // be admitted, without committing anything — a capacity-planning dry run.
 // It runs on a ledger snapshot, concurrently with admissions.
 func (m *Manager) CanAllocateHomog(req Homogeneous) bool {
-	_, _, err := m.plans.allocateHomog(m.snapshot(), req, m.policy)
+	_, _, err := m.plans.allocateHomog(m.snapshot(), req, m.policy, m.scope)
 	return err == nil
 }
 
@@ -255,16 +258,7 @@ func (m *Manager) CanAllocateHomog(req Homogeneous) bool {
 // be admitted, without committing anything. It runs on a ledger snapshot,
 // concurrently with admissions.
 func (m *Manager) CanAllocateHetero(req Heterogeneous) bool {
-	led := m.snapshot()
-	var err error
-	switch m.hetero {
-	case HeteroExact:
-		_, _, err = AllocateHeteroExact(led, req)
-	case HeteroFirstFit:
-		_, _, err = AllocateFirstFit(led, req)
-	default:
-		_, _, err = m.plans.allocateHeteroSubstring(led, req, m.policy)
-	}
+	_, _, err := m.planHetero(m.snapshot(), req)
 	return err == nil
 }
 
@@ -288,14 +282,13 @@ func (m *Manager) Release(id JobID, opts ...CallOption) error {
 		return fmt.Errorf("%w: %d", ErrUnknownJob, id)
 	}
 	mut := Mutation{Op: OpRelease, Job: id, IdemKey: co.idemKey}
-	if m.lockedAdmission {
-		err := m.commitLocked(mut)
-		m.mu.Unlock()
-		return err
-	}
 	// Stage the journal record and apply under the lock; wait for
 	// durability outside it so concurrent releases and admissions share
-	// one fsync (see stageLocked for the failure contract).
+	// one fsync (see stageLocked for the failure contract). Locked
+	// admission mode used to commit synchronously here — holding m.mu
+	// across the journal fsync, which both serialized every concurrent
+	// release behind the disk and starved the group committer of
+	// batch-mates; staging is identical in log order and durability.
 	wait, err := m.stageLocked(mut)
 	if err != nil {
 		m.mu.Unlock()
@@ -307,6 +300,27 @@ func (m *Manager) Release(id JobID, opts ...CallOption) error {
 		return err
 	}
 	return wait()
+}
+
+// HasJob reports whether a job is currently admitted. The sharded
+// router's crash recovery uses it to resolve in-doubt cross-pod
+// admissions: an intent with no matching job on some pod must abort.
+func (m *Manager) HasJob(id JobID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.jobs[id]
+	return ok
+}
+
+// JobPlacement returns a clone of an admitted job's current placement.
+func (m *Manager) JobPlacement(id JobID) (Placement, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a, ok := m.jobs[id]
+	if !ok {
+		return Placement{}, fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	return a.Placement.Clone(), nil
 }
 
 // Running returns the number of admitted, unreleased jobs.
@@ -362,7 +376,7 @@ func (m *Manager) Headroom(req Homogeneous, limit int) (int, error) {
 	}
 	count := 0
 	for count < limit {
-		p, contribs, err := AllocateHomog(scratch, req, m.policy)
+		p, contribs, err := allocateHomogScoped(scratch, req, m.policy, 0, m.scope)
 		if err != nil {
 			if errors.Is(err, ErrNoCapacity) {
 				break
@@ -391,3 +405,47 @@ func (m *Manager) Topology() *topology.Topology { return m.led.Topology() }
 // in-process tooling (the simulator and tests). Callers must not mutate it
 // while the manager is in use.
 func (m *Manager) Ledger() *Ledger { return m.led }
+
+// FreeSlotsSubtree returns the number of unoccupied VM slots on machines
+// inside root's subtree — the per-pod capacity view a sharded control
+// plane reports, where each pod controller's ledger is authoritative only
+// for its own subtree.
+func (m *Manager) FreeSlotsSubtree(root topology.NodeID) int {
+	topo := m.led.Topology()
+	machines := topo.SubtreeMachines(nil, root)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for _, mc := range machines {
+		total += m.led.FreeSlots(mc)
+	}
+	return total
+}
+
+// LinkLoad is the point-in-time load of one physical link, for status
+// surfaces (the /v1/links endpoint and per-shard status sections).
+type LinkLoad struct {
+	Link       topology.LinkID
+	Capacity   float64
+	Occupancy  float64 // paper Eq. 6 ratio O_L
+	DetLoad    float64 // deterministic reservations D_L
+	Stochastic int     // stochastic demands sharing the link
+}
+
+// LinkLoads returns the load of every link, in link order. It reads a
+// ledger snapshot, so status scrapes never stall admissions.
+func (m *Manager) LinkLoads() []LinkLoad {
+	led := m.snapshot()
+	topo := led.Topology()
+	out := make([]LinkLoad, 0, len(topo.Links()))
+	for _, l := range topo.Links() {
+		out = append(out, LinkLoad{
+			Link:       l,
+			Capacity:   topo.LinkCap(l),
+			Occupancy:  led.Occupancy(l),
+			DetLoad:    led.DetReserved(l),
+			Stochastic: led.StochasticCount(l),
+		})
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/metrics"
 )
@@ -168,18 +169,24 @@ func (m *Manager) allocate(co callOpts, plan planFunc, mut Mutation, wantVMs int
 
 // allocateUnderLock plans on the live ledger with the write lock held —
 // the pre-optimistic admission path, kept as the WithLockedAdmission mode
-// and as the bounded-retry fallback. Its commit is fully synchronous
-// (journal fsync under the lock), exactly the serialized baseline.
+// and as the bounded-retry fallback. Planning and the in-memory apply are
+// serialized under the lock, but the journal record is only STAGED there;
+// the durability wait runs after the unlock so concurrent locked
+// admissions still share one group-commit fsync. (Committing
+// synchronously under m.mu — the original behavior — made every
+// locked/fsync admission pay a full private fsync while blocking all
+// other commits behind it.)
 func (m *Manager) allocateUnderLock(co callOpts, plan planFunc, mut Mutation, fallback bool) (*Allocation, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if a, done, err := m.idemAllocLocked(co.idemKey); done {
+		m.mu.Unlock()
 		return a, err
 	}
 	start := now()
 	p, contribs, err := plan(m.led)
 	m.adm.plan.Observe(since(start))
 	if err != nil {
+		m.mu.Unlock()
 		return nil, err
 	}
 	if fallback {
@@ -188,14 +195,29 @@ func (m *Manager) allocateUnderLock(co callOpts, plan planFunc, mut Mutation, fa
 	m.adm.locked++
 	mut.Placement = &p
 	mut.Contribs = exportContribs(contribs)
-	return m.admitLocked(mut)
+	a, wait, err := m.admitStagedLocked(mut)
+	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := wait(); err != nil {
+		return nil, err
+	}
+	return a, nil
 }
 
 // admitStagedLocked assigns the job ID, stages the journal record, and
 // applies the admission. The returned wait must be invoked after m.mu is
-// released; it reports durability.
+// released; it reports durability. A mutation arriving with a preset Job
+// (WithJobID — the sharded router's externally allocated IDs) keeps it;
+// applyLocked max-merges external IDs into nextID, so sequential and
+// external assignment never collide on a manager that sees both.
 func (m *Manager) admitStagedLocked(mut Mutation) (*Allocation, func() error, error) {
-	mut.Job = m.nextID + 1
+	if mut.Job == 0 {
+		mut.Job = m.nextID + 1
+	} else if _, ok := m.jobs[mut.Job]; ok {
+		return nil, nil, fmt.Errorf("%w: duplicate job id %d", ErrBadRequest, mut.Job)
+	}
 	wait, err := m.stageLocked(mut)
 	if err != nil {
 		return nil, nil, err

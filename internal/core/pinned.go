@@ -47,6 +47,13 @@ type pinnedRecord struct {
 // objective limits (but does not bound) the resulting occupancy — the
 // graceful-degradation path.
 func AllocateHomogPinned(led *Ledger, req Homogeneous, policy Policy, pinned map[topology.NodeID]int, relax bool) (Placement, []linkDemand, error) {
+	return allocateHomogPinnedScoped(led, req, policy, pinned, relax, nil)
+}
+
+// allocateHomogPinnedScoped is the scope-aware driver behind
+// AllocateHomogPinned; a non-nil scope confines the repair DP to the
+// scope's subtree exactly like allocateHomogScoped does for admissions.
+func allocateHomogPinnedScoped(led *Ledger, req Homogeneous, policy Policy, pinned map[topology.NodeID]int, relax bool, scope *planScope) (Placement, []linkDemand, error) {
 	if err := req.Validate(); err != nil {
 		return Placement{}, nil, err
 	}
@@ -83,8 +90,8 @@ func AllocateHomogPinned(led *Ledger, req Homogeneous, policy Policy, pinned map
 	crossing := crossingTableHomog(req.Demand, req.N)
 	records := make([]pinnedRecord, topo.Len())
 
-	for level := 0; level <= topo.Height(); level++ {
-		verts := topo.AtLevel(level)
+	for level := 0; level <= scopeHeight(topo, scope); level++ {
+		verts := scopeAtLevel(topo, scope, level)
 		for _, v := range verts {
 			pinnedCompute(led, topo, v, req.N, crossing, records, policy, pinnedIn[v], pinned, relax)
 		}

@@ -157,18 +157,20 @@ func (c *planCache) homogEntryFor(req Homogeneous, policy Policy) (*homogEntry, 
 }
 
 // AllocateHomog plans a homogeneous request against led using the cache.
-// Bit-identical to core's AllocateHomog on the same ledger state.
-func (c *planCache) allocateHomog(led *Ledger, req Homogeneous, policy Policy) (Placement, []linkDemand, error) {
+// Bit-identical to core's AllocateHomog on the same ledger state. A
+// non-nil scope confines planning to its subtree; entries are per-manager
+// and a manager's scope is immutable, so cached records never mix scopes.
+func (c *planCache) allocateHomog(led *Ledger, req Homogeneous, policy Policy, scope *planScope) (Placement, []linkDemand, error) {
 	if err := req.Validate(); err != nil {
 		return Placement{}, nil, err
 	}
 	e, hit := c.homogEntryFor(req, policy)
 	e.mu.Lock()
-	p, contribs, recomputed, err := e.plan(led)
+	p, contribs, recomputed, err := e.plan(led, scope)
 	e.mu.Unlock()
 	c.notePlan(hit, recomputed)
 	if invariantsEnabled && c.shouldSample() {
-		fp, _, ferr := AllocateHomogWorkers(led, req, policy, 1)
+		fp, _, ferr := allocateHomogScoped(led, req, policy, 1, scope)
 		checkCachedPlan("homog", p, err, fp, ferr)
 	}
 	return p, contribs, err
@@ -177,7 +179,7 @@ func (c *planCache) allocateHomog(led *Ledger, req Homogeneous, policy Policy) (
 // plan runs the level-order DP reusing every record whose subtree
 // version still matches. Callers hold e.mu. Returns the number of
 // vertex records recomputed.
-func (e *homogEntry) plan(led *Ledger) (Placement, []linkDemand, int, error) {
+func (e *homogEntry) plan(led *Ledger, scope *planScope) (Placement, []linkDemand, int, error) {
 	topo := led.Topology()
 	if e.recs == nil {
 		e.recs = make([]cachedHomogRec, topo.Len())
@@ -194,8 +196,8 @@ func (e *homogEntry) plan(led *Ledger) (Placement, []linkDemand, int, error) {
 		e.epochSet = true
 	}
 	recomputed := 0
-	for level := 0; level <= topo.Height(); level++ {
-		verts := topo.AtLevel(level)
+	for level := 0; level <= scopeHeight(topo, scope); level++ {
+		verts := scopeAtLevel(topo, scope, level)
 		for _, v := range verts {
 			r := &e.recs[v]
 			if r.filled && r.ver == led.SubtreeVersion(v) {
@@ -433,7 +435,7 @@ func (c *planCache) substrEntryFor(key string, sorted []stats.Normal, policy Pol
 
 // allocateHeteroSubstring plans a heterogeneous request with the cached
 // substring DP. Bit-identical to AllocateHeteroSubstring.
-func (c *planCache) allocateHeteroSubstring(led *Ledger, req Heterogeneous, policy Policy) (Placement, []linkDemand, error) {
+func (c *planCache) allocateHeteroSubstring(led *Ledger, req Heterogeneous, policy Policy, scope *planScope) (Placement, []linkDemand, error) {
 	if err := req.Validate(); err != nil {
 		return Placement{}, nil, err
 	}
@@ -443,11 +445,11 @@ func (c *planCache) allocateHeteroSubstring(led *Ledger, req Heterogeneous, poli
 	}
 	e, hit := c.substrEntryFor(substrCacheKey(sorted, policy), sorted, policy)
 	e.mu.Lock()
-	p, contribs, recomputed, err := e.plan(led, req, order)
+	p, contribs, recomputed, err := e.plan(led, req, order, scope)
 	e.mu.Unlock()
 	c.notePlan(hit, recomputed)
 	if invariantsEnabled && c.shouldSample() {
-		fp, _, ferr := AllocateHeteroSubstringWorkers(led, req, policy, 1)
+		fp, _, ferr := allocateHeteroSubstringScoped(led, req, policy, 1, scope)
 		checkCachedPlan("hetero", p, err, fp, ferr)
 	}
 	return p, contribs, err
@@ -455,7 +457,7 @@ func (c *planCache) allocateHeteroSubstring(led *Ledger, req Heterogeneous, poli
 
 // plan runs the substring DP reusing current records; callers hold e.mu.
 // order maps substring positions to the caller's VM indices.
-func (e *substrEntry) plan(led *Ledger, req Heterogeneous, order []int) (Placement, []linkDemand, int, error) {
+func (e *substrEntry) plan(led *Ledger, req Heterogeneous, order []int, scope *planScope) (Placement, []linkDemand, int, error) {
 	topo := led.Topology()
 	n := e.n
 	if e.recs == nil {
@@ -472,8 +474,8 @@ func (e *substrEntry) plan(led *Ledger, req Heterogeneous, order []int) (Placeme
 		e.epochSet = true
 	}
 	recomputed := 0
-	for level := 0; level <= topo.Height(); level++ {
-		verts := topo.AtLevel(level)
+	for level := 0; level <= scopeHeight(topo, scope); level++ {
+		verts := scopeAtLevel(topo, scope, level)
 		for _, v := range verts {
 			r := &e.recs[v]
 			if r.filled && r.ver == led.SubtreeVersion(v) {

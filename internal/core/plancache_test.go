@@ -45,7 +45,7 @@ func TestPlanCacheEquivalenceHomog(t *testing.T) {
 				N:      r.UniformInt(1, min(6, tp.TotalSlots())),
 				Demand: demands[r.IntN(len(demands))],
 			}
-			p, contribs, err := cache.allocateHomog(led, req, policy)
+			p, contribs, err := cache.allocateHomog(led, req, policy, nil)
 			fp, fcontribs, ferr := AllocateHomogWorkers(led, req, policy, 1)
 			if (err == nil) != (ferr == nil) {
 				t.Fatalf("trial %d step %d: cached err = %v, cold err = %v", trial, step, err, ferr)
@@ -131,7 +131,7 @@ func TestPlanCacheEquivalenceHetero(t *testing.T) {
 				policy = FirstFeasible
 			}
 			req := reqs[r.IntN(len(reqs))]
-			p, contribs, err := cache.allocateHeteroSubstring(led, req, policy)
+			p, contribs, err := cache.allocateHeteroSubstring(led, req, policy, nil)
 			fp, fcontribs, ferr := AllocateHeteroSubstringWorkers(led, req, policy, 1)
 			if (err == nil) != (ferr == nil) {
 				t.Fatalf("trial %d step %d: cached err = %v, cold err = %v", trial, step, err, ferr)
@@ -190,7 +190,7 @@ func TestPlanCacheCounters(t *testing.T) {
 	c := newPlanCache()
 	req := Homogeneous{N: 2, Demand: stats.Normal{Mu: 5, Sigma: 2}}
 
-	p1, contribs, err := c.allocateHomog(led, req, MinMaxOccupancy)
+	p1, contribs, err := c.allocateHomog(led, req, MinMaxOccupancy, nil)
 	if err != nil {
 		t.Fatalf("first plan: %v", err)
 	}
@@ -198,7 +198,7 @@ func TestPlanCacheCounters(t *testing.T) {
 		t.Fatalf("after first plan: %+v, want 1 miss 0 hits", st)
 	}
 
-	p2, _, err := c.allocateHomog(led, req, MinMaxOccupancy)
+	p2, _, err := c.allocateHomog(led, req, MinMaxOccupancy, nil)
 	if err != nil {
 		t.Fatalf("replan: %v", err)
 	}
@@ -210,7 +210,7 @@ func TestPlanCacheCounters(t *testing.T) {
 	}
 
 	commit(led, &p1, contribs)
-	if _, _, err := c.allocateHomog(led, req, MinMaxOccupancy); err != nil {
+	if _, _, err := c.allocateHomog(led, req, MinMaxOccupancy, nil); err != nil {
 		t.Fatalf("post-commit plan: %v", err)
 	}
 	st := c.snapshot()
@@ -227,7 +227,7 @@ func TestPlanCacheCounters(t *testing.T) {
 
 	for i := 0; i <= maxHomogPlanEntries; i++ {
 		r := Homogeneous{N: 1, Demand: stats.Normal{Mu: 1 + float64(i), Sigma: 1}}
-		if _, _, err := c.allocateHomog(led, r, MinMaxOccupancy); err != nil {
+		if _, _, err := c.allocateHomog(led, r, MinMaxOccupancy, nil); err != nil {
 			t.Fatalf("fill plan %d: %v", i, err)
 		}
 	}
@@ -237,7 +237,7 @@ func TestPlanCacheCounters(t *testing.T) {
 
 	for i := 0; i <= maxHeteroPlanEntries; i++ {
 		r := Heterogeneous{Demands: []stats.Normal{{Mu: 1 + float64(i), Sigma: 1}}}
-		if _, _, err := c.allocateHeteroSubstring(led, r, MinMaxOccupancy); err != nil {
+		if _, _, err := c.allocateHeteroSubstring(led, r, MinMaxOccupancy, nil); err != nil {
 			t.Fatalf("hetero fill plan %d: %v", i, err)
 		}
 	}

@@ -268,17 +268,48 @@ func (m *Manager) RepairAll() ([]RepairResult, error) {
 // apply path — so the journal records the decision before any live state
 // moves, and replaying it is bit-identical.
 func (m *Manager) repairLocked(a *Allocation) (RepairResult, error) {
+	mut, displaced := m.planRepairLocked(a)
+	if err := m.commitLocked(mut); err != nil {
+		return RepairResult{}, err
+	}
+	res := RepairResult{Job: a.ID, Outcome: mut.Outcome, MovedVMs: displaced, EffectiveEps: mut.EffectiveEps}
+	switch {
+	case mut.Outcome == RepairNoop:
+		res.Placement = a.Placement.Clone()
+	case mut.Placement != nil:
+		res.Placement = mut.Placement.Clone()
+	}
+	return res, nil
+}
+
+// PlanRepair plans — without committing — the repair of one job: the
+// returned mutation is exactly what RepairJob would journal, alongside
+// the displaced VM count. The sharded router plans repairs on the
+// pod-local manager owning the job and commits the resulting mutation
+// through CommitExternal, so a pod never decides to move VMs it cannot
+// see. The plan is only valid until the next mutation on this manager.
+func (m *Manager) PlanRepair(id JobID) (Mutation, int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a, ok := m.jobs[id]
+	if !ok {
+		return Mutation{}, 0, fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	mut, displaced := m.planRepairLocked(a)
+	return mut, displaced, nil
+}
+
+// planRepairLocked chooses the repair outcome for one job on a scratch
+// clone of the ledger and returns the uncommitted repair mutation plus
+// the displaced VM count. All planning is confined to the manager's plan
+// scope, so a pod-local manager repairs jobs strictly inside its pod.
+// The DPs run directly (not through the plan cache): the scratch ledger
+// diverges from the live one after the rollback, and cache entries keyed
+// by its bumped subtree versions could alias future live versions.
+func (m *Manager) planRepairLocked(a *Allocation) (Mutation, int) {
 	displaced := m.displacedLocked(a)
 	if displaced == 0 {
-		mut := Mutation{Op: OpRepair, Job: a.ID, Outcome: RepairNoop}
-		if err := m.commitLocked(mut); err != nil {
-			return RepairResult{}, err
-		}
-		eps := m.led.Epsilon()
-		if e, ok := m.degraded[a.ID]; ok {
-			eps = e
-		}
-		return RepairResult{Job: a.ID, Outcome: RepairNoop, Placement: a.Placement.Clone(), EffectiveEps: eps}, nil
+		return Mutation{Op: OpRepair, Job: a.ID, Outcome: RepairNoop, EffectiveEps: m.effectiveEpsLocked(a.ID)}, 0
 	}
 
 	// Free the whole job on the scratch ledger first: pinned slots must
@@ -295,10 +326,10 @@ func (m *Manager) repairLocked(a *Allocation) (RepairResult, error) {
 				pinned[e.Machine] = e.Count
 			}
 		}
-		if p, contribs, err := AllocateHomogPinned(scratch, *a.homog, m.policy, pinned, false); err == nil {
+		if p, contribs, err := allocateHomogPinnedScoped(scratch, *a.homog, m.policy, pinned, false, m.scope); err == nil {
 			mut = Mutation{Op: OpRepair, Job: a.ID, Outcome: RepairMoved,
 				Placement: &p, Contribs: exportContribs(contribs), EffectiveEps: m.led.Epsilon()}
-		} else if p, contribs, err := AllocateHomogPinned(scratch, *a.homog, m.policy, pinned, true); err == nil {
+		} else if p, contribs, err := allocateHomogPinnedScoped(scratch, *a.homog, m.policy, pinned, true, m.scope); err == nil {
 			commit(scratch, &p, contribs)
 			mut = Mutation{Op: OpRepair, Job: a.ID, Outcome: RepairDegraded,
 				Placement: &p, Contribs: exportContribs(contribs), EffectiveEps: effectiveEps(scratch, contribs)}
@@ -309,13 +340,13 @@ func (m *Manager) repairLocked(a *Allocation) (RepairResult, error) {
 			contribs []linkDemand
 			err      error
 		)
-		switch m.hetero {
-		case HeteroExact:
+		switch {
+		case m.scope == nil && m.hetero == HeteroExact:
 			p, contribs, err = AllocateHeteroExact(scratch, *a.hetero)
-		case HeteroFirstFit:
+		case m.scope == nil && m.hetero == HeteroFirstFit:
 			p, contribs, err = AllocateFirstFit(scratch, *a.hetero)
 		default:
-			p, contribs, err = AllocateHeteroSubstring(scratch, *a.hetero, m.policy)
+			p, contribs, err = allocateHeteroSubstringScoped(scratch, *a.hetero, m.policy, 0, m.scope)
 		}
 		if err == nil {
 			mut = Mutation{Op: OpRepair, Job: a.ID, Outcome: RepairMoved,
@@ -326,14 +357,15 @@ func (m *Manager) repairLocked(a *Allocation) (RepairResult, error) {
 		// Eviction: not even the fallback fits.
 		mut = Mutation{Op: OpRepair, Job: a.ID, Outcome: RepairFailed, EffectiveEps: 1}
 	}
-	if err := m.commitLocked(mut); err != nil {
-		return RepairResult{}, err
+	return mut, displaced
+}
+
+// effectiveEpsLocked is EffectiveEps with m.mu already held.
+func (m *Manager) effectiveEpsLocked(id JobID) float64 {
+	if eps, ok := m.degraded[id]; ok {
+		return eps
 	}
-	res := RepairResult{Job: a.ID, Outcome: mut.Outcome, MovedVMs: displaced, EffectiveEps: mut.EffectiveEps}
-	if mut.Placement != nil {
-		res.Placement = mut.Placement.Clone()
-	}
-	return res, nil
+	return m.led.Epsilon()
 }
 
 // effectiveEps computes the honest risk factor of a job whose

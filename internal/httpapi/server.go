@@ -91,6 +91,25 @@ type Status struct {
 	Admission    *AdmissionStatus   `json:"admission,omitempty"`
 	WAL          *WALStatus         `json:"wal,omitempty"`
 	Replication  *ReplicationStatus `json:"replication,omitempty"`
+	Sharding     *ShardingStatus    `json:"sharding,omitempty"`
+}
+
+// ShardingStatus reports the sharded control plane's layout and load.
+// The daemon injects it via SetSharding when running with -shards.
+type ShardingStatus struct {
+	Mode         string      `json:"mode"`
+	Shards       int         `json:"shards"`
+	CrossPodJobs int         `json:"crossPodJobs"`
+	Pods         []PodStatus `json:"pods"`
+}
+
+// PodStatus is one shard's slice of the status surface.
+type PodStatus struct {
+	Shard        int     `json:"shard"`
+	Root         int     `json:"root"`
+	Jobs         int     `json:"jobs"`
+	FreeSlots    int     `json:"freeSlots"`
+	MaxOccupancy float64 `json:"maxOccupancy"`
 }
 
 // AdmissionStatus reports how admissions traveled through the optimistic
@@ -191,13 +210,49 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// Controller is the admission-control surface the HTTP layer serves.
+// Both the unsharded *core.Manager and the sharded shard.Router satisfy
+// it, so one server binary fronts either control plane; the handlers
+// never reach past this interface.
+type Controller interface {
+	AllocateHomog(req core.Homogeneous, opts ...core.CallOption) (*core.Allocation, error)
+	AllocateHetero(req core.Heterogeneous, opts ...core.CallOption) (*core.Allocation, error)
+	Release(id core.JobID, opts ...core.CallOption) error
+	CanAllocateHomog(req core.Homogeneous) bool
+	CanAllocateHetero(req core.Heterogeneous) bool
+	Headroom(req core.Homogeneous, limit int) (int, error)
+
+	Topology() *topology.Topology
+	Epsilon() float64
+	FreeSlots() int
+	Running() int
+	MaxOccupancy() float64
+	AdmissionStats() core.AdmissionStats
+	FailureStats() core.FailureStats
+	LinkLoads() []core.LinkLoad
+	ExportState() *core.ManagerState
+
+	FailMachine(id topology.NodeID, opts ...core.CallOption) ([]core.JobID, error)
+	RestoreMachine(id topology.NodeID, opts ...core.CallOption) error
+	FailLink(id topology.LinkID, opts ...core.CallOption) ([]core.JobID, error)
+	RestoreLink(id topology.LinkID, opts ...core.CallOption) error
+	AffectedJobs() []core.JobID
+	RepairJob(id core.JobID) (core.RepairResult, error)
+	RepairAll() ([]core.RepairResult, error)
+}
+
+// ctrlBox wraps the interface so it fits an atomic.Pointer (which needs
+// one concrete type).
+type ctrlBox struct{ c Controller }
+
 // Server wraps a network manager with the HTTP interface.
 type Server struct {
-	mgr       atomic.Pointer[core.Manager]
+	ctrl      atomic.Pointer[ctrlBox]
 	mux       *http.ServeMux
 	draining  atomic.Bool
 	standby   atomic.Bool
 	walStatus atomic.Pointer[func() WALStatus]
+	sharding  atomic.Pointer[func() *ShardingStatus]
 	batcher   *core.Batcher
 
 	// Replication seams, injected by the daemon (closures keep this
@@ -210,10 +265,14 @@ type Server struct {
 	replication atomic.Pointer[func() *ReplicationStatus]
 }
 
-// NewServer returns a server over the manager.
-func NewServer(mgr *core.Manager) *Server {
+// NewServer returns a server over the unsharded manager.
+func NewServer(mgr *core.Manager) *Server { return NewControllerServer(mgr) }
+
+// NewControllerServer returns a server over any Controller — an
+// unsharded manager or a sharded router.
+func NewControllerServer(c Controller) *Server {
 	s := &Server{mux: http.NewServeMux()}
-	s.mgr.Store(mgr)
+	s.ctrl.Store(&ctrlBox{c: c})
 	s.mux.HandleFunc("POST /v1/allocations", s.handleAllocate)
 	s.mux.HandleFunc("DELETE /v1/allocations/{id}", s.handleRelease)
 	s.mux.HandleFunc("POST /v1/dryrun", s.handleDryRun)
@@ -230,15 +289,29 @@ func NewServer(mgr *core.Manager) *Server {
 	return s
 }
 
-// manager returns the manager serving requests right now. One load per
-// handler: a request observes either the pre- or post-promotion manager,
-// never a mix.
-func (s *Server) manager() *core.Manager { return s.mgr.Load() }
+// manager returns the controller serving requests right now. One load
+// per handler: a request observes either the pre- or post-promotion
+// controller, never a mix.
+func (s *Server) manager() Controller { return s.ctrl.Load().c }
 
 // SetManager swaps the manager serving requests — promotion replaces a
 // standby's follower manager with the recovered, journaled primary one.
 // In-flight requests finish against the manager they loaded.
-func (s *Server) SetManager(mgr *core.Manager) { s.mgr.Store(mgr) }
+func (s *Server) SetManager(mgr *core.Manager) { s.SetController(mgr) }
+
+// SetController swaps the controller serving requests; see SetManager.
+func (s *Server) SetController(c Controller) { s.ctrl.Store(&ctrlBox{c: c}) }
+
+// SetSharding installs the shard-status provider surfaced under the
+// "sharding" key of /v1/status. A closure keeps this package free of a
+// shard dependency (mirroring SetWALStatus).
+func (s *Server) SetSharding(fn func() *ShardingStatus) {
+	if fn == nil {
+		s.sharding.Store(nil)
+		return
+	}
+	s.sharding.Store(&fn)
+}
 
 // SetWALStatus installs the journal-state provider surfaced under the
 // "wal" key of /v1/status. A closure keeps this package free of a wal
@@ -480,6 +553,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	if fn := s.replication.Load(); fn != nil {
 		st.Replication = (*fn)()
 	}
+	if fn := s.sharding.Load(); fn != nil {
+		st.Sharding = (*fn)()
+	}
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -616,17 +692,15 @@ func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleLinks(w http.ResponseWriter, req *http.Request) {
 	mgr := s.manager()
-	topo := mgr.Topology()
-	led := mgr.Ledger()
-	links := topo.Links()
-	out := make([]LinkStatus, 0, len(links))
-	for _, l := range links {
+	loads := mgr.LinkLoads()
+	out := make([]LinkStatus, 0, len(loads))
+	for _, ll := range loads {
 		out = append(out, LinkStatus{
-			Link:              int(l),
-			Capacity:          topo.LinkCap(l),
-			Occupancy:         led.Occupancy(l),
-			DetReserved:       led.DetReserved(l),
-			StochasticDemands: led.StochasticCount(l),
+			Link:              int(ll.Link),
+			Capacity:          ll.Capacity,
+			Occupancy:         ll.Occupancy,
+			DetReserved:       ll.DetLoad,
+			StochasticDemands: ll.Stochastic,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Occupancy > out[j].Occupancy })

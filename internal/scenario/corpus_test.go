@@ -19,6 +19,8 @@ var corpusExpect = map[string]bool{
 	"heavy-tail":       true,
 	"batch-storm":      true,
 	"failover-soak":    true,
+	"sharded-churn":    true,
+	"sharded-crosspod": true,
 	"negative-control": false,
 }
 

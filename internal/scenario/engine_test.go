@@ -11,8 +11,14 @@ func runSim(t *testing.T, s *Scenario) *Report {
 	if err != nil {
 		t.Fatalf("Compile: %v", err)
 	}
-	b, err := NewSimBackend(p.Topo, s.Eps, s.Run.Admission)
-	if err != nil {
+	var b Backend
+	if s.Run.Shards > 0 {
+		cfg := LocalConfig{Topo: p.Topo, Eps: s.Eps, Admission: s.Run.Admission}
+		b, err = NewShardBackend(t.TempDir(), cfg, s.Run.Shards, s.Run.ShardMode)
+		if err != nil {
+			t.Fatalf("NewShardBackend: %v", err)
+		}
+	} else if b, err = NewSimBackend(p.Topo, s.Eps, s.Run.Admission); err != nil {
 		t.Fatalf("NewSimBackend: %v", err)
 	}
 	defer b.Close()

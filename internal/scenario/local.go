@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/httpapi"
 	"repro/internal/replica"
+	"repro/internal/shard"
 	"repro/internal/topology"
 	"repro/internal/wal"
 )
@@ -27,6 +28,7 @@ type LocalServer struct {
 
 	api      *httpapi.Server
 	journal  *wal.Journal
+	router   *shard.Router // non-nil for a sharded server; Mgr is nil then
 	server   *http.Server
 	listener net.Listener
 	serveErr chan error
@@ -42,6 +44,10 @@ type LocalConfig struct {
 	// scenario runner always opens it nosync — scenarios measure the
 	// controller, not the disk.
 	StateDir string
+	// Shards > 0 serves the sharded control plane (requires StateDir for
+	// the pod WALs); ShardMode is "" (strict) | strict | fast.
+	Shards    int
+	ShardMode string
 }
 
 // admissionOpts maps the admission mode onto manager options plus the
@@ -61,6 +67,9 @@ func admissionOpts(admission string) (opts []core.ManagerOption, batch bool, err
 
 // StartLocal builds and serves an in-process daemon.
 func StartLocal(cfg LocalConfig) (*LocalServer, error) {
+	if cfg.Shards > 0 {
+		return startLocalSharded(cfg)
+	}
 	mgrOpts, _, err := admissionOpts(cfg.Admission)
 	if err != nil {
 		return nil, err
@@ -80,6 +89,32 @@ func StartLocal(cfg LocalConfig) (*LocalServer, error) {
 		journal.Close()
 	}
 	return ls, err
+}
+
+// startLocalSharded serves a shard.Router behind the same HTTP surface,
+// via the httpapi Controller seam.
+func startLocalSharded(cfg LocalConfig) (*LocalServer, error) {
+	if cfg.StateDir == "" {
+		return nil, errors.New("scenario: a sharded server needs a state dir (each pod keeps its own WAL)")
+	}
+	opts, _, err := shardOptions(cfg.Admission, cfg.ShardMode)
+	if err != nil {
+		return nil, err
+	}
+	router, err := shard.Open(cfg.StateDir, cfg.Topo, cfg.Eps, cfg.Shards, opts)
+	if err != nil {
+		return nil, err
+	}
+	ls := &LocalServer{router: router, serveErr: make(chan error, 1)}
+	ls.api = httpapi.NewControllerServer(router)
+	ls.server = &http.Server{Handler: ls.api.Handler()}
+	if ls.listener, err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+		router.Close()
+		return nil, err
+	}
+	ls.URL = "http://" + ls.listener.Addr().String()
+	go func() { ls.serveErr <- ls.server.Serve(ls.listener) }()
+	return ls, nil
 }
 
 // serveLocal puts an existing manager (and journal, when non-nil) behind
@@ -118,6 +153,12 @@ func (ls *LocalServer) Close() error {
 	err := ls.server.Shutdown(ctx)
 	if serr := <-ls.serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
 		err = serr
+	}
+	if ls.router != nil {
+		if cerr := ls.router.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		return err
 	}
 	if ls.journal != nil {
 		if cerr := ls.Mgr.Checkpoint(); cerr != nil && err == nil {
@@ -159,6 +200,9 @@ type LocalPair struct {
 func StartLocalPair(cfg LocalConfig) (*LocalPair, error) {
 	if cfg.StateDir == "" {
 		return nil, errors.New("scenario: a failover pair needs a state dir (the WAL is the replication stream)")
+	}
+	if cfg.Shards > 0 {
+		return nil, errors.New("scenario: a failover pair is unsharded (standbys follow one WAL); sharded failovers crash-recover the router instead")
 	}
 	pcfg := cfg
 	pcfg.StateDir = filepath.Join(cfg.StateDir, "primary")

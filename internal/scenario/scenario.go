@@ -156,6 +156,14 @@ type RunSpec struct {
 	// Concurrency > 1 submits same-second arrivals from that many
 	// goroutines (admission-storm scenarios).
 	Concurrency int
+	// Shards > 0 runs the sharded control plane (one pod-local ledger and
+	// WAL per aggregation subtree); it must equal the topology's agg
+	// count. A chaos.failovers entry then crashes and recovers the whole
+	// router — pod WALs plus the cross-pod intent log — instead of
+	// switching to a hot standby.
+	Shards int
+	// ShardMode: "" (strict) | strict | fast; see internal/shard.
+	ShardMode string
 }
 
 // AssertSpec is the declarative assertion block; nil / false fields are
@@ -543,6 +551,8 @@ func (d *decoder) runSpec(v any, r *RunSpec) {
 	d.integer(m, "sample_every", "run", &r.SampleEvery)
 	d.str(m, "admission", "run", &r.Admission)
 	d.integer(m, "concurrency", "run", &r.Concurrency)
+	d.integer(m, "shards", "run", &r.Shards)
+	d.str(m, "shard_mode", "run", &r.ShardMode)
 	d.checkUnknown(m, "run")
 }
 
@@ -687,6 +697,26 @@ func (s *Scenario) validateRun() error {
 	}
 	if r.Concurrency < 0 || r.Concurrency > maxConcurrent {
 		return fmt.Errorf("scenario: run.concurrency %d outside [0, %d]", r.Concurrency, maxConcurrent)
+	}
+	switch r.ShardMode {
+	case "", "strict", "fast":
+	default:
+		return fmt.Errorf("scenario: run.shard_mode %q not strict|fast", r.ShardMode)
+	}
+	if r.Shards < 0 {
+		return fmt.Errorf("scenario: run.shards %d negative", r.Shards)
+	}
+	if r.Shards == 0 {
+		if r.ShardMode != "" {
+			return fmt.Errorf("scenario: run.shard_mode requires run.shards")
+		}
+		return nil
+	}
+	if cfg, err := s.Topology.TopoConfig(); err == nil && r.Shards != cfg.Aggs {
+		return fmt.Errorf("scenario: run.shards %d must equal the topology's %d aggs (one shard per pod)", r.Shards, cfg.Aggs)
+	}
+	if r.Admission == "batch" {
+		return fmt.Errorf("scenario: run.shards is incompatible with run.admission batch")
 	}
 	return nil
 }

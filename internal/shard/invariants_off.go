@@ -1,0 +1,7 @@
+//go:build !invariants
+
+package shard
+
+// assertConsistent is compiled out unless -tags invariants; see
+// invariants_on.go.
+func (r *Router) assertConsistent() {}

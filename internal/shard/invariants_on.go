@@ -1,0 +1,26 @@
+//go:build invariants
+
+package shard
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// assertConsistent cross-checks the sharded state after every mutating
+// strict-mode operation (invariants builds only): the merged pod state
+// must equal the shadow's export bit-for-bit (invariant I10), and the
+// core-link ledgers must carry exactly the cross-pod contribution sums
+// (no two-phase leaks). Callers hold opMu in strict mode.
+func (r *Router) assertConsistent() {
+	if r.mode == Strict {
+		merged := r.MergedState()
+		want := r.shadow.ExportState()
+		if !reflect.DeepEqual(merged, want) {
+			panic(fmt.Sprintf("shard: merged state diverged from shadow:\nmerged: %+v\nshadow: %+v", merged, want))
+		}
+	}
+	if err := r.CheckCoreLinks(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,61 @@
+package shard
+
+import "repro/internal/core"
+
+// Read-only probes matching the unsharded manager's surface, so the HTTP
+// layer can serve a Router and a Manager through one Controller seam.
+
+// ExportState is MergedState under the Controller-interface name: the
+// router's full serializable state, reassembled from the pod shards.
+func (r *Router) ExportState() *core.ManagerState { return r.MergedState() }
+
+// CanAllocateHomog reports whether the request would currently be
+// admitted. Strict mode asks the merged view; fast mode asks whether ANY
+// single pod could host it (fast mode has no cross-pod placements).
+func (r *Router) CanAllocateHomog(req core.Homogeneous) bool {
+	if r.mode == Strict {
+		return r.shadow.CanAllocateHomog(req)
+	}
+	for _, m := range r.mgrs {
+		if m.CanAllocateHomog(req) {
+			return true
+		}
+	}
+	return false
+}
+
+// CanAllocateHetero reports whether the request would currently be
+// admitted; see CanAllocateHomog for the per-mode semantics.
+func (r *Router) CanAllocateHetero(req core.Heterogeneous) bool {
+	if r.mode == Strict {
+		return r.shadow.CanAllocateHetero(req)
+	}
+	for _, m := range r.mgrs {
+		if m.CanAllocateHetero(req) {
+			return true
+		}
+	}
+	return false
+}
+
+// Headroom reports how many copies of the request would fit. Strict mode
+// probes the merged view; fast mode sums the per-pod headrooms (each
+// copy must fit inside one pod, so the pod-wise sum is exact for the
+// placements fast mode can actually produce).
+func (r *Router) Headroom(req core.Homogeneous, limit int) (int, error) {
+	if r.mode == Strict {
+		return r.shadow.Headroom(req, limit)
+	}
+	total := 0
+	for _, m := range r.mgrs {
+		n, err := m.Headroom(req, limit)
+		if err != nil {
+			return total, err
+		}
+		total += n
+		if limit > 0 && total >= limit {
+			return limit, nil
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,72 @@
+package topology
+
+import "fmt"
+
+// A pod, for the sharded control plane, is one subtree hanging off the
+// datacenter root: the subtree of one root child (an aggregation switch
+// in the canonical three-tier tree, a ToR in a two-tier one). Pods
+// partition every non-root node — and therefore every LINK, since a link
+// is identified by its child endpoint — so per-pod state shards hold
+// disjoint slices of the ledger with nothing left over: even a pod's own
+// uplink into the root belongs to that pod.
+
+// PodSet is the pod partition of one topology: the root's children in
+// topology order, plus a node → pod index for O(1) ownership lookups.
+type PodSet struct {
+	roots []NodeID
+	podOf []int // per node; -1 for the datacenter root
+}
+
+// NewPods computes the pod partition of the topology. A topology always
+// has at least one pod (the builder rejects childless roots).
+func NewPods(t *Topology) *PodSet {
+	root := t.Root()
+	ps := &PodSet{
+		roots: append([]NodeID(nil), t.Node(root).Children...),
+		podOf: make([]int, t.Len()),
+	}
+	for i := range ps.podOf {
+		ps.podOf[i] = -1
+	}
+	for i, r := range ps.roots {
+		stack := []NodeID{r}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			ps.podOf[v] = i
+			stack = append(stack, t.Node(v).Children...)
+		}
+	}
+	return ps
+}
+
+// Count returns the number of pods.
+func (ps *PodSet) Count() int { return len(ps.roots) }
+
+// Root returns the subtree root of pod i.
+func (ps *PodSet) Root(i int) NodeID {
+	if i < 0 || i >= len(ps.roots) {
+		panic(fmt.Sprintf("topology: pod %d of %d", i, len(ps.roots)))
+	}
+	return ps.roots[i]
+}
+
+// Of returns the pod owning node v, or -1 for the datacenter root (the
+// only node no pod owns).
+func (ps *PodSet) Of(v NodeID) int { return ps.podOf[v] }
+
+// OfLink returns the pod owning a link. Links are identified by their
+// child endpoint, so every link — including each pod root's own uplink —
+// is owned by exactly one pod.
+func (ps *PodSet) OfLink(l LinkID) int { return ps.podOf[NodeID(l)] }
+
+// CoreLinks returns the links above the aggregation layer: the pod
+// roots' uplinks into the datacenter root, in pod order. These are the
+// only links whose occupancy more than one pod's jobs can contribute to.
+func (ps *PodSet) CoreLinks() []LinkID {
+	out := make([]LinkID, len(ps.roots))
+	for i, r := range ps.roots {
+		out[i] = LinkID(r)
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package topology
+
+import "testing"
+
+func TestPodsPartition(t *testing.T) {
+	tp, err := NewThreeTier(ThreeTierConfig{
+		Aggs: 3, ToRsPerAgg: 2, MachinesPerRack: 4, SlotsPerMachine: 2,
+		HostCap: 1000, Oversub: 2,
+	})
+	if err != nil {
+		t.Fatalf("NewThreeTier: %v", err)
+	}
+	ps := NewPods(tp)
+	if got := ps.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	if got := ps.Of(tp.Root()); got != -1 {
+		t.Errorf("Of(root) = %d, want -1", got)
+	}
+
+	// Pod roots are the root's children in order, and own themselves.
+	rootChildren := tp.Node(tp.Root()).Children
+	for i := 0; i < ps.Count(); i++ {
+		if ps.Root(i) != rootChildren[i] {
+			t.Errorf("Root(%d) = %d, want %d", i, ps.Root(i), rootChildren[i])
+		}
+		if ps.Of(ps.Root(i)) != i {
+			t.Errorf("Of(Root(%d)) = %d, want %d", i, ps.Of(ps.Root(i)), i)
+		}
+	}
+
+	// Every non-root node is owned by exactly the pod whose subtree it
+	// sits in: its ownership must match the first root child on its path
+	// to the root.
+	for v := NodeID(0); int(v) < tp.Len(); v++ {
+		if v == tp.Root() {
+			continue
+		}
+		top := v
+		for tp.Node(top).Parent != tp.Root() {
+			top = tp.Node(top).Parent
+		}
+		want := -1
+		for i, r := range rootChildren {
+			if r == top {
+				want = i
+			}
+		}
+		if got := ps.Of(v); got != want {
+			t.Errorf("Of(%d) = %d, want %d", v, got, want)
+		}
+		if got := ps.OfLink(LinkID(v)); got != want {
+			t.Errorf("OfLink(%d) = %d, want %d", v, got, want)
+		}
+	}
+
+	// Core links are exactly the pod roots' uplinks, and each is owned by
+	// its own pod (nothing is left unowned).
+	core := ps.CoreLinks()
+	if len(core) != 3 {
+		t.Fatalf("CoreLinks = %v, want 3 links", core)
+	}
+	for i, l := range core {
+		if NodeID(l) != ps.Root(i) {
+			t.Errorf("CoreLinks[%d] = %d, want %d", i, l, ps.Root(i))
+		}
+		if ps.OfLink(l) != i {
+			t.Errorf("OfLink(core %d) = %d, want %d", l, ps.OfLink(l), i)
+		}
+	}
+}
+
+func TestPodsSingle(t *testing.T) {
+	tp, err := NewFromSpec(twoMachineSpec())
+	if err != nil {
+		t.Fatalf("NewFromSpec: %v", err)
+	}
+	ps := NewPods(tp)
+	// A flat one-switch topology has one pod per machine: the root's
+	// children ARE the machines.
+	if got := ps.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	for i := 0; i < 2; i++ {
+		if !tp.Node(ps.Root(i)).IsMachine() {
+			t.Errorf("pod %d root %d should be a machine", i, ps.Root(i))
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// The intent log is the sharded router's own durability seam: a cross-pod
+// admission or release touches several pod-local WALs, none of which can
+// individually answer "did the whole operation happen?" after a crash. The
+// router journals a begin record BEFORE touching any pod and a done record
+// after, so recovery can resolve every in-doubt operation deterministically
+// from the pods' own states (see internal/shard).
+//
+// On-disk layout: one intents.log file per router, magic "SVCINT1\n", then
+// the same CRC-framed JSON records the pod WALs use. The file is append-only
+// and never compacted — cross-pod operations are the rare case by design,
+// and resolved intents are skipped during replay.
+
+// intentMagic heads intents.log.
+const intentMagic = "SVCINT1\n"
+
+// IntentKind enumerates intent-log records.
+type IntentKind int
+
+const (
+	// IntentBegin opens a cross-pod admission: the full original mutation
+	// (request, placement, contributions, idempotency key) plus the pods
+	// about to receive sub-frames. Durable before any pod commits.
+	IntentBegin IntentKind = iota + 1
+	// IntentDone closes a cross-pod admission: Commit records whether the
+	// operation committed on every pod or was aborted and rolled back.
+	IntentDone
+	// IntentReleaseBegin opens a cross-pod release of a committed job.
+	IntentReleaseBegin
+	// IntentReleaseDone closes a cross-pod release.
+	IntentReleaseDone
+)
+
+// String implements fmt.Stringer.
+func (k IntentKind) String() string {
+	switch k {
+	case IntentBegin:
+		return "begin"
+	case IntentDone:
+		return "done"
+	case IntentReleaseBegin:
+		return "release_begin"
+	case IntentReleaseDone:
+		return "release_done"
+	default:
+		return fmt.Sprintf("IntentKind(%d)", int(k))
+	}
+}
+
+var intentKindNames = map[IntentKind]string{
+	IntentBegin:        "begin",
+	IntentDone:         "done",
+	IntentReleaseBegin: "release_begin",
+	IntentReleaseDone:  "release_done",
+}
+
+var intentKindValues = func() map[string]IntentKind {
+	m := make(map[string]IntentKind, len(intentKindNames))
+	for k, name := range intentKindNames {
+		m[name] = k
+	}
+	return m
+}()
+
+// Intent is one intent-log record.
+type Intent struct {
+	Kind IntentKind
+	Job  core.JobID
+	// Commit is meaningful for IntentDone: true when the admission
+	// committed on every pod, false when it was aborted.
+	Commit bool
+	// Pods are the pod indices the operation spans (begin records only).
+	Pods []int
+	// Mut is the ORIGINAL un-partitioned mutation of an IntentBegin — the
+	// request, full placement and contributions exactly as planned. The
+	// router reconstructs the cross-pod job's merged state from this
+	// record, never from the per-pod sub-frames.
+	Mut core.Mutation
+	// HasMut reports whether Mut is populated (IntentBegin records).
+	HasMut bool
+}
+
+// intentRecord is the JSON payload of one intent frame.
+type intentRecord struct {
+	Kind   string          `json:"kind"`
+	Job    int64           `json:"job"`
+	Commit bool            `json:"commit,omitempty"`
+	Pods   []int           `json:"pods,omitempty"`
+	Mut    json.RawMessage `json:"mut,omitempty"`
+}
+
+func encodeIntent(in Intent) ([]byte, error) {
+	name, ok := intentKindNames[in.Kind]
+	if !ok {
+		return nil, fmt.Errorf("wal: unknown intent kind %d", int(in.Kind))
+	}
+	rec := intentRecord{Kind: name, Job: int64(in.Job), Commit: in.Commit, Pods: in.Pods}
+	if in.HasMut {
+		payload, err := encodeMutation(in.Mut)
+		if err != nil {
+			return nil, err
+		}
+		rec.Mut = payload
+	}
+	return json.Marshal(rec)
+}
+
+func decodeIntent(payload []byte) (Intent, error) {
+	var rec intentRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Intent{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	kind, ok := intentKindValues[rec.Kind]
+	if !ok {
+		return Intent{}, fmt.Errorf("%w: unknown intent kind %q", ErrCorrupt, rec.Kind)
+	}
+	in := Intent{Kind: kind, Job: core.JobID(rec.Job), Commit: rec.Commit, Pods: rec.Pods}
+	if len(rec.Mut) > 0 {
+		mut, err := decodeMutation(rec.Mut)
+		if err != nil {
+			return Intent{}, err
+		}
+		in.Mut = mut
+		in.HasMut = true
+	}
+	return in, nil
+}
+
+// IntentLog is the router's append-only cross-pod intent journal.
+type IntentLog struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	noSync bool
+	err    error // sticky: first append failure poisons the log
+}
+
+// IntentOption configures an IntentLog.
+type IntentOption func(*IntentLog)
+
+// IntentNoSync disables the fsync after every intent append — tests and
+// benchmarks only, exactly like WithNoSync for pod journals.
+func IntentNoSync() IntentOption {
+	return func(l *IntentLog) { l.noSync = true }
+}
+
+// OpenIntentLog opens (or creates) dir/intents.log and replays it,
+// returning every intact intent in append order. A torn or corrupt tail
+// is truncated — exactly the pod-WAL recovery contract — so the next
+// append continues from the last intact record.
+func OpenIntentLog(dir string, opts ...IntentOption) (*IntentLog, []Intent, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: intent log: %w", err)
+	}
+	l := &IntentLog{path: filepath.Join(dir, "intents.log")}
+	for _, o := range opts {
+		o(l)
+	}
+
+	data, err := os.ReadFile(l.path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		f, cerr := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+		if cerr != nil {
+			return nil, nil, fmt.Errorf("wal: intent log: %w", cerr)
+		}
+		if _, werr := f.Write([]byte(intentMagic)); werr != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: intent log: %w", werr)
+		}
+		if serr := l.syncFile(f); serr != nil {
+			f.Close()
+			return nil, nil, serr
+		}
+		l.f = f
+		return l, nil, nil
+	case err != nil:
+		return nil, nil, fmt.Errorf("wal: intent log: %w", err)
+	}
+
+	if len(data) < magicLen {
+		// A crash between create and the magic write can leave a short
+		// file; nothing durable can live in it, so start it over.
+		f, cerr := os.OpenFile(l.path, os.O_WRONLY|os.O_TRUNC, 0o644)
+		if cerr != nil {
+			return nil, nil, fmt.Errorf("wal: intent log: %w", cerr)
+		}
+		if _, werr := f.Write([]byte(intentMagic)); werr != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: intent log: %w", werr)
+		}
+		if serr := l.syncFile(f); serr != nil {
+			f.Close()
+			return nil, nil, serr
+		}
+		l.f = f
+		return l, nil, nil
+	}
+
+	frames, clean, scanErr := scanFrames(data, intentMagic)
+	if scanErr != nil && clean < magicLen {
+		return nil, nil, scanErr // bad magic: refuse rather than clobber
+	}
+	intents := make([]Intent, 0, len(frames))
+	for _, fr := range frames {
+		in, derr := decodeIntent(fr.payload)
+		if derr != nil {
+			return nil, nil, derr
+		}
+		intents = append(intents, in)
+	}
+	f, oerr := os.OpenFile(l.path, os.O_WRONLY, 0o644)
+	if oerr != nil {
+		return nil, nil, fmt.Errorf("wal: intent log: %w", oerr)
+	}
+	if clean < len(data) {
+		if terr := f.Truncate(int64(clean)); terr != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: intent log: %w", terr)
+		}
+	}
+	if _, serr := f.Seek(int64(clean), 0); serr != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: intent log: %w", serr)
+	}
+	l.f = f
+	return l, intents, nil
+}
+
+// Append durably appends one intent: the write and (unless IntentNoSync)
+// the fsync complete before Append returns. Cross-pod operations are
+// rare by construction, so intents pay a plain synchronous fsync rather
+// than joining a group commit.
+func (l *IntentLog) Append(in Intent) error {
+	payload, err := encodeIntent(in)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.f == nil {
+		return errors.New("wal: intent log closed")
+	}
+	buf := appendFrame(nil, payload)
+	if _, werr := l.f.Write(buf); werr != nil {
+		l.err = fmt.Errorf("wal: intent log append: %w", werr)
+		return l.err
+	}
+	if serr := l.syncFile(l.f); serr != nil {
+		l.err = serr
+		return l.err
+	}
+	return nil
+}
+
+func (l *IntentLog) syncFile(f *os.File) error {
+	if l.noSync {
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: intent log sync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the log file. Further appends fail.
+func (l *IntentLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -1,0 +1,140 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func testIntent(job int64) Intent {
+	req, err := core.NewHomogeneous(3, stats.Normal{Mu: 100, Sigma: 20})
+	if err != nil {
+		panic(err)
+	}
+	return Intent{
+		Kind:   IntentBegin,
+		Job:    core.JobID(job),
+		Pods:   []int{0, 2},
+		HasMut: true,
+		Mut: core.Mutation{
+			Op:    core.OpAlloc,
+			Job:   core.JobID(job),
+			Homog: &req,
+			Placement: &core.Placement{Entries: []core.PlacementEntry{
+				{Machine: 4, Count: 2}, {Machine: 9, Count: 1},
+			}},
+			Contribs: []core.Contribution{{Link: 2, Mu: 100, Sigma: 20}},
+			IdemKey:  "tenant-a/42",
+		},
+	}
+}
+
+func TestIntentLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, got, err := OpenIntentLog(dir)
+	if err != nil {
+		t.Fatalf("OpenIntentLog: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("fresh log replayed %d intents", len(got))
+	}
+	want := []Intent{
+		testIntent(7),
+		{Kind: IntentDone, Job: 7, Commit: true},
+		{Kind: IntentReleaseBegin, Job: 7, Pods: []int{0, 2}},
+		{Kind: IntentReleaseDone, Job: 7},
+	}
+	for _, in := range want {
+		if err := l.Append(in); err != nil {
+			t.Fatalf("Append(%v): %v", in.Kind, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, got, err := OpenIntentLog(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// The reopened log must still accept appends after the replayed tail.
+	if err := l2.Append(Intent{Kind: IntentDone, Job: 8}); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+}
+
+func TestIntentLogTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := OpenIntentLog(dir)
+	if err != nil {
+		t.Fatalf("OpenIntentLog: %v", err)
+	}
+	if err := l.Append(testIntent(1)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Append(Intent{Kind: IntentDone, Job: 1, Commit: true}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	l.Close()
+
+	// Tear the last record mid-frame: replay must surface only the intact
+	// prefix and truncate, and the next append must produce a clean log.
+	path := filepath.Join(dir, "intents.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, err := OpenIntentLog(dir)
+	if err != nil {
+		t.Fatalf("reopen torn: %v", err)
+	}
+	if len(got) != 1 || got[0].Kind != IntentBegin || got[0].Job != 1 {
+		t.Fatalf("torn replay = %+v, want the one intact begin", got)
+	}
+	if !got[0].HasMut || got[0].Mut.Homog == nil || got[0].Mut.Homog.N != 3 {
+		t.Fatalf("replayed begin lost its mutation: %+v", got[0])
+	}
+	if err := l2.Append(Intent{Kind: IntentDone, Job: 1}); err != nil {
+		t.Fatalf("append after truncate: %v", err)
+	}
+	l2.Close()
+
+	l3, got, err := OpenIntentLog(dir)
+	if err != nil {
+		t.Fatalf("final reopen: %v", err)
+	}
+	defer l3.Close()
+	if len(got) != 2 || got[1].Kind != IntentDone {
+		t.Fatalf("post-truncate replay = %+v, want begin+done", got)
+	}
+}
+
+func TestIntentLogShortFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "intents.log"), []byte("SVC"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, got, err := OpenIntentLog(dir)
+	if err != nil {
+		t.Fatalf("OpenIntentLog on short file: %v", err)
+	}
+	defer l.Close()
+	if len(got) != 0 {
+		t.Fatalf("short file replayed %d intents", len(got))
+	}
+	if err := l.Append(Intent{Kind: IntentDone, Job: 1}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -62,7 +63,8 @@ type Journal struct {
 	appended      int // mutation records in the current log
 	snapshotEvery int
 	noSync        bool
-	err           error // sticky: first append failure poisons the journal
+	syncDelay     time.Duration // simulated device flush (benchmarks only)
+	err           error         // sticky: first append failure poisons the journal
 
 	// Replication state (guarded by mu). epoch is the fencing epoch this
 	// journal commits under (1 when no epoch record exists — every
@@ -134,6 +136,21 @@ type Option func(*Journal)
 // failure can lose the tail. Intended for tests and benchmarks.
 func WithNoSync() Option {
 	return func(j *Journal) { j.noSync = true }
+}
+
+// WithSyncDelay replaces the physical fsync with a fixed sleep of d —
+// a simulated log device with deterministic flush latency. Appends still
+// reach the OS (crash-unsafe, exactly like WithNoSync), but every commit
+// pays a realistic, *independent* device wait. Benchmarks only: it
+// isolates the control plane's own scaling from the host disk, whose
+// shared flush queue serializes concurrent fsyncs even across files —
+// the deployment model for sharded WALs is one log device per pod.
+func WithSyncDelay(d time.Duration) Option {
+	return func(j *Journal) {
+		if d > 0 {
+			j.syncDelay = d
+		}
+	}
 }
 
 // WithSnapshotEvery sets how many records accumulate before
@@ -922,6 +939,10 @@ func (j *Journal) Close() error {
 }
 
 func (j *Journal) sync(f *os.File) error {
+	if j.syncDelay > 0 {
+		time.Sleep(j.syncDelay)
+		return nil
+	}
 	if j.noSync {
 		return nil
 	}
@@ -934,7 +955,7 @@ func (j *Journal) sync(f *os.File) error {
 // syncDir fsyncs the state directory so renames and creates are durable.
 // Best-effort: not every platform supports directory fsync.
 func (j *Journal) syncDir() {
-	if j.noSync {
+	if j.noSync || j.syncDelay > 0 {
 		return
 	}
 	if d, err := os.Open(j.dir); err == nil {

@@ -63,3 +63,40 @@ END {
 }' "$raw" > "$OUT"
 
 echo "wrote $OUT"
+
+# Sharding assertions (skipped when the cells are not in this run):
+#  - parity: the shards=1 router must stay within noise (>= 0.75x) of the
+#    matched unsharded baseline, per sync mode — routing must be free when
+#    every admission is pod-local;
+#  - scaling: 4 pods must deliver >= 3x the shards=1 aggregate throughput
+#    on the simulated per-pod log devices (the simdisk cells; the host's
+#    single shared disk serializes concurrent fsyncs, so the real-fsync
+#    cells measure the machine, not the architecture).
+awk '
+/^BenchmarkSharded/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    for (i = 3; i < NF; i++) if ($(i+1) == "ops/s") ops[name] = $i
+}
+END {
+    fails = 0
+    for (mode_i = 1; mode_i <= 3; mode_i++) {
+        mode = (mode_i == 1 ? "fsync" : mode_i == 2 ? "simdisk" : "nosync")
+        base = ops["BenchmarkShardedBaseline/" mode]
+        one  = ops["BenchmarkShardedAdmission/shards=1/" mode]
+        if (base > 0 && one > 0) {
+            ratio = one / base
+            verdict = (ratio >= 0.75 ? "ok" : "FAIL"); if (ratio < 0.75) fails++
+            printf "shard parity  [%s]: shards=1 %.0f vs unsharded %.0f ops/s (%.2fx, want >= 0.75) %s\n",
+                   mode, one, base, ratio, verdict
+        }
+    }
+    one  = ops["BenchmarkShardedAdmission/shards=1/simdisk"]
+    four = ops["BenchmarkShardedAdmission/shards=4/simdisk"]
+    if (one > 0 && four > 0) {
+        ratio = four / one
+        verdict = (ratio >= 3 ? "ok" : "FAIL"); if (ratio < 3) fails++
+        printf "shard scaling [simdisk]: shards=4 %.0f vs shards=1 %.0f ops/s (%.2fx, want >= 3) %s\n",
+               four, one, ratio, verdict
+    }
+    exit fails
+}' "$raw" || { echo "bench.sh: sharding assertion failed" >&2; exit 1; }
