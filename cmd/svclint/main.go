@@ -1,5 +1,8 @@
-// Command svclint runs the project's invariant analyzers (lockcheck,
-// journalseam, determinism, floatcmp, snapshotro) over the module.
+// Command svclint runs the project's invariant analyzers over the
+// module: the intra-package checks (lockcheck, journalseam,
+// determinism, floatcmp, snapshotro) plus the whole-program v2 quartet
+// (lockorder, durabilitycheck, errflow, goroutinelife), which share one
+// call graph built over every loaded package.
 //
 // Standalone mode (the default, used by scripts/check.sh):
 //
@@ -28,6 +31,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/all"
+	"repro/internal/analysis/callgraph"
 	"repro/internal/analysis/loader"
 )
 
@@ -63,12 +67,19 @@ var directivesAnalyzer = &analysis.Analyzer{
 	Doc:  "every //lint: escape hatch needs a justification",
 }
 
+// unitOf adapts a loaded package to a callgraph unit.
+func unitOf(pkg *loader.Package) *callgraph.Unit {
+	return &callgraph.Unit{Path: pkg.ImportPath, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+}
+
 // runSuite applies every analyzer plus the directive audit to one
-// package and returns the findings in position order.
-func runSuite(pkg *loader.Package) ([]analysis.Diagnostic, error) {
+// package and returns the findings in position order. graph is the
+// whole-program call graph shared by every pass of the run.
+func runSuite(pkg *loader.Package, graph *callgraph.Graph) ([]analysis.Diagnostic, error) {
 	var out []analysis.Diagnostic
 	for _, a := range all.Analyzers {
 		pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		pass.Graph = graph
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
 		}
@@ -102,9 +113,17 @@ func standalone() int {
 		return 2
 	}
 
+	// Build the whole-program call graph once over every loaded package;
+	// all analyzer passes share it.
+	units := make([]*callgraph.Unit, len(pkgs))
+	for i, pkg := range pkgs {
+		units[i] = unitOf(pkg)
+	}
+	graph := callgraph.Build(units)
+
 	var diags []analysis.Diagnostic
 	for _, pkg := range pkgs {
-		ds, err := runSuite(pkg)
+		ds, err := runSuite(pkg, graph)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "svclint:", err)
 			return 2
@@ -229,7 +248,9 @@ func unitcheck(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "svclint:", err)
 		return 2
 	}
-	diags, err := runSuite(pkg)
+	// One package per vet invocation: the graph covers only this unit, so
+	// graph-dependent analyzers degrade to intra-package precision here.
+	diags, err := runSuite(pkg, callgraph.Build([]*callgraph.Unit{unitOf(pkg)}))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "svclint:", err)
 		return 2

@@ -4,17 +4,28 @@ package all
 import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/durabilitycheck"
+	"repro/internal/analysis/errflow"
 	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/goroutinelife"
 	"repro/internal/analysis/journalseam"
 	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/snapshotro"
 )
 
 // Analyzers is the svclint suite in the order findings are reported.
+// The first five are intra-package; the v2 quartet (lockorder,
+// durabilitycheck, errflow, goroutinelife) consumes the shared
+// whole-program call graph.
 var Analyzers = []*analysis.Analyzer{
 	lockcheck.Analyzer,
 	journalseam.Analyzer,
 	determinism.Analyzer,
 	floatcmp.Analyzer,
 	snapshotro.Analyzer,
+	lockorder.Analyzer,
+	durabilitycheck.Analyzer,
+	errflow.Analyzer,
+	goroutinelife.Analyzer,
 }

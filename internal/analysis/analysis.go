@@ -17,6 +17,14 @@
 //	//lint:clone-skip <field[,field...]>: <reason>
 //	    snapshotro only: declares Clone deliberately does not copy the
 //	    listed fields.
+//	//lint:lockorder <reason>
+//	    lockorder only: asserts the acquisition on the directive's line
+//	    (or the line below) deliberately departs from the documented
+//	    lock order (e.g. a probe that trylocks out of order).
+//	//lint:ack-unjournaled <reason>
+//	    durabilitycheck only: asserts the success acknowledgement on
+//	    the directive's line is deliberately not backed by a journal
+//	    commit-wait (e.g. a read-only dry run on a mutating route).
 package analysis
 
 import (
@@ -27,6 +35,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"repro/internal/analysis/callgraph"
 )
 
 // Analyzer is one named invariant check.
@@ -55,8 +65,21 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Graph is the whole-program call graph, built once per svclint run
+	// over every loaded package and shared by all passes. In the vet
+	// unitchecker (one package per process) it covers only the current
+	// package; analyzers that consult it degrade to intra-package
+	// precision there. Nil when the driver predates the graph.
+	Graph *callgraph.Graph
+
 	directives []directive
 	diags      []Diagnostic
+}
+
+// Unit returns this pass's package as a callgraph unit (for graph
+// lookups keyed on the current package).
+func (p *Pass) Unit() *callgraph.Unit {
+	return &callgraph.Unit{Path: p.Pkg.Path(), Fset: p.Fset, Files: p.Files, Pkg: p.Pkg, Info: p.Info}
 }
 
 // NewPass assembles a pass and indexes the package's //lint: directives.
@@ -98,7 +121,7 @@ func (p *Pass) Diagnostics() []Diagnostic {
 
 // directive is one parsed //lint: comment.
 type directive struct {
-	kind   string // "ignore", "held", "clone-skip"
+	kind   string // "ignore", "held", "clone-skip", "lockorder", "ack-unjournaled"
 	args   string // text between the kind and the reason
 	reason string
 	file   string
@@ -106,7 +129,7 @@ type directive struct {
 	pos    token.Pos
 }
 
-var directiveRe = regexp.MustCompile(`^//lint:(ignore|held|clone-skip)\b\s*(.*)$`)
+var directiveRe = regexp.MustCompile(`^//lint:(ignore|held|clone-skip|lockorder|ack-unjournaled)\b\s*(.*)$`)
 
 // parseDirectives extracts //lint: directives with their positions.
 func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
@@ -137,7 +160,7 @@ func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
 				} else {
 					d.args = rest
 				}
-			default: // held
+			default: // held, lockorder, ack-unjournaled: the whole rest is the reason
 				d.reason = rest
 			}
 			out = append(out, d)
@@ -192,8 +215,15 @@ func MalformedDirectives(p *Pass) {
 // line span (used by lockcheck for function-level and call-level
 // assertions).
 func (p *Pass) HeldDirective(file string, fromLine, toLine int) bool {
+	return p.DirectiveCovers("held", file, fromLine, toLine)
+}
+
+// DirectiveCovers reports whether a //lint:<kind> directive sits within
+// the given line span of the file — the shared escape-hatch lookup used
+// by lockcheck (held), lockorder, and durabilitycheck (ack-unjournaled).
+func (p *Pass) DirectiveCovers(kind, file string, fromLine, toLine int) bool {
 	for _, d := range p.directives {
-		if d.kind == "held" && d.file == file && d.line >= fromLine && d.line <= toLine {
+		if d.kind == kind && d.file == file && d.line >= fromLine && d.line <= toLine {
 			return true
 		}
 	}

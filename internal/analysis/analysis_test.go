@@ -1,0 +1,96 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+const directiveSrc = `package p
+
+func a() {
+	//lint:lockorder probe path documented to trylock out of order
+	_ = 1
+	//lint:lockorder
+	_ = 2
+	//lint:ack-unjournaled dry run never mutates
+	_ = 3
+	//lint:ack-unjournaled
+	_ = 4
+	//lint:ignore errflow recovery replays the intent
+	_ = 5
+	//lint:ignore errflow
+	_ = 6
+}
+`
+
+// TestMalformedDirectivesCoverNewKinds pins that the v2 escape hatches
+// (//lint:lockorder, //lint:ack-unjournaled) fail the lint gate without
+// a written justification, exactly like the original kinds.
+func TestMalformedDirectivesCoverNewKinds(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &analysis.Analyzer{Name: "directives", Doc: "test"}
+	pass := analysis.NewPass(a, fset, []*ast.File{f}, nil, nil)
+	analysis.MalformedDirectives(pass)
+
+	var got []string
+	for _, d := range pass.Diagnostics() {
+		got = append(got, d.Message)
+	}
+	want := []string{
+		"//lint:lockorder directive needs a justification",
+		"//lint:ack-unjournaled directive needs a justification",
+		"//lint:ignore directive needs a justification",
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing finding %q in %v", w, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("findings = %v, want exactly %d (the justified directives must pass)", got, len(want))
+	}
+	for _, g := range got {
+		if strings.Contains(g, "probe path") || strings.Contains(g, "dry run") || strings.Contains(g, "recovery replays") {
+			t.Errorf("justified directive flagged: %q", g)
+		}
+	}
+}
+
+// TestDirectiveCoversNewKinds pins the shared span lookup for the new
+// directive kinds.
+func TestDirectiveCoversNewKinds(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &analysis.Analyzer{Name: "directives", Doc: "test"}
+	pass := analysis.NewPass(a, fset, []*ast.File{f}, nil, nil)
+
+	// The justified //lint:lockorder sits on line 4.
+	if !pass.DirectiveCovers("lockorder", "p.go", 4, 5) {
+		t.Error("lockorder directive on line 4 not found in span 4-5")
+	}
+	if pass.DirectiveCovers("lockorder", "p.go", 1, 3) {
+		t.Error("lockorder directive reported outside its span")
+	}
+	// The justified //lint:ack-unjournaled sits on line 8.
+	if !pass.DirectiveCovers("ack-unjournaled", "p.go", 8, 9) {
+		t.Error("ack-unjournaled directive on line 8 not found in span 8-9")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 	"repro/internal/analysis/loader"
 )
 
@@ -73,10 +74,18 @@ func moduleRoot() (string, error) {
 	}
 }
 
-// Run loads each import path from testdata/src in order, runs the
-// analyzer over every one of them, and compares the findings with the
-// want comments in the fixtures.
-func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+// Load type-checks each import path from testdata/src in order (phase 1
+// of Run) and returns the packages as callgraph units. Engine tests use
+// it to build and inspect graphs directly, without an analyzer.
+func Load(t *testing.T, testdata string, paths ...string) []*callgraph.Unit {
+	t.Helper()
+	_, units, _ := load(t, testdata, paths)
+	return units
+}
+
+// load is the shared phase-1 loader: type-check every fixture package
+// against the repo's export data, collecting want expectations.
+func load(t *testing.T, testdata string, paths []string) ([]*loader.Package, []*callgraph.Unit, map[string][]*want) {
 	t.Helper()
 	exports, err := repoExports()
 	if err != nil {
@@ -85,7 +94,8 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	im := loader.NewImporter(exports)
 	fset := token.NewFileSet()
 
-	var diags []analysis.Diagnostic
+	var pkgs []*loader.Package
+	var units []*callgraph.Unit
 	wants := make(map[string][]*want) // filename -> expectations
 	for _, path := range paths {
 		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
@@ -111,9 +121,33 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 			}
 			wants[name] = ws
 		}
+		pkgs = append(pkgs, pkg)
+		units = append(units, &callgraph.Unit{
+			Path: pkg.ImportPath, Fset: fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info,
+		})
+	}
+	return pkgs, units, wants
+}
+
+// Run loads each import path from testdata/src in order, builds the
+// whole-fixture call graph, runs the analyzer over every package, and
+// compares the findings with the want comments. Loading all packages
+// before any analyzer runs (two phases, like the svclint driver) is
+// what lets whole-program analyzers see cross-package edges between
+// fixtures.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, units, wants := load(t, testdata, paths)
+	fset := units[0].Fset
+	graph := callgraph.Build(units)
+
+	// Phase 2: run the analyzer per package against the shared graph.
+	var diags []analysis.Diagnostic
+	for i, pkg := range pkgs {
 		pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.Info)
+		pass.Graph = graph
 		if err := a.Run(pass); err != nil {
-			t.Fatalf("analysistest: %s on %s: %v", a.Name, path, err)
+			t.Fatalf("analysistest: %s on %s: %v", a.Name, paths[i], err)
 		}
 		diags = append(diags, pass.Diagnostics()...)
 	}

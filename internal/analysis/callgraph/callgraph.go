@@ -1,0 +1,273 @@
+// Package callgraph is svclint's whole-program layer: a static call
+// graph plus per-function facts computed ONCE per run over every
+// package the loader type-checked, then shared by all analyzers through
+// analysis.Pass.Graph. It is the piece the per-package AST analyzers
+// cannot reconstruct: which functions a call site can reach across
+// package boundaries, which locks a callee may acquire transitively,
+// whether a spawned goroutine's loop lives in a helper two packages
+// away.
+//
+// Resolution is deliberately conservative:
+//
+//   - a call to a declared function or concrete method resolves to its
+//     declaration (a static edge);
+//   - a call through an interface method resolves to every concrete
+//     method of the same name in the program (dynamic edges) — name
+//     matching over-approximates, which is the right direction for
+//     safety analyzers;
+//   - a call through a plain func value resolves to nothing; function
+//     literals are folded into their enclosing declaration instead (a
+//     closure's acquisitions belong to the function that built it,
+//     which is how the WAL's StageCommit wait closure reaches
+//     flushBatch in the graph).
+//
+// Node and edge order is deterministic: nodes sort by (package path,
+// position), edges keep source order. Two runs over the same load
+// graph produce byte-identical analyzer output (pinned by the
+// determinism test in this package).
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Unit is one type-checked package, the loader triple the engine
+// consumes. It mirrors loader.Package without importing it so the
+// engine stays usable from the analysistest harness and the vet
+// unitchecker, which assemble units of their own.
+type Unit struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Node is one function or method declaration in the program.
+type Node struct {
+	Obj  *types.Func   // canonical object (never nil)
+	Decl *ast.FuncDecl // declaration with body (nil Body for externals)
+	Unit *Unit         // the package that declares it
+
+	// Out edges in source order of their call sites.
+	Out []Edge
+}
+
+// Edge is one resolved call site.
+type Edge struct {
+	Callee  *Node
+	Site    token.Pos
+	Dynamic bool // resolved by interface-name matching, not statically
+}
+
+// String renders a node as pkg.Func or pkg.(Recv).Method.
+func (n *Node) String() string {
+	if recv := n.Obj.Type().(*types.Signature).Recv(); recv != nil {
+		return fmt.Sprintf("%s.(%s).%s", n.Unit.Path, typeName(recv.Type()), n.Obj.Name())
+	}
+	return fmt.Sprintf("%s.%s", n.Unit.Path, n.Obj.Name())
+}
+
+// typeName renders T or *T without the package qualifier.
+func typeName(t types.Type) string {
+	ptr := ""
+	if p, ok := t.(*types.Pointer); ok {
+		t, ptr = p.Elem(), "*"
+	}
+	if n, ok := t.(*types.Named); ok {
+		return ptr + n.Obj().Name()
+	}
+	return ptr + t.String()
+}
+
+// Graph is the program-wide call graph.
+type Graph struct {
+	units []*Unit
+	nodes map[*types.Func]*Node
+	// methodsByName indexes every method node by bare name, the
+	// dynamic-dispatch over-approximation for interface calls.
+	methodsByName map[string][]*Node
+	sorted        []*Node
+}
+
+// Build constructs the graph over the given units. Units should cover
+// the whole load graph for whole-program precision; a single-package
+// slice (the vet unitchecker case) yields a correct but partial graph.
+func Build(units []*Unit) *Graph {
+	g := &Graph{
+		units:         make([]*Unit, len(units)),
+		nodes:         make(map[*types.Func]*Node),
+		methodsByName: make(map[string][]*Node),
+	}
+	copy(g.units, units)
+	sort.SliceStable(g.units, func(i, j int) bool { return g.units[i].Path < g.units[j].Path })
+
+	// Pass 1: one node per declaration.
+	for _, u := range g.units {
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := u.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{Obj: obj, Decl: fd, Unit: u}
+				g.nodes[obj] = n
+				g.sorted = append(g.sorted, n)
+				if fd.Recv != nil {
+					g.methodsByName[fd.Name.Name] = append(g.methodsByName[fd.Name.Name], n)
+				}
+			}
+		}
+	}
+	sort.SliceStable(g.sorted, func(i, j int) bool {
+		a, b := g.sorted[i], g.sorted[j]
+		if a.Unit.Path != b.Unit.Path {
+			return a.Unit.Path < b.Unit.Path
+		}
+		return a.Unit.Fset.Position(a.Decl.Pos()).Offset < b.Unit.Fset.Position(b.Decl.Pos()).Offset
+	})
+
+	// Pass 2: edges. Function literals attribute their call sites to the
+	// enclosing declaration (see the package comment).
+	for _, n := range g.sorted {
+		if n.Decl.Body == nil {
+			continue
+		}
+		body := n.Decl.Body
+		u := n.Unit
+		ast.Inspect(body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, e := range g.resolve(u, call) {
+				n.Out = append(n.Out, e)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// resolve maps one call expression to its edges.
+func (g *Graph) resolve(u *Unit, call *ast.CallExpr) []Edge {
+	var callee *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		callee, _ = u.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = u.Info.Uses[fun.Sel].(*types.Func)
+	}
+	if callee == nil {
+		return nil // builtin, conversion, or plain func value
+	}
+	if n, ok := g.nodes[callee]; ok {
+		return []Edge{{Callee: n, Site: call.Pos()}}
+	}
+	// Interface method: fan out to every same-named concrete method in
+	// the program. Methods of packages outside the load graph resolve to
+	// nothing (their bodies are invisible anyway).
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			var out []Edge
+			for _, impl := range g.methodsByName[callee.Name()] {
+				out = append(out, Edge{Callee: impl, Site: call.Pos(), Dynamic: true})
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// Nodes returns every node in deterministic order.
+func (g *Graph) Nodes() []*Node { return g.sorted }
+
+// NodeOf returns the node for a function object, or nil when the
+// function's body is outside the load graph.
+func (g *Graph) NodeOf(obj *types.Func) *Node { return g.nodes[obj] }
+
+// FuncOf returns the node for a declaration, resolving through the
+// unit's Defs map. Nil when the declaration is not in the graph.
+func (g *Graph) FuncOf(u *Unit, decl *ast.FuncDecl) *Node {
+	obj, _ := u.Info.Defs[decl.Name].(*types.Func)
+	if obj == nil {
+		return nil
+	}
+	return g.nodes[obj]
+}
+
+// CalleeOf resolves one call expression against the graph, returning
+// the possible callees (empty for func-value calls).
+func (g *Graph) CalleeOf(u *Unit, call *ast.CallExpr) []*Node {
+	edges := g.resolve(u, call)
+	out := make([]*Node, len(edges))
+	for i, e := range edges {
+		out[i] = e.Callee
+	}
+	return out
+}
+
+// Fixpoint computes a bottom-up fact for every node: fact(n) =
+// direct(n) merged with fact(callee) for every out-edge, iterated to a
+// fixed point (cycles converge because merge must be monotone —
+// returning true only when it grew the accumulator). Facts are keyed
+// by node and returned for all of them.
+func Fixpoint[T any](g *Graph, direct func(*Node) T, merge func(into T, from T) (T, bool)) map[*Node]T {
+	facts := make(map[*Node]T, len(g.sorted))
+	for _, n := range g.sorted {
+		facts[n] = direct(n)
+	}
+	for changed := true; changed; {
+		changed = false
+		// Reverse deterministic order converges leaf-first for the
+		// common call direction; correctness does not depend on it.
+		for i := len(g.sorted) - 1; i >= 0; i-- {
+			n := g.sorted[i]
+			acc := facts[n]
+			for _, e := range n.Out {
+				var grew bool
+				acc, grew = merge(acc, facts[e.Callee])
+				changed = changed || grew
+			}
+			facts[n] = acc
+		}
+	}
+	return facts
+}
+
+// Reaches reports whether any function matched by pred is reachable
+// from n (including n itself) within maxDepth call edges. maxDepth < 0
+// means unbounded.
+func (g *Graph) Reaches(n *Node, maxDepth int, pred func(*Node) bool) bool {
+	type item struct {
+		n *Node
+		d int
+	}
+	seen := map[*Node]bool{n: true}
+	queue := []item{{n, 0}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if pred(it.n) {
+			return true
+		}
+		if maxDepth >= 0 && it.d == maxDepth {
+			continue
+		}
+		for _, e := range it.n.Out {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				queue = append(queue, item{e.Callee, it.d + 1})
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,21 @@
+// A package outside the allow-list: its direct seam call is the
+// cross-package violation; its admission-API call is clean.
+package consumer
+
+import "repro/internal/core"
+
+// Sneak bypasses the admission API: restricted.
+func Sneak(m *core.Manager) error {
+	return m.CommitExternal(core.Mutation{})
+}
+
+// Fine goes through the admission API: clean.
+func Fine(m *core.Manager) error {
+	return m.Allocate(1)
+}
+
+// Indirect calls the seam through the interface: the engine resolves it
+// as a dynamic edge to every CommitExternal method in the program.
+func Indirect(c core.Committer) error {
+	return c.CommitExternal(core.Mutation{})
+}

@@ -1,0 +1,22 @@
+// Stand-in for repro/internal/core: just enough surface for the engine
+// tests — a restricted method, a sibling caller, and an interface for
+// the dynamic-dispatch over-approximation.
+package core
+
+type Mutation struct{}
+
+type Manager struct{}
+
+// CommitExternal is the restricted seam (DefaultRestrictions allows
+// only repro/internal/shard and the declaring package).
+func (m *Manager) CommitExternal(mut Mutation) error { return nil }
+
+// Allocate calls the seam from inside the declaring package: allowed.
+func (m *Manager) Allocate(n int) error {
+	return m.CommitExternal(Mutation{})
+}
+
+// Committer abstracts the seam; calls through it resolve dynamically.
+type Committer interface {
+	CommitExternal(Mutation) error
+}

@@ -1,0 +1,9 @@
+// Stand-in for repro/internal/shard: the one package allowed to call
+// the CommitExternal seam.
+package shard
+
+import "repro/internal/core"
+
+func Admit(m *core.Manager) error {
+	return m.CommitExternal(core.Mutation{})
+}

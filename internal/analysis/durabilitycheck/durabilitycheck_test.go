@@ -1,0 +1,14 @@
+package durabilitycheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/durabilitycheck"
+)
+
+func TestDurabilityCheck(t *testing.T) {
+	durabilitycheck.TargetPaths["durabilitycheck"] = true
+	defer delete(durabilitycheck.TargetPaths, "durabilitycheck")
+	analysistest.Run(t, "testdata", durabilitycheck.Analyzer, "durabilitycheck")
+}

@@ -1,0 +1,14 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errflow"
+)
+
+func TestErrFlow(t *testing.T) {
+	errflow.TargetPaths["errflow"] = true
+	defer delete(errflow.TargetPaths, "errflow")
+	analysistest.Run(t, "testdata", errflow.Analyzer, "errflow")
+}

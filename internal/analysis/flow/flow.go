@@ -1,0 +1,273 @@
+// Package flow is the shared flow-sensitive dataflow kit for svclint's
+// analyzers, extracted from lockcheck's original walker. It evaluates a
+// function body in execution order, threading an abstract State through
+// statements and expressions:
+//
+//   - branches fork the state and re-join with State.Join (lockcheck
+//     joins lock sets by intersection; durabilitycheck ANDs a
+//     "committed" bit), so a path that returns early never pollutes the
+//     code after the branch;
+//   - return/branch/panic terminate a path; an if with both arms
+//     terminating removes the fallthrough;
+//   - loop bodies may run zero times: the exit state is the entry
+//     state joined over nothing (kept as entry), matching lockcheck's
+//     original conservative treatment;
+//   - switch/select join the states of all non-terminating cases, and
+//     only trust the join alone when a default (or comm clause set)
+//     covers every path.
+//
+// Analyzers plug in through Hooks: Call fires for every call expression
+// in evaluation order, Defer and Go for their statements, FuncLit for
+// function literals (which run on their own schedule, so the kit never
+// threads the enclosing state into them — analyzers decide what a
+// closure's entry state is).
+package flow
+
+import "go/ast"
+
+// State is one analyzer's abstract fact at a program point. Join is
+// the branch-join (must be commutative and conservative); Clone must
+// return an independent copy.
+type State interface {
+	Clone() State
+	Join(State) State
+}
+
+// Hooks are the analyzer's transfer functions. Any may be nil.
+type Hooks struct {
+	// Call fires for every call expression in evaluation order and
+	// returns the state after the call.
+	Call func(call *ast.CallExpr, s State) State
+	// Defer fires for defer statements. The default scans the deferred
+	// call's function literals via FuncLit and leaves the state alone.
+	Defer func(call *ast.CallExpr, s State) State
+	// Go fires for go statements. The default scans function literals
+	// and evaluates argument expressions through Call.
+	Go func(call *ast.CallExpr, s State) State
+	// FuncLit fires for every function literal encountered during
+	// expression evaluation (closures are not walked inline).
+	FuncLit func(fl *ast.FuncLit)
+}
+
+// Walker drives one function body.
+type Walker struct {
+	Hooks Hooks
+}
+
+// Walk evaluates the body from the entry state.
+func (w *Walker) Walk(body *ast.BlockStmt, entry State) {
+	w.Block(body, entry)
+}
+
+// Block walks statements sequentially, returning the exit state and
+// whether control always leaves the block (return/branch/panic).
+func (w *Walker) Block(b *ast.BlockStmt, s State) (State, bool) {
+	if b == nil {
+		return s, false
+	}
+	return w.stmts(b.List, s)
+}
+
+func (w *Walker) stmts(list []ast.Stmt, s State) (State, bool) {
+	s = s.Clone()
+	for _, st := range list {
+		var term bool
+		s, term = w.stmt(st, s)
+		if term {
+			return s, true
+		}
+	}
+	return s, false
+}
+
+func (w *Walker) stmt(st ast.Stmt, s State) (State, bool) {
+	switch v := st.(type) {
+	case *ast.ExprStmt:
+		return w.expr(v.X, s), isPanic(v.X)
+	case *ast.AssignStmt:
+		for _, e := range v.Rhs {
+			s = w.expr(e, s)
+		}
+		for _, e := range v.Lhs {
+			s = w.expr(e, s)
+		}
+		return s, false
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.LabeledStmt:
+		ast.Inspect(st, w.inspect(&s))
+		return s, false
+	case *ast.DeferStmt:
+		if w.Hooks.Defer != nil {
+			return w.Hooks.Defer(v.Call, s), false
+		}
+		w.FuncLits(v.Call)
+		return s, false
+	case *ast.GoStmt:
+		if w.Hooks.Go != nil {
+			return w.Hooks.Go(v.Call, s), false
+		}
+		w.FuncLits(v.Call)
+		for _, arg := range v.Call.Args {
+			s = w.expr(arg, s)
+		}
+		return s, false
+	case *ast.ReturnStmt:
+		for _, e := range v.Results {
+			s = w.expr(e, s)
+		}
+		return s, true
+	case *ast.BranchStmt:
+		return s, true
+	case *ast.BlockStmt:
+		return w.Block(v, s)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			s, _ = w.stmt(v.Init, s)
+		}
+		s = w.expr(v.Cond, s)
+		thenExit, thenTerm := w.Block(v.Body, s)
+		elseExit, elseTerm := s, false
+		if v.Else != nil {
+			elseExit, elseTerm = w.stmt(v.Else, s)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return s, v.Else != nil // no else: fallthrough survives
+		case thenTerm:
+			return elseExit, false
+		case elseTerm:
+			return thenExit, false
+		default:
+			return thenExit.Join(elseExit), false
+		}
+	case *ast.ForStmt:
+		if v.Init != nil {
+			s, _ = w.stmt(v.Init, s)
+		}
+		if v.Cond != nil {
+			s = w.expr(v.Cond, s)
+		}
+		w.Block(v.Body, s) // body may run zero times: exit keeps entry state
+		return s, false
+	case *ast.RangeStmt:
+		s = w.expr(v.X, s)
+		w.Block(v.Body, s)
+		return s, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.switchStmt(st, s)
+	default:
+		ast.Inspect(st, w.inspect(&s))
+		return s, false
+	}
+}
+
+func (w *Walker) switchStmt(st ast.Stmt, s State) (State, bool) {
+	var bodies []*ast.BlockStmt
+	var init ast.Stmt
+	var tag ast.Expr
+	hasDefault := false
+	switch sw := st.(type) {
+	case *ast.SwitchStmt:
+		init, tag = sw.Init, sw.Tag
+		for _, cc := range sw.Body.List {
+			cl := cc.(*ast.CaseClause)
+			if cl.List == nil {
+				hasDefault = true
+			}
+			bodies = append(bodies, &ast.BlockStmt{List: cl.Body})
+		}
+	case *ast.TypeSwitchStmt:
+		init = sw.Init
+		for _, cc := range sw.Body.List {
+			cl := cc.(*ast.CaseClause)
+			if cl.List == nil {
+				hasDefault = true
+			}
+			bodies = append(bodies, &ast.BlockStmt{List: cl.Body})
+		}
+	case *ast.SelectStmt:
+		for _, cc := range sw.Body.List {
+			cl := cc.(*ast.CommClause)
+			bodies = append(bodies, &ast.BlockStmt{List: cl.Body})
+		}
+		hasDefault = true // comm clauses cover all paths that proceed
+	}
+	if init != nil {
+		s, _ = w.stmt(init, s)
+	}
+	if tag != nil {
+		s = w.expr(tag, s)
+	}
+	var exit State
+	for _, b := range bodies {
+		e, term := w.Block(b, s)
+		if term {
+			continue
+		}
+		if exit == nil {
+			exit = e
+		} else {
+			exit = exit.Join(e)
+		}
+	}
+	if !hasDefault || exit == nil {
+		if exit == nil {
+			return s, false
+		}
+		exit = exit.Join(s)
+	}
+	return exit, false
+}
+
+// expr scans an expression for calls in evaluation order, threading the
+// state through the Call hook. Function literals route to FuncLit and
+// are not descended into.
+func (w *Walker) expr(e ast.Expr, s State) State {
+	if e == nil {
+		return s
+	}
+	ast.Inspect(e, w.inspect(&s))
+	return s
+}
+
+func (w *Walker) inspect(s *State) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			if w.Hooks.FuncLit != nil {
+				w.Hooks.FuncLit(v)
+			}
+			return false
+		case *ast.CallExpr:
+			if w.Hooks.Call != nil {
+				*s = w.Hooks.Call(v, *s)
+			}
+		}
+		return true
+	}
+}
+
+// FuncLits routes every function literal inside the expression to the
+// FuncLit hook (used for deferred and spawned calls whose closures run
+// outside this flow).
+func (w *Walker) FuncLits(n ast.Node) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if fl, ok := node.(*ast.FuncLit); ok {
+			if w.Hooks.FuncLit != nil {
+				w.Hooks.FuncLit(fl)
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// isPanic reports whether the expression is a panic call (terminates
+// control flow like a return).
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,14 @@
+package goroutinelife_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goroutinelife"
+)
+
+func TestGoroutineLife(t *testing.T) {
+	goroutinelife.TargetPaths["goroutinelife"] = true
+	defer delete(goroutinelife.TargetPaths, "goroutinelife")
+	analysistest.Run(t, "testdata", goroutinelife.Analyzer, "goroutinelife")
+}

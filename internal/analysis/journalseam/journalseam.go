@@ -25,10 +25,15 @@
 // intent log on every reopen, so a write outside the functions that
 // mirror journaled commits silently diverges the live maps from what
 // recovery will reconstruct; such writes are flagged outside the shard
-// seam functions. And Manager.CommitExternal — the commit half with no
-// planning half — is the router's private escape hatch: any other
-// package calling it bypasses admission entirely, so outside
-// internal/shard it is flagged like a direct ledger poke.
+// seam functions.
+//
+// Cross-package seam entry points — Manager.CommitExternal (the commit
+// half with no planning half, the router's private escape hatch) and
+// Manager.Replay (the raw record applier behind recovery and
+// replication) — are policed through the declarative restriction table
+// in internal/analysis/callgraph (DefaultRestrictions): each entry
+// names the function and the packages allowed to call it, and every
+// call site anywhere else is a finding.
 package journalseam
 
 import (
@@ -37,6 +42,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 )
 
 // Analyzer is the journalseam analyzer.
@@ -333,7 +339,6 @@ func routerTableWrite(pass *analysis.Pass, e ast.Expr) (string, bool) {
 // --- outside internal/core ---
 
 func runConsumer(pass *analysis.Pass) {
-	inShard := pass.Pkg.Path() == ShardPath
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -350,10 +355,14 @@ func runConsumer(pass *analysis.Pass) {
 				pass.Reportf(call.Pos(), "direct Ledger.%s outside internal/core bypasses the journal seam; use the Manager API", sel.Sel.Name)
 			case faultMutators[sel.Sel.Name] && isNamed(recv, TopoPath, "Faults"):
 				pass.Reportf(call.Pos(), "direct Faults.%s outside internal/core bypasses the journal seam; use the Manager API", sel.Sel.Name)
-			case sel.Sel.Name == "CommitExternal" && !inShard && isNamed(recv, CorePath, "Manager"):
-				pass.Reportf(call.Pos(), "CommitExternal outside internal/shard commits an unplanned mutation; use the Manager admission API")
 			}
 			return true
 		})
+	}
+	// Cross-package seam entry points come from the declarative table:
+	// the engine reports a call site for every entry whose AllowedFrom
+	// list excludes this package.
+	for _, v := range callgraph.CheckRestrictions(pass.Unit(), callgraph.DefaultRestrictions) {
+		pass.Reportf(v.Pos, "%s", v.Message)
 	}
 }

@@ -43,3 +43,10 @@ func Kill(f *topology.Faults, id topology.MachineID) {
 func Inject(m *core.Manager, mut core.Mutation) error {
 	return m.CommitExternal(mut) // want `CommitExternal outside internal/shard`
 }
+
+// --- positive: replaying a raw record outside the recovery and
+// replication seams skips planning and journaling both ---
+
+func Refeed(m *core.Manager, mut *core.Mutation) error {
+	return m.Replay(mut) // want `Replay outside internal/wal,internal/replica`
+}

@@ -2,16 +2,17 @@
 // whose name ends in "Locked" may only be called while the mutex of the
 // callee's receiver is held.
 //
-// The check walks each function body in execution order, tracking the
-// set of mutexes held at every point: x.Lock()/x.RLock() adds x,
-// x.Unlock()/x.RUnlock() removes it, and defer x.Unlock() leaves it held
-// for the rest of the function. Branches fork the state and re-join on
-// the intersection of the paths that fall through, so a branch that
-// unlocks and returns does not clear the state for the code after it.
-// Calling m.fooLocked(...) requires some mutex rooted at m (m.mu,
-// m.snapMu, ...) to be held; a plain call to fooLocked() requires any
-// mutex. Functions themselves named *Locked inherit the contract from
-// their callers and are exempt inside.
+// The check drives the shared flow kit (internal/analysis/flow, whose
+// walker was extracted from this analyzer) with a lock-set state:
+// x.Lock()/x.RLock() adds x, x.Unlock()/x.RUnlock() removes it, and
+// defer x.Unlock() leaves it held for the rest of the function.
+// Branches fork the state and re-join on the intersection of the paths
+// that fall through, so a branch that unlocks and returns does not
+// clear the state for the code after it. Calling m.fooLocked(...)
+// requires some mutex rooted at m (m.mu, m.snapMu, ...) to be held; a
+// plain call to fooLocked() requires any mutex. Functions themselves
+// named *Locked inherit the contract from their callers and are exempt
+// inside.
 //
 // Escape hatch: //lint:held <reason> on the function's doc comment (or
 // on the flagged line) asserts the function is documented to run under
@@ -24,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/flow"
 )
 
 // Analyzer is the lockcheck analyzer.
@@ -48,7 +50,7 @@ func run(pass *analysis.Pass) error {
 			if c.fnHeldDirective(fn) {
 				entry["*"] = true
 			}
-			c.block(fn.Body, entry)
+			c.walker().Walk(fn.Body, entry)
 		}
 	}
 	return nil
@@ -58,7 +60,8 @@ func run(pass *analysis.Pass) error {
 // held at a program point. The wildcard "*" satisfies every requirement.
 type lockSet map[string]bool
 
-func (s lockSet) clone() lockSet {
+// Clone implements flow.State.
+func (s lockSet) Clone() flow.State {
 	c := make(lockSet, len(s))
 	for k := range s {
 		c[k] = true
@@ -66,10 +69,12 @@ func (s lockSet) clone() lockSet {
 	return c
 }
 
-func intersect(a, b lockSet) lockSet {
+// Join implements flow.State: branch-join by intersection, so only
+// locks held on every falling-through path survive.
+func (s lockSet) Join(o flow.State) flow.State {
 	out := lockSet{}
-	for k := range a {
-		if b[k] {
+	for k := range s {
+		if o.(lockSet)[k] {
 			out[k] = true
 		}
 	}
@@ -78,6 +83,29 @@ func intersect(a, b lockSet) lockSet {
 
 type checker struct {
 	pass *analysis.Pass
+}
+
+// walker wires the lock-set transfer functions into the flow kit.
+func (c *checker) walker() *flow.Walker {
+	w := &flow.Walker{}
+	w.Hooks = flow.Hooks{
+		Call: func(call *ast.CallExpr, s flow.State) flow.State {
+			held := s.(lockSet)
+			c.call(call, held)
+			return held
+		},
+		Defer: func(call *ast.CallExpr, s flow.State) flow.State {
+			// defer x.Unlock() keeps x held to function exit; other
+			// deferred calls (including closures) are not walked as part
+			// of this flow.
+			if _, kind := c.mutexOp(call); kind != opUnlock {
+				w.FuncLits(call)
+			}
+			return s
+		},
+		FuncLit: c.checkFuncLit,
+	}
+	return w
 }
 
 // fnHeldDirective reports whether //lint:held covers the function's doc
@@ -91,197 +119,6 @@ func (c *checker) fnHeldDirective(fn *ast.FuncDecl) bool {
 	return c.pass.HeldDirective(pos.Filename, from, pos.Line)
 }
 
-// block walks statements sequentially, returning the exit state and
-// whether control always leaves the block (return/branch/panic).
-func (c *checker) block(b *ast.BlockStmt, held lockSet) (lockSet, bool) {
-	if b == nil {
-		return held, false
-	}
-	return c.stmts(b.List, held)
-}
-
-func (c *checker) stmts(list []ast.Stmt, held lockSet) (lockSet, bool) {
-	held = held.clone()
-	for _, st := range list {
-		var term bool
-		held, term = c.stmt(st, held)
-		if term {
-			return held, true
-		}
-	}
-	return held, false
-}
-
-func (c *checker) stmt(st ast.Stmt, held lockSet) (lockSet, bool) {
-	switch s := st.(type) {
-	case *ast.ExprStmt:
-		return c.exprCalls(s.X, held), isPanic(s.X)
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			held = c.exprCalls(e, held)
-		}
-		for _, e := range s.Lhs {
-			held = c.exprCalls(e, held)
-		}
-		return held, false
-	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.LabeledStmt:
-		ast.Inspect(st, c.inspectExprs(&held))
-		return held, false
-	case *ast.DeferStmt:
-		// defer x.Unlock() keeps x held to function exit; other deferred
-		// calls (including closures) are not walked as part of this flow.
-		if name, kind := c.mutexOp(s.Call); kind == opUnlock {
-			_ = name // the lock stays held for the remaining statements
-		} else {
-			c.funcLits(s.Call)
-		}
-		return held, false
-	case *ast.GoStmt:
-		c.funcLits(s.Call)
-		for _, arg := range s.Call.Args {
-			held = c.exprCalls(arg, held)
-		}
-		return held, false
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			held = c.exprCalls(e, held)
-		}
-		return held, true
-	case *ast.BranchStmt:
-		return held, true
-	case *ast.BlockStmt:
-		return c.block(s, held)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			held, _ = c.stmt(s.Init, held)
-		}
-		held = c.exprCalls(s.Cond, held)
-		thenExit, thenTerm := c.block(s.Body, held)
-		elseExit, elseTerm := held, false
-		if s.Else != nil {
-			elseExit, elseTerm = c.stmt(s.Else, held)
-		}
-		switch {
-		case thenTerm && elseTerm:
-			return held, s.Else != nil // no else: fallthrough survives
-		case thenTerm:
-			return elseExit, false
-		case elseTerm:
-			return thenExit, false
-		default:
-			return intersect(thenExit, elseExit), false
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			held, _ = c.stmt(s.Init, held)
-		}
-		if s.Cond != nil {
-			held = c.exprCalls(s.Cond, held)
-		}
-		c.block(s.Body, held) // body may run zero times: exit keeps entry state
-		return held, false
-	case *ast.RangeStmt:
-		held = c.exprCalls(s.X, held)
-		c.block(s.Body, held)
-		return held, false
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		var bodies []*ast.BlockStmt
-		var init ast.Stmt
-		var tag ast.Expr
-		hasDefault := false
-		switch sw := s.(type) {
-		case *ast.SwitchStmt:
-			init, tag = sw.Init, sw.Tag
-			for _, cc := range sw.Body.List {
-				cl := cc.(*ast.CaseClause)
-				if cl.List == nil {
-					hasDefault = true
-				}
-				bodies = append(bodies, &ast.BlockStmt{List: cl.Body})
-			}
-		case *ast.TypeSwitchStmt:
-			init = sw.Init
-			for _, cc := range sw.Body.List {
-				cl := cc.(*ast.CaseClause)
-				if cl.List == nil {
-					hasDefault = true
-				}
-				bodies = append(bodies, &ast.BlockStmt{List: cl.Body})
-			}
-		case *ast.SelectStmt:
-			for _, cc := range sw.Body.List {
-				cl := cc.(*ast.CommClause)
-				bodies = append(bodies, &ast.BlockStmt{List: cl.Body})
-			}
-			hasDefault = true // comm clauses cover all paths that proceed
-		}
-		if init != nil {
-			held, _ = c.stmt(init, held)
-		}
-		if tag != nil {
-			held = c.exprCalls(tag, held)
-		}
-		exit := lockSet(nil)
-		for _, b := range bodies {
-			e, term := c.block(b, held)
-			if term {
-				continue
-			}
-			if exit == nil {
-				exit = e
-			} else {
-				exit = intersect(exit, e)
-			}
-		}
-		if !hasDefault || exit == nil {
-			if exit == nil {
-				return held, false
-			}
-			exit = intersect(exit, held)
-		}
-		return exit, false
-	default:
-		ast.Inspect(st, c.inspectExprs(&held))
-		return held, false
-	}
-}
-
-// exprCalls scans an expression for calls in evaluation order, updating
-// the lock state and reporting unguarded *Locked calls. Function
-// literals inside are analyzed separately with an empty state.
-func (c *checker) exprCalls(e ast.Expr, held lockSet) lockSet {
-	if e == nil {
-		return held
-	}
-	ast.Inspect(e, c.inspectExprs(&held))
-	return held
-}
-
-func (c *checker) inspectExprs(held *lockSet) func(ast.Node) bool {
-	return func(n ast.Node) bool {
-		switch v := n.(type) {
-		case *ast.FuncLit:
-			c.checkFuncLit(v)
-			return false
-		case *ast.CallExpr:
-			c.call(v, held)
-		}
-		return true
-	}
-}
-
-// funcLits analyzes every function literal inside a deferred or spawned
-// call with an empty lock state.
-func (c *checker) funcLits(call *ast.CallExpr) {
-	ast.Inspect(call, func(n ast.Node) bool {
-		if fl, ok := n.(*ast.FuncLit); ok {
-			c.checkFuncLit(fl)
-			return false
-		}
-		return true
-	})
-}
-
 // checkFuncLit analyzes a function literal with an empty lock state: a
 // closure runs on its own schedule, so it inherits no locks (a
 // //lint:held directive on its first line overrides).
@@ -291,41 +128,63 @@ func (c *checker) checkFuncLit(fl *ast.FuncLit) {
 	if c.pass.HeldDirective(pos.Filename, pos.Line-1, pos.Line) {
 		entry["*"] = true
 	}
-	c.block(fl.Body, entry)
+	c.walker().Block(fl.Body, entry)
 }
 
-type mutexOp int
+type mutexOp = MutexOpKind
 
 const (
-	opNone mutexOp = iota
-	opLock
-	opUnlock
+	opNone   = OpNone
+	opLock   = OpAcquire
+	opUnlock = OpRelease
 )
 
 // mutexOp classifies a call as Lock/Unlock on a sync.Mutex or RWMutex,
 // returning the rendered receiver path.
 func (c *checker) mutexOp(call *ast.CallExpr) (string, mutexOp) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", opNone
+	recv, op := ClassifyMutexOp(c.pass.Info, call)
+	if op == OpNone {
+		return "", OpNone
 	}
-	var op mutexOp
-	switch sel.Sel.Name {
-	case "Lock", "RLock":
-		op = opLock
-	case "Unlock", "RUnlock":
-		op = opUnlock
-	default:
-		return "", opNone
-	}
-	t := c.pass.Info.TypeOf(sel.X)
-	if t == nil || !isMutexType(t) {
-		return "", opNone
-	}
-	return exprPath(sel.X), op
+	return ExprPath(recv), op
 }
 
-func isMutexType(t types.Type) bool {
+// MutexOpKind classifies what a call does to a sync.Mutex or RWMutex.
+type MutexOpKind int
+
+const (
+	OpNone    MutexOpKind = iota // not a mutex operation
+	OpAcquire                    // Lock or RLock
+	OpRelease                    // Unlock or RUnlock
+)
+
+// ClassifyMutexOp reports whether the call is a Lock/RLock or
+// Unlock/RUnlock on a sync.Mutex or RWMutex, returning the receiver
+// expression. Shared with lockorder, which keys lock classes off the
+// same classification.
+func ClassifyMutexOp(info *types.Info, call *ast.CallExpr) (recv ast.Expr, kind MutexOpKind) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, OpNone
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = OpAcquire
+	case "Unlock", "RUnlock":
+		kind = OpRelease
+	default:
+		return nil, OpNone
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil || !IsMutexType(t) {
+		return nil, OpNone
+	}
+	return sel.X, kind
+}
+
+// IsMutexType reports whether t is sync.Mutex or sync.RWMutex (or a
+// pointer to one).
+func IsMutexType(t types.Type) bool {
 	if p, ok := t.(*types.Pointer); ok {
 		t = p.Elem()
 	}
@@ -341,13 +200,13 @@ func isMutexType(t types.Type) bool {
 }
 
 // call updates the state for mutex operations and checks *Locked calls.
-func (c *checker) call(call *ast.CallExpr, held *lockSet) {
+func (c *checker) call(call *ast.CallExpr, held lockSet) {
 	if path, op := c.mutexOp(call); op != opNone {
 		switch op {
 		case opLock:
-			(*held)[path] = true
+			held[path] = true
 		case opUnlock:
-			delete(*held, path)
+			delete(held, path)
 		}
 		return
 	}
@@ -355,7 +214,7 @@ func (c *checker) call(call *ast.CallExpr, held *lockSet) {
 	if name == "" || !strings.HasSuffix(name, "Locked") {
 		return
 	}
-	if (*held)["*"] || c.satisfied(*held, base) {
+	if held["*"] || c.satisfied(held, base) {
 		return
 	}
 	pos := c.pass.Fset.Position(call.Pos())
@@ -392,38 +251,28 @@ func calleeName(call *ast.CallExpr) (name, base string) {
 	case *ast.Ident:
 		return fun.Name, ""
 	case *ast.SelectorExpr:
-		return fun.Sel.Name, exprPath(fun.X)
+		return fun.Sel.Name, ExprPath(fun.X)
 	}
 	return "", ""
 }
 
-// exprPath renders a selector chain like m.led.Faults() as a stable
+// ExprPath renders a selector chain like m.led.Faults() as a stable
 // string key; non-path expressions collapse to their last component.
-func exprPath(e ast.Expr) string {
+// Shared with lockorder, which keys held-lock instances the same way.
+func ExprPath(e ast.Expr) string {
 	switch v := e.(type) {
 	case *ast.Ident:
 		return v.Name
 	case *ast.SelectorExpr:
-		return exprPath(v.X) + "." + v.Sel.Name
+		return ExprPath(v.X) + "." + v.Sel.Name
 	case *ast.CallExpr:
-		return exprPath(v.Fun) + "()"
+		return ExprPath(v.Fun) + "()"
 	case *ast.ParenExpr:
-		return exprPath(v.X)
+		return ExprPath(v.X)
 	case *ast.StarExpr:
-		return exprPath(v.X)
+		return ExprPath(v.X)
 	case *ast.IndexExpr:
-		return exprPath(v.X) + "[]"
+		return ExprPath(v.X) + "[]"
 	}
 	return "?"
-}
-
-// isPanic reports whether the expression is a panic call (terminates
-// control flow like a return).
-func isPanic(e ast.Expr) bool {
-	call, ok := e.(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	id, ok := call.Fun.(*ast.Ident)
-	return ok && id.Name == "panic"
 }

@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	saved := lockorder.Order
+	lockorder.Order = append([]string{"lockorder.Server.a", "lockorder.Server.b"}, saved...)
+	defer func() { lockorder.Order = saved }()
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lockorder")
+}

@@ -167,7 +167,7 @@ func (m *Manager) admitBatchStagedLocked(bj BatchJournal, accepted []batchItem, 
 	}
 	wait, err := bj.StageCommitBatch(muts)
 	if err != nil {
-		werr := fmt.Errorf("%w: %v", ErrJournal, err)
+		werr := fmt.Errorf("%w: %w", ErrJournal, err)
 		for _, idx := range idxs {
 			out[idx] = BatchResult{Err: werr}
 		}
@@ -183,7 +183,7 @@ func (m *Manager) admitBatchStagedLocked(bj BatchJournal, accepted []batchItem, 
 	}
 	return []batchWait{{idxs: idxs, wait: func() error {
 		if werr := wait(); werr != nil {
-			return fmt.Errorf("%w: %v", ErrJournal, werr)
+			return fmt.Errorf("%w: %w", ErrJournal, werr)
 		}
 		return nil
 	}}}

@@ -39,7 +39,7 @@ func AllocateFirstFit(led *Ledger, req Heterogeneous) (Placement, []linkDemand, 
 	// final split a later hand-back invalidated elsewhere. Re-validate the
 	// complete placement so the baseline never violates the guarantee.
 	if err := ValidatePlacement(led, contribs, &p, n); err != nil {
-		return Placement{}, nil, fmt.Errorf("%w: first fit produced no valid placement: %v", ErrNoCapacity, err)
+		return Placement{}, nil, fmt.Errorf("%w: first fit produced no valid placement: %w", ErrNoCapacity, err)
 	}
 	return p, contribs, nil
 }

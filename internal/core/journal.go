@@ -304,7 +304,7 @@ func (m *Manager) stageLocked(mut Mutation) (func() error, error) {
 	}
 	return func() error {
 		if werr := wait(); werr != nil {
-			return fmt.Errorf("%w: %v", ErrJournal, werr)
+			return fmt.Errorf("%w: %w", ErrJournal, werr)
 		}
 		return nil
 	}, nil

@@ -357,7 +357,7 @@ func (s *Standby) replayFrames(frames []wal.Frame) (int, error) {
 			}
 		case wal.KindMutation:
 			if err := s.mgr.Replay(rec.Mutation); err != nil {
-				return applied, fmt.Errorf("%w: %v", ErrDiverged, err)
+				return applied, fmt.Errorf("%w: %w", ErrDiverged, err)
 			}
 			applied++
 		}
@@ -436,6 +436,7 @@ func (s *Standby) syncDir() {
 		return
 	}
 	if d, err := os.Open(s.cfg.Dir); err == nil {
+		//lint:ignore errflow directory fsync is best-effort; several filesystems refuse it and the file fsync already covers the contents
 		d.Sync()
 		d.Close()
 	}
@@ -490,7 +491,9 @@ func (s *Standby) Promote(ctx context.Context) (Promotion, error) {
 	// would recover its own directory.
 	if s.mirror != nil {
 		if !s.cfg.NoSync {
-			s.mirror.Sync()
+			if err := s.mirror.Sync(); err != nil {
+				return Promotion{}, fmt.Errorf("replica: seal mirror: %w", err)
+			}
 		}
 		s.mirror.Close()
 		s.mirror = nil

@@ -211,6 +211,7 @@ func (r *Router) commitCrossPod(mut core.Mutation, pods []int) error {
 			// Every pod holds its sub-frame durably. If the done record
 			// fails to append the operation is STILL committed: recovery
 			// sees the job on every participant and resolves to commit.
+			//lint:ignore errflow the done record is an optimisation; recovery resolves the open intent to commit from the participants
 			r.intents.Append(wal.Intent{Kind: wal.IntentDone, Job: mut.Job, Commit: true})
 			return nil
 		}
@@ -223,6 +224,7 @@ func (r *Router) commitCrossPod(mut core.Mutation, pods []int) error {
 		}
 		perr = first
 	}
+	//lint:ignore errflow the abort marker is an optimisation; recovery re-derives the abort from the missing sub-frames
 	r.intents.Append(wal.Intent{Kind: wal.IntentDone, Job: mut.Job, Commit: false})
 	return perr
 }
@@ -256,6 +258,7 @@ func (r *Router) releaseCrossPod(mut core.Mutation, pods []int) error {
 			return e
 		}
 	}
+	//lint:ignore errflow the release-done record is an optimisation; an open release intent is simply retried by recovery
 	r.intents.Append(wal.Intent{Kind: wal.IntentReleaseDone, Job: mut.Job})
 	return nil
 }

@@ -120,7 +120,7 @@ func encodeIntent(in Intent) ([]byte, error) {
 func decodeIntent(payload []byte) (Intent, error) {
 	var rec intentRecord
 	if err := json.Unmarshal(payload, &rec); err != nil {
-		return Intent{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return Intent{}, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	kind, ok := intentKindValues[rec.Kind]
 	if !ok {

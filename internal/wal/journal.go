@@ -959,6 +959,7 @@ func (j *Journal) syncDir() {
 		return
 	}
 	if d, err := os.Open(j.dir); err == nil {
+		//lint:ignore errflow directory fsync is best-effort; several filesystems refuse it and the file fsync already covers the contents
 		d.Sync()
 		d.Close()
 	}

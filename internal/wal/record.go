@@ -127,7 +127,7 @@ func encodeMutation(mut core.Mutation) ([]byte, error) {
 func decodeMutation(payload []byte) (core.Mutation, error) {
 	var rec record
 	if err := json.Unmarshal(payload, &rec); err != nil {
-		return core.Mutation{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return core.Mutation{}, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	op, ok := opValues[rec.Op]
 	if !ok {
@@ -146,14 +146,14 @@ func decodeMutation(payload []byte) (core.Mutation, error) {
 	if rec.Homog != nil {
 		req, err := rec.Homog.Request()
 		if err != nil {
-			return core.Mutation{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return core.Mutation{}, fmt.Errorf("%w: %w", ErrCorrupt, err)
 		}
 		mut.Homog = &req
 	}
 	if rec.Hetero != nil {
 		req, err := core.HeteroRequest(rec.Hetero)
 		if err != nil {
-			return core.Mutation{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return core.Mutation{}, fmt.Errorf("%w: %w", ErrCorrupt, err)
 		}
 		mut.Hetero = &req
 	}

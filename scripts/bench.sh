@@ -100,3 +100,15 @@ END {
     }
     exit fails
 }' "$raw" || { echo "bench.sh: sharding assertion failed" >&2; exit 1; }
+
+# svclint must stay usable as a pre-commit gate: the whole-program call
+# graph plus the full analyzer suite over the module in under 60s.
+echo "==> timing svclint ./... (budget 60s)"
+lint_start=$(date +%s)
+go run ./cmd/svclint ./...
+lint_elapsed=$(( $(date +%s) - lint_start ))
+echo "svclint ./... took ${lint_elapsed}s"
+if [ "$lint_elapsed" -gt 60 ]; then
+    echo "bench.sh: svclint exceeded its 60s budget (${lint_elapsed}s)" >&2
+    exit 1
+fi

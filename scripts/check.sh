@@ -8,8 +8,17 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> svclint ./... (project invariant analyzers)"
+echo "==> svclint ./... (project invariant analyzers, incl. the v2 whole-program quartet: lockorder, durabilitycheck, errflow, goroutinelife)"
 go run ./cmd/svclint ./...
+
+# The same suite through go vet's unitchecker protocol: one package per
+# process with a degraded single-package graph — both modes must be
+# clean (see docs/INVARIANTS.md, escape hatches).
+echo "==> go vet -vettool=svclint ./... (unitchecker mode)"
+svclint_bin=$(mktemp /tmp/svclint.XXXXXX)
+trap 'rm -f "$svclint_bin"' EXIT
+go build -o "$svclint_bin" ./cmd/svclint
+go vet -vettool="$svclint_bin" ./...
 
 # Optional external linters: used when the toolchain is present, never
 # a hard dependency of the gate (offline/container builds lack them).
